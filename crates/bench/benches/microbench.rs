@@ -1,0 +1,129 @@
+//! Criterion microbenchmarks of the hot paths: cache access, token
+//! protocol transactions, Zipf sampling, TLB lookup, and snoop-destination
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_mem::{BlockAddr, Cache, CacheGeometry, CacheLine, LineTag, ReadMode, TokenProtocol,
+              TokenState};
+use sim_net::{Mesh, MessageKind, Network, NodeId};
+use sim_vm::{SharingDirectory, SharingType, TypeTlb, VmId};
+use workloads::ZipfSampler;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+
+    let geometry = CacheGeometry::new(256 * 1024, 8);
+    let mut cache = Cache::new(geometry, 4);
+    for b in 0..4096u64 {
+        cache.insert(CacheLine::new(
+            BlockAddr::new(b),
+            TokenState::shared_one(),
+            LineTag::Vm(VmId::new((b % 4) as u16)),
+        ));
+    }
+    let mut i = 0u64;
+    group.bench_function("access_hit", |bench| {
+        bench.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(cache.access(BlockAddr::new(i)))
+        })
+    });
+    group.bench_function("access_miss", |bench| {
+        bench.iter(|| {
+            i += 1;
+            black_box(cache.access(BlockAddr::new(100_000 + i)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_protocol");
+    group.throughput(Throughput::Elements(1));
+
+    let dests: Vec<usize> = (1..16).collect();
+    let mut b = 0u64;
+    group.bench_function("read_write_roundtrip_broadcast", |bench| {
+        let mut caches = vec![Cache::new(CacheGeometry::new(64 * 1024, 8), 4); 16];
+        let mut tp = TokenProtocol::new(16);
+        bench.iter(|| {
+            b += 1;
+            let block = BlockAddr::new(b % 512);
+            if caches[0].probe(block).is_none() {
+                let _ = tp.read_miss(
+                    &mut caches,
+                    0,
+                    &dests,
+                    block,
+                    true,
+                    LineTag::Vm(VmId::new(0)),
+                    ReadMode::Strict,
+                );
+            }
+            let w = tp.write_miss(&mut caches, 1, &[0], block, true, LineTag::Vm(VmId::new(0)));
+            black_box(w.success)
+        })
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.throughput(Throughput::Elements(1));
+    let mut net = Network::new(Mesh::new(4, 4));
+    let dests: Vec<NodeId> = (1..16u16).map(NodeId::new).collect();
+    group.bench_function("broadcast_request", |bench| {
+        bench.iter(|| black_box(net.multicast(NodeId::new(0), dests.iter().copied(), MessageKind::Request)))
+    });
+    group.bench_function("quadrant_multicast", |bench| {
+        let quad: Vec<NodeId> = [1u16, 4, 5].iter().map(|&i| NodeId::new(i)).collect();
+        bench.iter(|| black_box(net.multicast(NodeId::new(0), quad.iter().copied(), MessageKind::Request)))
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(1));
+
+    let zipf = ZipfSampler::new(4096, 0.7);
+    let mut rng = SmallRng::seed_from_u64(1);
+    group.bench_function("zipf_sample", |bench| {
+        bench.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+
+    let mut dir = SharingDirectory::new();
+    for p in 0..10_000u64 {
+        dir.register(p, SharingType::VmPrivate, Some(VmId::new((p % 4) as u16)));
+    }
+    let mut tlb = TypeTlb::new(64);
+    let mut p = 0u64;
+    group.bench_function("tlb_lookup", |bench| {
+        bench.iter(|| {
+            p = (p + 1) % 128; // mostly hits in a 64-entry TLB
+            black_box(tlb.lookup(p, &dir))
+        })
+    });
+
+    let mut wl = workloads::Workload::homogeneous(
+        workloads::profile("canneal").unwrap(),
+        4,
+        workloads::WorkloadConfig::default(),
+    );
+    let mut i = 0u16;
+    group.bench_function("trace_generation", |bench| {
+        use workloads::AccessStream;
+        bench.iter(|| {
+            i = (i + 1) % 16;
+            let vcpu = sim_vm::VcpuId::new(VmId::new(i / 4), i % 4);
+            black_box(wl.next_access(vcpu))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_protocol, bench_network, bench_workload);
+criterion_main!(benches);

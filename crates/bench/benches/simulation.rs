@@ -1,0 +1,58 @@
+//! End-to-end simulator throughput under each filter policy, plus the
+//! ablation the design calls out: how much simulation work the filtering
+//! itself saves (fewer destinations per transaction).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vsnoop::{ContentPolicy, FilterPolicy, Simulator, SystemConfig};
+use workloads::{profile, Workload, WorkloadConfig};
+
+fn prepared(policy: FilterPolicy) -> (Simulator, Workload) {
+    let cfg = SystemConfig::paper_default();
+    let mut sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
+    let mut wl = Workload::homogeneous(
+        profile("ferret").unwrap(),
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            ..Default::default()
+        },
+    );
+    sim.run(&mut wl, 10_000); // warm
+    (sim, wl)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    // One round = 16 accesses (one per core).
+    group.throughput(Throughput::Elements(16));
+    for policy in [
+        FilterPolicy::TokenBroadcast,
+        FilterPolicy::VsnoopBase,
+        FilterPolicy::Counter,
+        FilterPolicy::COUNTER_THRESHOLD_10,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("round", policy),
+            &policy,
+            |bench, &policy| {
+                let (mut sim, mut wl) = prepared(policy);
+                bench.iter(|| {
+                    sim.run(&mut wl, 1);
+                    black_box(sim.stats().accesses)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    group.bench_function("fig2_sweep", |bench| {
+        bench.iter(|| black_box(vsnoop::fig2_sweep()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_analytic);
+criterion_main!(benches);

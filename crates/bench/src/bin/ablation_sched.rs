@@ -1,0 +1,71 @@
+//! Ablation: restricted migration domains (the paper's Section VIII
+//! future work: "the hypervisors must limit the range of VM migration, as
+//! long as such restriction does not hurt the overall system throughput").
+//!
+//! Compares pinned / restricted / full scheduling in the overcommitted
+//! configuration: makespan (throughput) and relocation behaviour. The
+//! restricted policy bounds each VM's snoop domain to its core subset
+//! while recovering most of full migration's utilization.
+
+use sim_vm::{run_scheduler, SchedPolicy, SchedulerConfig};
+use vsnoop_bench::{f1, heading, opt, TextTable};
+use workloads::{parsec_apps, sched_vms};
+
+fn main() {
+    heading(
+        "Ablation: restricted migration domains (overcommitted, 4 VMs x 4 vCPUs, 8 cores)",
+        "Makespan normalized to pinned (lower is better). `restricted(4)`\n\
+         confines each VM to a 4-core subset: its snoop domain can never\n\
+         exceed 4 cores, yet most of full migration's throughput returns.",
+    );
+    let tick_ms = 0.1;
+    let mut t = TextTable::new([
+        "workload",
+        "pinned %",
+        "restricted(4) %",
+        "full %",
+        "reloc period restricted ms",
+        "reloc period full ms",
+    ]);
+    let mut sums = [0.0f64; 2];
+    let mut n = 0usize;
+    for app in parsec_apps() {
+        let mk = |policy| {
+            let cfg = SchedulerConfig {
+                n_cores: 8,
+                tick_ms,
+                policy,
+                seed: 7,
+                ..Default::default()
+            };
+            run_scheduler(&cfg, &sched_vms(app, 4, 4, tick_ms))
+        };
+        let pinned = mk(SchedPolicy::Pinned);
+        let restricted = mk(SchedPolicy::Restricted { domain_cores: 4 });
+        let full = mk(SchedPolicy::FullMigration);
+        let base = pinned.makespan_ms().max(1e-9);
+        let r_pct = 100.0 * restricted.makespan_ms() / base;
+        let f_pct = 100.0 * full.makespan_ms() / base;
+        sums[0] += r_pct;
+        sums[1] += f_pct;
+        n += 1;
+        t.row([
+            app.name.to_string(),
+            "100.0".to_string(),
+            f1(r_pct),
+            f1(f_pct),
+            opt(restricted.avg_relocation_period_ms),
+            opt(full.avg_relocation_period_ms),
+        ]);
+    }
+    t.row([
+        "Average".to_string(),
+        "100.0".to_string(),
+        f1(sums[0] / n as f64),
+        f1(sums[1] / n as f64),
+        String::new(),
+        String::new(),
+    ]);
+    t.maybe_dump_csv("ablation_sched").expect("csv dump");
+    println!("{t}");
+}

@@ -1,0 +1,26 @@
+//! Runs every experiment in paper order (the output of this binary is the
+//! source of EXPERIMENTS.md's measured columns).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1", "fig2", "fig2_validation", "fig3", "table1", "table2", "table3", "table4",
+        "fig6", "fig7", "fig8", "fig9", "table5", "fig10", "table6",
+    ];
+    // Prefer in-process execution when built as part of the workspace; the
+    // simplest robust approach is to re-exec sibling binaries living next
+    // to this one.
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

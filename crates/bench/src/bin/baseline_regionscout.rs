@@ -1,0 +1,78 @@
+//! Baseline comparison: virtual snooping vs. a RegionScout-style
+//! coarse-grain region filter vs. broadcast, on snoops, traffic, and
+//! energy.
+//!
+//! The paper's related-work argument, quantified: region-granularity
+//! filters need per-core tables whose reach bounds their coverage, and
+//! they cannot multicast — they either skip snooping entirely (verified
+//! private regions) or broadcast. Virtual snooping reaches the same
+//! decision from two page-table bits and an n-bit register, and filters
+//! *every* VM-private miss.
+
+use vsnoop::experiments::{run_pinned, RunScale};
+use vsnoop::{ContentPolicy, EnergyModel, FilterPolicy, SystemConfig};
+use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
+use workloads::simulation_apps;
+
+fn main() {
+    heading(
+        "Baseline: RegionScout-style region filter vs virtual snooping",
+        "All values relative to the TokenB broadcast baseline (100%).\n\
+         RegionScout: 4 KB regions, 64-entry not-shared-region tables.",
+    );
+    let cfg = SystemConfig::paper_default();
+    let scale = scale_from_env();
+    let energy = EnergyModel::default();
+    let mut t = TextTable::new([
+        "workload",
+        "snoops rs %",
+        "snoops vsnoop %",
+        "traffic rs %",
+        "traffic vsnoop %",
+        "snoop energy rs %",
+        "snoop energy vsnoop %",
+    ]);
+    for app in simulation_apps() {
+        let base = run_pinned(
+            app,
+            FilterPolicy::TokenBroadcast,
+            ContentPolicy::Broadcast,
+            false,
+            false,
+            cfg,
+            scale,
+        );
+        let rs = run_pinned(
+            app,
+            FilterPolicy::REGION_SCOUT_4K,
+            ContentPolicy::Broadcast,
+            false,
+            false,
+            cfg,
+            scale,
+        );
+        let vs = run_pinned(
+            app,
+            FilterPolicy::VsnoopBase,
+            ContentPolicy::Broadcast,
+            false,
+            false,
+            cfg,
+            scale,
+        );
+        let eb = energy.breakdown(base.stats(), base.traffic());
+        let ers = energy.breakdown(rs.stats(), rs.traffic());
+        let evs = energy.breakdown(vs.stats(), vs.traffic());
+        t.row([
+            app.name.to_string(),
+            f1(100.0 * rs.stats().snoops as f64 / base.stats().snoops.max(1) as f64),
+            f1(100.0 * vs.stats().snoops as f64 / base.stats().snoops.max(1) as f64),
+            f1(100.0 * rs.traffic().byte_links() as f64 / base.traffic().byte_links().max(1) as f64),
+            f1(100.0 * vs.traffic().byte_links() as f64 / base.traffic().byte_links().max(1) as f64),
+            f1(100.0 * ers.snoop_pj() / eb.snoop_pj().max(1e-9)),
+            f1(100.0 * evs.snoop_pj() / eb.snoop_pj().max(1e-9)),
+        ]);
+    }
+    t.maybe_dump_csv("baseline_regionscout").expect("csv dump");
+    println!("{t}");
+}

@@ -1,0 +1,201 @@
+//! Report formatting shared by the experiment binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper and prints it as an aligned text table with paper-reported values
+//! side by side where available.
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use vsnoop_bench::TextTable;
+///
+/// let mut t = TextTable::new(["app", "measured", "paper"]);
+/// t.row(["fft", "30.1", "30.6"]);
+/// let s = t.to_string();
+/// assert!(s.contains("fft"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are allowed and widen the table.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting), for plotting
+    /// pipelines. Set `VSNOOP_CSV=<dir>` when running an experiment binary
+    /// to also dump its tables there.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `<dir>/<name>.csv` if the `VSNOOP_CSV`
+    /// environment variable names a directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn maybe_dump_csv(&self, name: &str) -> std::io::Result<()> {
+        if let Ok(dir) = std::env::var("VSNOOP_CSV") {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(format!("{dir}/{name}.csv"), self.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, row: &[String]| -> std::fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == widths.len() {
+                    writeln!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "{cell:<w$}  ")?;
+                }
+            }
+            Ok(())
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a measured value with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a measured value with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats an optional paper value ("-" when the paper has none).
+pub fn opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| format!("{v:.1}"))
+}
+
+/// Prints a banner heading for an experiment.
+pub fn heading(title: &str, context: &str) {
+    println!("\n=== {title} ===");
+    println!("{context}\n");
+}
+
+/// Chooses the experiment scale from `VSNOOP_SCALE` (`quick` for smoke
+/// runs, anything else or unset for the full scale used in
+/// EXPERIMENTS.md).
+pub fn scale_from_env() -> vsnoop::experiments::RunScale {
+    match std::env::var("VSNOOP_SCALE").as_deref() {
+        Ok("quick") => vsnoop::experiments::RunScale::quick(),
+        _ => vsnoop::experiments::RunScale::full(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(["a", "longer"]);
+        t.row(["xxxxx", "1"]);
+        t.row(["y", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same width for column 0.
+        assert!(lines[2].starts_with("xxxxx  "));
+        assert!(lines[3].starts_with("y      "));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["plain", "with,comma"]);
+        t.row(["with\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(opt(None), "-");
+        assert_eq!(opt(Some(62.79)), "62.8");
+    }
+}

@@ -1,0 +1,136 @@
+//! Closed-form model of potential snoop reduction (Fig. 2).
+//!
+//! With `v` VMs of `d` vCPUs each on `n = v * d` cores, pinned perfectly,
+//! a fraction `h` of coherence transactions comes from the hypervisor and
+//! must be broadcast (`n` tag lookups); the rest are multicast within a
+//! snoop domain of `d` cores. The expected snoop reduction relative to
+//! always-broadcast is therefore
+//!
+//! ```text
+//! reduction(h, d, n) = 1 - (h * n + (1 - h) * d) / n
+//! ```
+//!
+//! The paper's Fig. 2 sweeps v in {2, 4, 8, 16} and h in
+//! {0, 5, 10, 20, 30, 40}%.
+
+/// Expected fraction of snoops removed by virtual snooping (ideal pinning).
+///
+/// `hypervisor_fraction` is the share of coherence transactions issued by
+/// the hypervisor (broadcast); `domain_cores` is the per-VM snoop domain
+/// size; `total_cores` is the machine size.
+///
+/// # Panics
+///
+/// Panics if `hypervisor_fraction` is outside `[0, 1]`, if
+/// `domain_cores` is zero, or if `domain_cores > total_cores`.
+///
+/// # Examples
+///
+/// ```
+/// use vsnoop::snoop_reduction;
+///
+/// // 16 VMs x 4 vCPUs on 64 cores, no hypervisor activity:
+/// let r = snoop_reduction(0.0, 4, 64);
+/// assert!((r - 0.9375).abs() < 1e-12); // "more than 93%"
+/// ```
+pub fn snoop_reduction(hypervisor_fraction: f64, domain_cores: usize, total_cores: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&hypervisor_fraction),
+        "hypervisor fraction must be in [0, 1]"
+    );
+    assert!(domain_cores > 0, "domain must contain at least one core");
+    assert!(
+        domain_cores <= total_cores,
+        "domain cannot exceed the machine"
+    );
+    let n = total_cores as f64;
+    let d = domain_cores as f64;
+    let h = hypervisor_fraction;
+    1.0 - (h * n + (1.0 - h) * d) / n
+}
+
+/// One row of the Fig. 2 sweep.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Fig2Point {
+    /// Number of VMs (4 vCPUs each).
+    pub n_vms: usize,
+    /// Total cores (`4 * n_vms`).
+    pub total_cores: usize,
+    /// Hypervisor transaction fraction.
+    pub hypervisor_fraction: f64,
+    /// Expected snoop reduction, in percent.
+    pub reduction_pct: f64,
+}
+
+/// Generates the full Fig. 2 sweep: 2/4/8/16 VMs x hypervisor ratios
+/// ideal(0)/5/10/20/30/40 %.
+pub fn fig2_sweep() -> Vec<Fig2Point> {
+    let mut out = Vec::new();
+    for &n_vms in &[2usize, 4, 8, 16] {
+        for &h in &[0.0, 0.05, 0.10, 0.20, 0.30, 0.40] {
+            let total = 4 * n_vms;
+            out.push(Fig2Point {
+                n_vms,
+                total_cores: total,
+                hypervisor_fraction: h,
+                reduction_pct: 100.0 * snoop_reduction(h, 4, total),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // "An ideal configuration with no hypervisor misses reduces more
+        // than 93% of snoops with 16 VMs running on 64 cores."
+        assert!(snoop_reduction(0.0, 4, 64) > 0.93);
+        // "with 5-10% hypervisor misses, the potential reductions are
+        // still 84-89% with 16 VMs."
+        let r10 = snoop_reduction(0.10, 4, 64);
+        let r5 = snoop_reduction(0.05, 4, 64);
+        assert!(r10 > 0.84 && r10 < r5 && r5 < 0.90, "r5={r5} r10={r10}");
+    }
+
+    #[test]
+    fn single_vm_cannot_reduce() {
+        assert_eq!(snoop_reduction(0.0, 4, 4), 0.0);
+    }
+
+    #[test]
+    fn monotonic_in_hypervisor_fraction() {
+        let mut prev = f64::INFINITY;
+        for h in [0.0, 0.1, 0.2, 0.5, 1.0] {
+            let r = snoop_reduction(h, 4, 16);
+            assert!(r < prev || h == 0.0);
+            prev = r;
+        }
+        assert_eq!(snoop_reduction(1.0, 4, 16), 0.0);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let pts = fig2_sweep();
+        assert_eq!(pts.len(), 24);
+        // More VMs at the same ratio -> more reduction.
+        let at = |vms: usize, h: f64| {
+            pts.iter()
+                .find(|p| p.n_vms == vms && (p.hypervisor_fraction - h).abs() < 1e-9)
+                .unwrap()
+                .reduction_pct
+        };
+        assert!(at(16, 0.05) > at(8, 0.05));
+        assert!(at(8, 0.05) > at(4, 0.05));
+        assert!((at(4, 0.0) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain cannot exceed")]
+    fn oversized_domain_rejected() {
+        let _ = snoop_reduction(0.0, 8, 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Table V, Fig. 10, Table VI — content-based page sharing (Section VI).
+//!
+//! Four VMs run the same application with an ideal dedup scan folding
+//! identical pages onto read-only canonical copies. Table V measures how
+//! much of the access/miss stream touches those pages; Fig. 10 compares
+//! the three content-routing optimizations against broadcasting; Table VI
+//! decomposes, for each content-shared read miss, who could have supplied
+//! the data.
+
+use workloads::content_apps;
+
+use crate::config::SystemConfig;
+use crate::experiments::common::{run_pinned, RunScale};
+use crate::policy::{ContentPolicy, FilterPolicy};
+
+/// One row of Table V.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Content-shared share of L1 accesses, percent.
+    pub access_pct: f64,
+    /// Content-shared share of L2 misses, percent.
+    pub miss_pct: f64,
+    /// Paper's access share.
+    pub paper_access_pct: Option<f64>,
+    /// Paper's miss share.
+    pub paper_miss_pct: Option<f64>,
+}
+
+/// Runs Table V: content-shared access and miss ratios.
+pub fn table5(scale: RunScale) -> Vec<Table5Row> {
+    let cfg = SystemConfig::paper_default();
+    content_apps()
+        .into_iter()
+        .map(|app| {
+            let sim = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                ContentPolicy::Broadcast,
+                true,
+                false,
+                cfg,
+                scale,
+            );
+            let s = sim.stats();
+            Table5Row {
+                name: app.name,
+                access_pct: 100.0 * s.content_access_fraction(),
+                miss_pct: 100.0 * s.content_miss_fraction(),
+                paper_access_pct: app.targets.table5_access_pct,
+                paper_miss_pct: app.targets.table5_miss_pct,
+            }
+        })
+        .collect()
+}
+
+/// One bar of Fig. 10.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Content routing policy.
+    pub policy: ContentPolicy,
+    /// Total snoops relative to TokenB, percent.
+    pub norm_snoops_pct: f64,
+}
+
+/// Runs Fig. 10: measured snoops per content policy, normalized to the
+/// TokenB baseline (`16 x misses` on the same trace).
+pub fn fig10(scale: RunScale) -> Vec<Fig10Row> {
+    let cfg = SystemConfig::paper_default();
+    let mut out = Vec::new();
+    for app in content_apps() {
+        for policy in ContentPolicy::ALL {
+            let sim = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                policy,
+                true,
+                false,
+                cfg,
+                scale,
+            );
+            let s = sim.stats();
+            let baseline = s.l2_misses.max(1) * cfg.n_cores() as u64;
+            out.push(Fig10Row {
+                name: app.name,
+                policy,
+                norm_snoops_pct: 100.0 * s.snoops as f64 / baseline as f64,
+            });
+        }
+    }
+    out
+}
+
+/// One column of Table VI.
+#[derive(Clone, Debug)]
+pub struct Table6Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Share of content-shared read misses with a valid copy in *some*
+    /// cache, percent.
+    pub cache_all_pct: f64,
+    /// ... with a copy within the requesting VM's own caches.
+    pub cache_intra_pct: f64,
+    /// ... with no intra-VM copy but one in the friend VM's caches.
+    pub cache_friend_pct: f64,
+    /// ... with no cached copy at all (memory is the only holder).
+    pub memory_pct: f64,
+}
+
+/// Runs Table VI: potential data holders for content-shared misses,
+/// measured under broadcast routing (so the sharing pattern is
+/// policy-independent).
+pub fn table6(scale: RunScale) -> Vec<Table6Row> {
+    let cfg = SystemConfig::paper_default();
+    content_apps()
+        .into_iter()
+        .map(|app| {
+            let sim = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                ContentPolicy::Broadcast,
+                true,
+                false,
+                cfg,
+                scale,
+            );
+            let s = sim.stats();
+            let total = (s.holders_any_cache + s.holders_memory).max(1) as f64;
+            Table6Row {
+                name: app.name,
+                cache_all_pct: 100.0 * s.holders_any_cache as f64 / total,
+                cache_intra_pct: 100.0 * s.holders_intra_vm as f64 / total,
+                cache_friend_pct: 100.0 * s.holders_friend_vm as f64 / total,
+                memory_pct: 100.0 * s.holders_memory as f64 / total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_orders_apps_like_the_paper() {
+        let rows = table5(RunScale::quick());
+        assert_eq!(rows.len(), 9);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // The heavy content users have much larger access shares than the
+        // light ones.
+        assert!(get("blackscholes").access_pct > get("ocean").access_pct);
+        assert!(get("canneal").access_pct > get("lu").access_pct);
+        // radix accesses content a lot but misses on it almost never.
+        let radix = get("radix");
+        assert!(radix.access_pct > 10.0 && radix.miss_pct < 6.0, "radix: {radix:?}");
+        // fft misses on content far out of proportion to its accesses.
+        let fft = get("fft");
+        assert!(fft.miss_pct > fft.access_pct);
+    }
+
+    #[test]
+    fn fig10_policy_ordering() {
+        let rows = fig10(RunScale::quick());
+        assert_eq!(rows.len(), 9 * 4);
+        // For a content-heavy app, memory-direct <= intra-VM <= friend-VM
+        // <= broadcast in snoop count.
+        let get = |n: &str, p: ContentPolicy| {
+            rows.iter()
+                .find(|r| r.name == n && r.policy == p)
+                .unwrap()
+                .norm_snoops_pct
+        };
+        for app in ["blackscholes", "canneal"] {
+            let b = get(app, ContentPolicy::Broadcast);
+            let m = get(app, ContentPolicy::MemoryDirect);
+            let i = get(app, ContentPolicy::IntraVm);
+            let f = get(app, ContentPolicy::FriendVm);
+            assert!(m <= i + 0.5, "{app}: memory-direct {m:.1} vs intra {i:.1}");
+            assert!(i <= f + 0.5, "{app}: intra {i:.1} vs friend {f:.1}");
+            assert!(f < b, "{app}: friend {f:.1} vs broadcast {b:.1}");
+        }
+    }
+
+    #[test]
+    fn table6_shares_are_consistent() {
+        let rows = table6(RunScale::quick());
+        for r in &rows {
+            assert!(
+                (r.cache_all_pct + r.memory_pct - 100.0).abs() < 1e-6,
+                "{}: cache+memory must cover everything",
+                r.name
+            );
+            assert!(
+                r.cache_intra_pct + r.cache_friend_pct <= r.cache_all_pct + 1e-6,
+                "{}: intra+friend cannot exceed all-cache share",
+                r.name
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment drivers, one per paper table/figure.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 1 (L2 miss decomposition) | [`fig1`] |
+//! | Fig. 2 (potential reduction) | [`crate::fig2_sweep`] |
+//! | Fig. 3 / Table I (scheduler) | [`fig3_table1`] |
+//! | Table IV / Fig. 6 (pinned VMs) | [`table4_fig6`] |
+//! | Figs. 7-8 (migration sweep) | [`migration_sweep`] |
+//! | Fig. 9 (removal-period CDF) | [`removal_periods`] |
+//! | Table V (content ratios) | [`table5`] |
+//! | Fig. 10 (content policies) | [`fig10`] |
+//! | Table VI (data holders) | [`table6`] |
+//!
+//! Every driver takes a [`RunScale`] so tests can run fast while the
+//! benchmark binaries use the full scale.
+
+mod common;
+mod content;
+mod fig1;
+mod fig2_validation;
+mod migration;
+mod pinned;
+mod sched;
+
+pub use common::{run_pinned, RunScale};
+pub use content::{fig10, table5, table6, Fig10Row, Table5Row, Table6Row};
+pub use fig1::{fig1, Fig1Row};
+pub use fig2_validation::{fig2_validation, Fig2Validation};
+pub use migration::{
+    cdf, migration_policies, migration_sweep, removal_periods, MigrationPoint, RemovalSample,
+};
+pub use pinned::{table4_fig6, PinnedRow};
+pub use sched::{fig3_table1, SchedRow};

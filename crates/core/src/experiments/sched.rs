@@ -1,0 +1,153 @@
+//! Fig. 3 and Table I — pinning vs. full migration under the credit
+//! scheduler.
+//!
+//! The paper's real-hardware study (Section III-B): eight physical cores;
+//! an *undercommitted* system runs two 4-vCPU VMs, an *overcommitted* one
+//! runs four. `no migration` pins vCPUs one-to-one; `full migration`
+//! allows unrestricted stealing. Reported are normalized execution times
+//! (Fig. 3) and the average vCPU relocation period (Table I).
+
+use sim_vm::{run_scheduler, SchedPolicy, SchedulerConfig};
+use workloads::{parsec_apps, sched_vms, AppProfile};
+
+/// Results for one application.
+#[derive(Clone, Debug)]
+pub struct SchedRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Undercommitted makespan, pinned, ms.
+    pub under_pinned_ms: f64,
+    /// Undercommitted makespan, full migration, ms.
+    pub under_full_ms: f64,
+    /// Overcommitted makespan, pinned, ms.
+    pub over_pinned_ms: f64,
+    /// Overcommitted makespan, full migration, ms.
+    pub over_full_ms: f64,
+    /// Measured average relocation period under full migration,
+    /// undercommitted, ms (Table I left column).
+    pub reloc_under_ms: Option<f64>,
+    /// ... overcommitted (Table I right column).
+    pub reloc_over_ms: Option<f64>,
+    /// Paper's Table I values for comparison.
+    pub paper_under_ms: Option<f64>,
+    /// Paper's Table I values for comparison.
+    pub paper_over_ms: Option<f64>,
+}
+
+impl SchedRow {
+    /// Fig. 3(a): execution times normalized to the slower policy,
+    /// undercommitted — `(no_migration_pct, full_migration_pct)`.
+    pub fn under_normalized(&self) -> (f64, f64) {
+        normalize(self.under_pinned_ms, self.under_full_ms)
+    }
+
+    /// Fig. 3(b): normalized execution times, overcommitted.
+    pub fn over_normalized(&self) -> (f64, f64) {
+        normalize(self.over_pinned_ms, self.over_full_ms)
+    }
+}
+
+fn normalize(pinned: f64, full: f64) -> (f64, f64) {
+    let worst = pinned.max(full).max(1e-9);
+    (100.0 * pinned / worst, 100.0 * full / worst)
+}
+
+fn run_one(app: &AppProfile, n_vms: usize, policy: SchedPolicy, seed: u64) -> (f64, Option<f64>) {
+    let tick_ms = 0.1;
+    let cfg = SchedulerConfig {
+        n_cores: 8,
+        tick_ms,
+        policy,
+        seed,
+        ..Default::default()
+    };
+    let vms = sched_vms(app, n_vms, 4, tick_ms);
+    let out = run_scheduler(&cfg, &vms);
+    (out.makespan_ms(), out.avg_relocation_period_ms)
+}
+
+/// Runs Fig. 3 / Table I for every PARSEC application.
+pub fn fig3_table1(seed: u64) -> Vec<SchedRow> {
+    parsec_apps()
+        .into_iter()
+        .map(|app| {
+            let (under_pinned_ms, _) = run_one(app, 2, SchedPolicy::Pinned, seed);
+            let (under_full_ms, reloc_under_ms) = run_one(app, 2, SchedPolicy::FullMigration, seed);
+            let (over_pinned_ms, _) = run_one(app, 4, SchedPolicy::Pinned, seed);
+            let (over_full_ms, reloc_over_ms) = run_one(app, 4, SchedPolicy::FullMigration, seed);
+            SchedRow {
+                name: app.name,
+                under_pinned_ms,
+                under_full_ms,
+                over_pinned_ms,
+                over_full_ms,
+                reloc_under_ms,
+                reloc_over_ms,
+                paper_under_ms: app.targets.table1_under_ms,
+                paper_over_ms: app.targets.table1_over_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overcommitted_prefers_migration_on_average() {
+        let rows = fig3_table1(7);
+        assert_eq!(rows.len(), 13);
+        let better = rows
+            .iter()
+            .filter(|r| r.over_full_ms <= r.over_pinned_ms)
+            .count();
+        assert!(
+            better >= 9,
+            "full migration should win overcommitted for most apps ({better}/13)"
+        );
+    }
+
+    #[test]
+    fn undercommitted_prefers_pinning_on_average() {
+        let rows = fig3_table1(7);
+        let better = rows
+            .iter()
+            .filter(|r| r.under_pinned_ms <= r.under_full_ms * 1.02)
+            .count();
+        assert!(
+            better >= 9,
+            "pinning should be competitive undercommitted for most apps ({better}/13)"
+        );
+    }
+
+    #[test]
+    fn relocation_periods_shorter_when_overcommitted() {
+        let rows = fig3_table1(7);
+        let mut shorter = 0;
+        let mut both = 0;
+        for r in &rows {
+            if let (Some(u), Some(o)) = (r.reloc_under_ms, r.reloc_over_ms) {
+                both += 1;
+                if o < u {
+                    shorter += 1;
+                }
+            }
+        }
+        assert!(both >= 8, "most apps should migrate in both settings");
+        assert!(
+            shorter * 4 >= both * 3,
+            "overcommitted periods should mostly be shorter ({shorter}/{both})"
+        );
+    }
+
+    #[test]
+    fn normalization_caps_at_100() {
+        let rows = fig3_table1(3);
+        for r in &rows {
+            let (p, f) = r.under_normalized();
+            assert!(p <= 100.0 + 1e-9 && f <= 100.0 + 1e-9);
+            assert!((p - 100.0).abs() < 1e-9 || (f - 100.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Snoop-filtering policies.
+//!
+//! The paper evaluates four protocol variants (Section V-C) plus three
+//! optimizations for content-shared pages (Section VI-B); these enums name
+//! them exactly.
+
+use std::fmt;
+
+/// How snoop destinations are chosen for ordinary coherence transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FilterPolicy {
+    /// The TokenB baseline: broadcast every request to every core.
+    #[default]
+    TokenBroadcast,
+    /// Base virtual snooping: multicast VM-private requests within the
+    /// VM's vCPU map; never remove cores from the map after relocation.
+    VsnoopBase,
+    /// Virtual snooping with per-VM cache residence counters: a core is
+    /// removed from a VM's map when its counter reaches zero.
+    Counter,
+    /// Counter-based removal, but a core is removed as soon as the counter
+    /// falls below the threshold while the VM is not running there. May
+    /// under-filter, relying on Token Coherence's safe retries (the paper
+    /// uses a threshold of 10).
+    CounterThreshold {
+        /// Residence-counter value below which a core is speculatively
+        /// removed.
+        threshold: u64,
+    },
+    /// A RegionScout-style coarse-grain baseline (Moshovos, ISCA 2005 —
+    /// the related-work family the paper contrasts itself against):
+    /// each core keeps a small *not-shared-region table* of address
+    /// regions it has verified no other cache holds; misses to those
+    /// regions go memory-direct, everything else broadcasts. Unlike
+    /// virtual snooping this needs per-core hardware tables and its reach
+    /// is limited by their capacity.
+    RegionScout {
+        /// Cache blocks per region (e.g. 64 = 4 KB regions).
+        region_blocks: u64,
+        /// Not-shared-region table entries per core.
+        nsrt_entries: usize,
+    },
+}
+
+impl FilterPolicy {
+    /// The paper's counter-threshold configuration (threshold = 10).
+    pub const COUNTER_THRESHOLD_10: FilterPolicy = FilterPolicy::CounterThreshold { threshold: 10 };
+
+    /// A typical RegionScout configuration: 4 KB regions, 64-entry tables.
+    pub const REGION_SCOUT_4K: FilterPolicy = FilterPolicy::RegionScout {
+        region_blocks: 64,
+        nsrt_entries: 64,
+    };
+
+    /// Whether this policy filters at all (false for the baseline).
+    pub const fn filters(self) -> bool {
+        !matches!(self, FilterPolicy::TokenBroadcast)
+    }
+
+    /// Whether this policy routes requests by VM boundary (the virtual
+    /// snooping family).
+    pub const fn uses_vcpu_maps(self) -> bool {
+        matches!(
+            self,
+            FilterPolicy::VsnoopBase | FilterPolicy::Counter | FilterPolicy::CounterThreshold { .. }
+        )
+    }
+
+    /// Whether this policy removes cores from vCPU maps.
+    pub const fn removes_cores(self) -> bool {
+        matches!(self, FilterPolicy::Counter | FilterPolicy::CounterThreshold { .. })
+    }
+}
+
+impl fmt::Display for FilterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterPolicy::TokenBroadcast => f.pad("tokenB"),
+            FilterPolicy::VsnoopBase => f.pad("vsnoop-base"),
+            FilterPolicy::Counter => f.pad("counter"),
+            FilterPolicy::CounterThreshold { threshold } => {
+                f.pad(&format!("counter-threshold({threshold})"))
+            }
+            FilterPolicy::RegionScout { region_blocks, .. } => {
+                f.pad(&format!("regionscout({region_blocks}b)"))
+            }
+        }
+    }
+}
+
+/// How requests to content-shared (read-only) pages are routed
+/// (Section VI-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ContentPolicy {
+    /// No optimization: broadcast, since any VM may cache the page. This
+    /// is base virtual snooping's behaviour (`vsnoop-broadcast` in
+    /// Fig. 10).
+    #[default]
+    Broadcast,
+    /// Send the request directly to memory only (as in CGCT); no cache is
+    /// snooped, at the cost of forgoing cache-to-cache transfers.
+    MemoryDirect,
+    /// Snoop only the requesting VM's own cores, falling back to memory.
+    IntraVm,
+    /// Snoop the requesting VM's cores plus those of its *friend VM* (the
+    /// VM it shares the most content pages with), falling back to memory.
+    FriendVm,
+}
+
+impl ContentPolicy {
+    /// All content policies, in Fig. 10's presentation order.
+    pub const ALL: [ContentPolicy; 4] = [
+        ContentPolicy::Broadcast,
+        ContentPolicy::MemoryDirect,
+        ContentPolicy::IntraVm,
+        ContentPolicy::FriendVm,
+    ];
+}
+
+impl fmt::Display for ContentPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ContentPolicy::Broadcast => "vsnoop-broadcast",
+            ContentPolicy::MemoryDirect => "memory-direct",
+            ContentPolicy::IntraVm => "intra-VM",
+            ContentPolicy::FriendVm => "friend-VM",
+        };
+        f.pad(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(!FilterPolicy::TokenBroadcast.filters());
+        assert!(FilterPolicy::VsnoopBase.filters());
+        assert!(!FilterPolicy::VsnoopBase.removes_cores());
+        assert!(FilterPolicy::Counter.removes_cores());
+        assert!(FilterPolicy::COUNTER_THRESHOLD_10.removes_cores());
+        assert!(FilterPolicy::REGION_SCOUT_4K.filters());
+        assert!(!FilterPolicy::REGION_SCOUT_4K.uses_vcpu_maps());
+        assert!(!FilterPolicy::REGION_SCOUT_4K.removes_cores());
+        assert!(FilterPolicy::Counter.uses_vcpu_maps());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(FilterPolicy::TokenBroadcast.to_string(), "tokenB");
+        assert_eq!(FilterPolicy::VsnoopBase.to_string(), "vsnoop-base");
+        assert_eq!(FilterPolicy::Counter.to_string(), "counter");
+        assert_eq!(
+            FilterPolicy::COUNTER_THRESHOLD_10.to_string(),
+            "counter-threshold(10)"
+        );
+        assert_eq!(ContentPolicy::MemoryDirect.to_string(), "memory-direct");
+        assert_eq!(ContentPolicy::FriendVm.to_string(), "friend-VM");
+    }
+
+    #[test]
+    fn all_content_policies_enumerated() {
+        assert_eq!(ContentPolicy::ALL.len(), 4);
+        assert_eq!(ContentPolicy::ALL[0], ContentPolicy::Broadcast);
+    }
+}

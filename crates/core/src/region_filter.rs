@@ -1,0 +1,202 @@
+//! RegionScout-style coarse-grain filtering state (baseline).
+//!
+//! The paper's related work filters snoops by tracking the shared/private
+//! state of *address regions* in per-core hardware tables (RegionScout,
+//! CGCT, in-network filtering). This module implements the requester-side
+//! variant the comparison needs:
+//!
+//! * a per-core **cached-region counter** (the "CRH"): how many blocks of
+//!   each region the core currently caches, maintained from fill /
+//!   eviction / invalidation events;
+//! * a per-core **not-shared-region table** (NSRT): a small FIFO of
+//!   regions the core has verified no other cache holds. Misses to those
+//!   regions skip snooping entirely and go straight to memory.
+//!
+//! An NSRT entry is inserted when a broadcast miss observes that no other
+//! core holds any block of the region, and *every* core's entry for a
+//! region is invalidated when some other core fills a block of it (the
+//! broadcast that fetched the block doubles as the notification). Token
+//! coherence keeps even a stale entry safe: a memory-direct attempt that
+//! cannot assemble its tokens simply fails and retries as a broadcast.
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_mem::BlockAddr;
+
+/// Per-core region tracking for the RegionScout baseline.
+#[derive(Clone, Debug)]
+pub struct RegionFilter {
+    shift: u32,
+    nsrt_cap: usize,
+    counts: Vec<HashMap<u64, u32>>,
+    nsrt: Vec<VecDeque<u64>>,
+    nsrt_hits: u64,
+    nsrt_inserts: u64,
+}
+
+impl RegionFilter {
+    /// Creates tracking state for `n_cores` cores with `region_blocks`
+    /// blocks per region and `nsrt_entries` NSRT slots per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `region_blocks` is a power of two and both sizes are
+    /// positive.
+    pub fn new(n_cores: usize, region_blocks: u64, nsrt_entries: usize) -> Self {
+        assert!(
+            region_blocks.is_power_of_two() && region_blocks > 0,
+            "region size must be a positive power of two"
+        );
+        assert!(nsrt_entries > 0, "NSRT needs at least one entry");
+        RegionFilter {
+            shift: region_blocks.trailing_zeros(),
+            nsrt_cap: nsrt_entries,
+            counts: vec![HashMap::new(); n_cores],
+            nsrt: vec![VecDeque::new(); n_cores],
+            nsrt_hits: 0,
+            nsrt_inserts: 0,
+        }
+    }
+
+    /// The region containing `block`.
+    pub fn region_of(&self, block: BlockAddr) -> u64 {
+        block.index() >> self.shift
+    }
+
+    /// Whether `core` currently believes `region` is not cached elsewhere.
+    pub fn nsrt_contains(&self, core: usize, region: u64) -> bool {
+        self.nsrt[core].contains(&region)
+    }
+
+    /// Records an NSRT hit (for statistics).
+    pub fn record_hit(&mut self) {
+        self.nsrt_hits += 1;
+    }
+
+    /// NSRT hits so far.
+    pub fn hits(&self) -> u64 {
+        self.nsrt_hits
+    }
+
+    /// NSRT insertions so far.
+    pub fn inserts(&self) -> u64 {
+        self.nsrt_inserts
+    }
+
+    /// A block of `region` was filled into `core`'s cache: bump its count
+    /// and shoot down every *other* core's NSRT entry for the region.
+    pub fn on_fill(&mut self, core: usize, region: u64) {
+        *self.counts[core].entry(region).or_insert(0) += 1;
+        for (j, table) in self.nsrt.iter_mut().enumerate() {
+            if j != core {
+                table.retain(|&r| r != region);
+            }
+        }
+    }
+
+    /// A block of `region` left `core`'s cache (eviction or invalidation).
+    pub fn on_remove(&mut self, core: usize, region: u64) {
+        if let Some(c) = self.counts[core].get_mut(&region) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts[core].remove(&region);
+            }
+        } else {
+            debug_assert!(false, "region count underflow on core {core}");
+        }
+    }
+
+    /// Whether any core other than `core` holds a block of `region`.
+    pub fn shared_elsewhere(&self, core: usize, region: u64) -> bool {
+        self.counts
+            .iter()
+            .enumerate()
+            .any(|(j, m)| j != core && m.get(&region).copied().unwrap_or(0) > 0)
+    }
+
+    /// Records that `core` verified `region` as not shared (FIFO evicting
+    /// the oldest entry when full). No-op if already present.
+    pub fn learn(&mut self, core: usize, region: u64) {
+        if self.nsrt[core].contains(&region) {
+            return;
+        }
+        if self.nsrt[core].len() == self.nsrt_cap {
+            self.nsrt[core].pop_front();
+        }
+        self.nsrt[core].push_back(region);
+        self.nsrt_inserts += 1;
+    }
+
+    /// Drops a (stale) entry after a failed memory-direct attempt.
+    pub fn forget(&mut self, core: usize, region: u64) {
+        self.nsrt[core].retain(|&r| r != region);
+    }
+
+    /// Test hook: the tracked block count of `region` on `core`.
+    pub fn count(&self, core: usize, region: u64) -> u32 {
+        self.counts[core].get(&region).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_arithmetic() {
+        let rf = RegionFilter::new(2, 64, 4);
+        assert_eq!(rf.region_of(BlockAddr::new(0)), 0);
+        assert_eq!(rf.region_of(BlockAddr::new(63)), 0);
+        assert_eq!(rf.region_of(BlockAddr::new(64)), 1);
+    }
+
+    #[test]
+    fn counts_track_fills_and_removals() {
+        let mut rf = RegionFilter::new(2, 64, 4);
+        rf.on_fill(0, 5);
+        rf.on_fill(0, 5);
+        assert_eq!(rf.count(0, 5), 2);
+        assert!(rf.shared_elsewhere(1, 5));
+        assert!(!rf.shared_elsewhere(0, 5));
+        rf.on_remove(0, 5);
+        rf.on_remove(0, 5);
+        assert_eq!(rf.count(0, 5), 0);
+        assert!(!rf.shared_elsewhere(1, 5));
+    }
+
+    #[test]
+    fn fills_shoot_down_remote_nsrt_entries() {
+        let mut rf = RegionFilter::new(3, 64, 4);
+        rf.learn(0, 7);
+        assert!(rf.nsrt_contains(0, 7));
+        // Core 0's own fill keeps its entry...
+        rf.on_fill(0, 7);
+        assert!(rf.nsrt_contains(0, 7));
+        // ...but core 2's fill invalidates it.
+        rf.on_fill(2, 7);
+        assert!(!rf.nsrt_contains(0, 7));
+    }
+
+    #[test]
+    fn nsrt_is_a_fifo_with_capacity() {
+        let mut rf = RegionFilter::new(1, 64, 2);
+        rf.learn(0, 1);
+        rf.learn(0, 2);
+        rf.learn(0, 3); // evicts 1
+        assert!(!rf.nsrt_contains(0, 1));
+        assert!(rf.nsrt_contains(0, 2));
+        assert!(rf.nsrt_contains(0, 3));
+        // Re-learning an existing entry is a no-op.
+        let inserts = rf.inserts();
+        rf.learn(0, 3);
+        assert_eq!(rf.inserts(), inserts);
+        rf.forget(0, 3);
+        assert!(!rf.nsrt_contains(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_region_size_rejected() {
+        let _ = RegionFilter::new(1, 48, 4);
+    }
+}

@@ -1,0 +1,957 @@
+//! The full-system virtual-snooping simulator.
+//!
+//! [`Simulator`] glues every substrate together: per-core L1/L2 caches and
+//! the TokenB engine (`sim-mem`), the 2D-mesh network with traffic and
+//! latency accounting (`sim-net`), the hypervisor's vCPU placement and the
+//! page-sharing directory (`sim-vm`), and this crate's vCPU maps and
+//! filtering policies. It is trace-driven: each *round* issues one memory
+//! access per core, taken from an [`AccessStream`].
+//!
+//! The flow of one coherence transaction (Section IV-A of the paper):
+//!
+//! 1. address translation consults the sharing-type TLB (two PTE bits);
+//! 2. the filter picks snoop destinations — broadcast for host agents and
+//!    RW-shared pages, the VM's vCPU map for private pages, the configured
+//!    [`ContentPolicy`] route for content-shared pages;
+//! 3. the token protocol executes the snoop; a failed transient attempt is
+//!    retried (twice filtered, then broadcast — the paper's
+//!    counter-threshold fallback);
+//! 4. residence-counter events may shrink vCPU maps (counter /
+//!    counter-threshold policies), logged for Fig. 9.
+
+use sim_mem::{BlockAddr, Cache, CacheGeometry, CacheLine, DataSource, LineTag, ReadMode,
+              TokenProtocol, TokenState, PAGE_BYTES};
+use sim_net::{Mesh, MessageKind, Network, NodeId};
+use sim_vm::{Agent, CoreId, Hypervisor, SharingDirectory, SharingType, TypeTlb, VcpuId, VmId,
+             VmSpec};
+use workloads::{AccessStream, TraceAccess, Workload};
+
+use crate::config::SystemConfig;
+use crate::policy::{ContentPolicy, FilterPolicy};
+use crate::region_filter::RegionFilter;
+use crate::stats::{RemovalEvent, SimStats};
+use crate::vcpu_map::{VcpuMap, VcpuMapFile};
+
+/// A workload the simulator can drive end to end: an access stream plus
+/// the hypervisor-owned page metadata the filter consults.
+pub trait SystemWorkload: AccessStream {
+    /// The page-sharing directory (shadow/nested page table contents).
+    fn directory(&self) -> &SharingDirectory;
+    /// The friend VM of `vm` (most content pages shared), if any.
+    fn friend_of(&self, vm: VmId) -> Option<VmId>;
+}
+
+impl SystemWorkload for Workload {
+    fn directory(&self) -> &SharingDirectory {
+        Workload::directory(self)
+    }
+    fn friend_of(&self, vm: VmId) -> Option<VmId> {
+        self.content().friend_of(vm)
+    }
+}
+
+/// Recording passes through the wrapped workload's page metadata, so a
+/// recorder can drive the simulator directly.
+impl<W: SystemWorkload> SystemWorkload for workloads::TraceRecorder<W> {
+    fn directory(&self) -> &SharingDirectory {
+        self.inner().directory()
+    }
+    fn friend_of(&self, vm: VmId) -> Option<VmId> {
+        self.inner().friend_of(vm)
+    }
+}
+
+/// A recorded trace paired with the page metadata it was captured against,
+/// ready to drive the simulator (e.g. for bit-identical cross-policy
+/// comparisons).
+///
+/// # Examples
+///
+/// ```
+/// use vsnoop::{ReplayWorkload, Simulator, SystemConfig, FilterPolicy, ContentPolicy};
+/// use workloads::{profile, AccessStream, TraceRecorder, Workload, WorkloadConfig};
+/// use sim_vm::{VcpuId, VmId};
+///
+/// let cfg = SystemConfig::small_test();
+/// let wl = Workload::homogeneous(
+///     profile("lu").unwrap(),
+///     cfg.n_vms,
+///     WorkloadConfig { vcpus_per_vm: cfg.vcpus_per_vm, ..Default::default() },
+/// );
+/// let mut rec = TraceRecorder::new(wl);
+/// let mut sim = Simulator::new(cfg, FilterPolicy::TokenBroadcast, ContentPolicy::Broadcast);
+/// sim.run(&mut rec, 100);
+/// let (trace, wl) = rec.finish();
+///
+/// // Replay the exact same accesses under virtual snooping.
+/// let mut replay = ReplayWorkload::new(trace.replay(), &wl);
+/// let mut sim2 = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+/// sim2.run(&mut replay, 100);
+/// assert_eq!(sim.stats().l2_misses, sim2.stats().l2_misses);
+/// ```
+#[derive(Debug)]
+pub struct ReplayWorkload<'a> {
+    replayer: workloads::TraceReplayer<'a>,
+    source: &'a Workload,
+}
+
+impl<'a> ReplayWorkload<'a> {
+    /// Pairs a replayer with the workload whose pages it addresses.
+    pub fn new(replayer: workloads::TraceReplayer<'a>, source: &'a Workload) -> Self {
+        ReplayWorkload { replayer, source }
+    }
+}
+
+impl AccessStream for ReplayWorkload<'_> {
+    fn next_access(&mut self, vcpu: VcpuId) -> TraceAccess {
+        self.replayer.next_access(vcpu)
+    }
+}
+
+impl SystemWorkload for ReplayWorkload<'_> {
+    fn directory(&self) -> &SharingDirectory {
+        Workload::directory(self.source)
+    }
+    fn friend_of(&self, vm: VmId) -> Option<VmId> {
+        self.source.content().friend_of(vm)
+    }
+}
+
+/// The assembled machine.
+pub struct Simulator {
+    cfg: SystemConfig,
+    policy: FilterPolicy,
+    content_policy: ContentPolicy,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    protocol: TokenProtocol,
+    net: Network,
+    hv: Hypervisor,
+    maps: VcpuMapFile,
+    tlbs: Vec<TypeTlb>,
+    friends: Vec<Option<VmId>>,
+    /// RegionScout baseline state (present only under that policy).
+    region_filter: Option<RegionFilter>,
+    /// `[core][vm]` — cycle at which the VM's last vCPU left the core,
+    /// pending a counter-driven removal (Fig. 9's measurement start).
+    removal_pending: Vec<Vec<Option<u64>>>,
+    removal_log: Vec<RemovalEvent>,
+    cycle: u64,
+    stats: SimStats,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cores", &self.cfg.n_cores())
+            .field("policy", &self.policy)
+            .field("content_policy", &self.content_policy)
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator for `cfg` under the given policies, with all
+    /// vCPUs pinned round-robin (VM0 on the first cores, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`].
+    pub fn new(cfg: SystemConfig, policy: FilterPolicy, content_policy: ContentPolicy) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let n = cfg.n_cores();
+        let specs: Vec<VmSpec> = (0..cfg.n_vms)
+            .map(|i| VmSpec::new(VmId::new(i as u16), cfg.vcpus_per_vm, 0))
+            .collect();
+        let mut hv = Hypervisor::new(n, &specs);
+        hv.place_round_robin();
+        hv.clear_relocations();
+
+        let mut maps = VcpuMapFile::new(cfg.n_vms);
+        for vm in 0..cfg.n_vms {
+            maps.set(vm, VcpuMap::from_mask(hv.cores_of_vm(VmId::new(vm as u16))));
+        }
+
+        let region_filter = match policy {
+            FilterPolicy::RegionScout {
+                region_blocks,
+                nsrt_entries,
+            } => Some(RegionFilter::new(n, region_blocks, nsrt_entries)),
+            _ => None,
+        };
+
+        Simulator {
+            region_filter,
+            l1: vec![Cache::new(CacheGeometry::new(cfg.l1_bytes, cfg.l1_ways), cfg.n_vms); n],
+            l2: vec![Cache::new(CacheGeometry::new(cfg.l2_bytes, cfg.l2_ways), cfg.n_vms); n],
+            protocol: TokenProtocol::new(n as u32),
+            net: Network::with_config(
+                Mesh::new(cfg.mesh_width, cfg.mesh_height),
+                cfg.network,
+                Mesh::new(cfg.mesh_width, cfg.mesh_height).corner_ports(),
+            ),
+            hv,
+            maps,
+            tlbs: vec![TypeTlb::new(cfg.tlb_slots); n],
+            friends: vec![None; cfg.n_vms],
+            removal_pending: vec![vec![None; cfg.n_vms]; n],
+            removal_log: Vec::new(),
+            cycle: 0,
+            stats: SimStats::new(n),
+            cfg,
+            policy,
+            content_policy,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The filter policy in force.
+    pub fn policy(&self) -> FilterPolicy {
+        self.policy
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Network traffic statistics.
+    pub fn traffic(&self) -> &sim_net::TrafficStats {
+        self.net.traffic()
+    }
+
+    /// Core-removal events (Fig. 9).
+    pub fn removal_log(&self) -> &[RemovalEvent] {
+        &self.removal_log
+    }
+
+    /// Current global cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current vCPU map of `vm`.
+    pub fn vcpu_map(&self, vm: VmId) -> VcpuMap {
+        self.maps.map(vm.index())
+    }
+
+    /// The hypervisor state (vCPU placement).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// The RegionScout baseline state, when that policy is active.
+    pub fn region_filter(&self) -> Option<&RegionFilter> {
+        self.region_filter.as_ref()
+    }
+
+    /// Clears statistics, traffic, and logs while *keeping caches, maps
+    /// and placement warm* — call after a warm-up phase.
+    pub fn reset_measurement(&mut self) {
+        self.stats = SimStats::new(self.cfg.n_cores());
+        self.net.reset_traffic();
+        self.removal_log.clear();
+    }
+
+    /// Runs `rounds` rounds, each issuing one access per core from
+    /// `workload`.
+    pub fn run<W: SystemWorkload>(&mut self, workload: &mut W, rounds: u64) {
+        self.refresh_friends(workload);
+        for _ in 0..rounds {
+            self.cycle += self.cfg.cycles_per_access;
+            self.stats.rounds += 1;
+            for core in CoreId::all(self.cfg.n_cores()) {
+                let Some(vcpu) = self.hv.vcpu_on(core) else {
+                    continue;
+                };
+                let access = workload.next_access(vcpu);
+                self.step(core, access, workload.directory());
+            }
+        }
+    }
+
+    /// Runs with a periodic cross-VM vCPU shuffle: every
+    /// `period_cycles`, two vCPUs from *different* VMs (chosen by the
+    /// deterministic `pick` callback) exchange cores — the paper's
+    /// approximate migration model (Section V-C).
+    pub fn run_with_migration<W: SystemWorkload>(
+        &mut self,
+        workload: &mut W,
+        rounds: u64,
+        period_cycles: u64,
+        mut pick: impl FnMut(u64) -> (VcpuId, VcpuId),
+    ) {
+        assert!(period_cycles > 0, "migration period must be positive");
+        self.refresh_friends(workload);
+        let mut next_migration = self.cycle + period_cycles;
+        let mut migration_no = 0u64;
+        for _ in 0..rounds {
+            self.cycle += self.cfg.cycles_per_access;
+            self.stats.rounds += 1;
+            if self.cycle >= next_migration {
+                next_migration += period_cycles;
+                let (a, b) = pick(migration_no);
+                migration_no += 1;
+                if a.vm() != b.vm() {
+                    self.swap_vcpus(a, b);
+                }
+            }
+            for core in CoreId::all(self.cfg.n_cores()) {
+                let Some(vcpu) = self.hv.vcpu_on(core) else {
+                    continue;
+                };
+                let access = workload.next_access(vcpu);
+                self.step(core, access, workload.directory());
+            }
+        }
+    }
+
+    /// Exchanges the physical cores of two vCPUs, maintaining vCPU maps
+    /// (new cores are added; old cores stay until the counter mechanism
+    /// clears them) and starting Fig. 9 removal timers.
+    pub fn swap_vcpus(&mut self, a: VcpuId, b: VcpuId) {
+        let ca = self.hv.core_of(a).expect("vCPU a placed");
+        let cb = self.hv.core_of(b).expect("vCPU b placed");
+        if ca == cb {
+            return;
+        }
+        self.hv.swap(self.cycle, a, b);
+        for (vcpu, old, new) in [(a, ca, cb), (b, cb, ca)] {
+            let vm = vcpu.vm();
+            if self.maps.add_core(vm.index(), new) {
+                self.stats.map_adds += 1;
+                self.account_map_sync(vm);
+            }
+            // The VM reappeared on `new`: cancel any pending removal timer.
+            self.removal_pending[new.index()][vm.index()] = None;
+            // If the VM no longer runs on `old`, start the removal timer.
+            if self.hv.cores_of_vm(vm) & (1 << old.index()) == 0 {
+                self.removal_pending[old.index()][vm.index()] = Some(self.cycle);
+                // The counter may already be below the removal threshold
+                // (even zero) at departure time; check immediately.
+                self.maybe_remove_core(old.index(), vm);
+            }
+        }
+    }
+
+    /// One access slot on `core`.
+    fn step(&mut self, core: CoreId, access: TraceAccess, dir: &SharingDirectory) {
+        let c = core.index();
+        self.stats.accesses += 1;
+        let block = BlockAddr::new(access.addr / sim_mem::BLOCK_BYTES);
+        let page = access.addr / PAGE_BYTES;
+        let sharing = self.tlbs[c].lookup(page, dir);
+        if sharing == SharingType::RoShared {
+            self.stats.content_accesses += 1;
+        }
+
+        // L1.
+        if self.l1[c].access(block) {
+            if access.write {
+                // A store needs write permission at the (inclusive) L2; if
+                // the L2 line holds all tokens the store completes locally.
+                if let Some(line) = self.l2[c].probe_mut(block) {
+                    if line.state.can_write(self.cfg.n_cores() as u32) {
+                        line.state.dirty = true;
+                        self.stats.l1_hits += 1;
+                        return;
+                    }
+                }
+                // No write permission at L2: this access is an upgrade
+                // transaction, not an L1 hit.
+                self.l1[c].remove(block);
+            } else {
+                self.stats.l1_hits += 1;
+                return;
+            }
+        }
+
+        // L2.
+        let total = self.cfg.n_cores() as u32;
+        let hit = {
+            let present = self.l2[c].access(block);
+            if present {
+                let line = self.l2[c].probe_mut(block).expect("present");
+                if access.write {
+                    if line.state.can_write(total) {
+                        line.state.dirty = true;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    line.state.can_read()
+                }
+            } else {
+                false
+            }
+        };
+        if hit {
+            self.stats.l2_hits += 1;
+            self.fill_l1(c, block, access.agent);
+            return;
+        }
+
+        // Coherence transaction.
+        self.stats.count_miss(access.agent, sharing);
+        if sharing == SharingType::RoShared && !access.write {
+            self.classify_holders(block, access.agent.guest_vm());
+        }
+        self.transaction(core, access, block, sharing);
+    }
+
+    /// Executes one coherence transaction with the retry ladder.
+    fn transaction(
+        &mut self,
+        core: CoreId,
+        access: TraceAccess,
+        block: BlockAddr,
+        sharing: SharingType,
+    ) {
+        let c = core.index();
+        let tag = LineTag::from(access.agent);
+        let mode = self.read_mode(access.agent, sharing);
+        // For region tracking: whether the requester already held the
+        // block (an upgrade does not change its region count).
+        let requester_had = self.l2[c].probe(block).is_some();
+
+        for attempt in 0..3u32 {
+            let filtered = attempt < 2;
+            let (dests, include_memory) =
+                self.destinations(c, access.agent, sharing, filtered, block);
+            if attempt > 0 {
+                self.stats.retries += 1;
+                if attempt == 2 {
+                    self.stats.broadcast_fallbacks += 1;
+                }
+            }
+
+            // Request traffic: one control message per snooped cache, plus
+            // one to the memory controller when memory participates. The
+            // *worst* leg only matters for failed attempts (the requester
+            // must conclude nobody will answer); successful transactions
+            // are gated by the leg to the actual responder, computed below.
+            let dest_nodes: Vec<NodeId> =
+                dests.iter().map(|&d| NodeId::new(d as u16)).collect();
+            let src = NodeId::new(c as u16);
+            let mut worst_req_lat = self.net.multicast(src, dest_nodes, MessageKind::Request);
+            if include_memory {
+                worst_req_lat = worst_req_lat.max(self.net.to_memory(src, MessageKind::Request));
+            }
+
+            // The paper counts the requester's own tag lookup too (ideal
+            // filtering on 16 cores -> 25% of baseline snoops).
+            self.stats.snoops += dests.len() as u64 + 1;
+
+            let outcome = if access.write {
+                let w = self.protocol.write_miss(&mut self.l2, c, &dests, block, include_memory, tag);
+                // Token-only replies.
+                for &r in &w.token_repliers {
+                    self.net
+                        .unicast(NodeId::new(r as u16), src, MessageKind::TokenReply);
+                }
+                TxOutcome {
+                    success: w.success,
+                    source: w.source,
+                    invalidated: w.invalidated,
+                    evicted: w.evicted,
+                    evicted_dirty: w.evicted_dirty,
+                }
+            } else {
+                let r = self.protocol.read_miss(
+                    &mut self.l2, c, &dests, block, include_memory, tag, mode,
+                );
+                TxOutcome {
+                    success: r.success,
+                    source: r.source,
+                    invalidated: r.invalidated,
+                    evicted: r.evicted,
+                    evicted_dirty: r.evicted_dirty,
+                }
+            };
+
+            // Response traffic and latency. The transaction is gated by
+            // the round trip to the responder (the data holder answers as
+            // soon as *it* receives the request, regardless of how far the
+            // other snooped caches are).
+            let lm = *self.net.latency_model();
+            let round_trip = match outcome.source {
+                Some(DataSource::Cache(h)) => {
+                    let resp = self
+                        .net
+                        .unicast(NodeId::new(h as u16), src, MessageKind::Data);
+                    self.count_data_source(h, access.agent.guest_vm());
+                    let req_leg = lm.base_latency(
+                        self.net.mesh().hops(src, NodeId::new(h as u16)),
+                        MessageKind::Request.bytes(),
+                    );
+                    req_leg + resp
+                }
+                Some(DataSource::Memory) => {
+                    let resp = self.net.from_memory(src, MessageKind::Data)
+                        + self.cfg.memory_latency;
+                    self.stats.data_memory += 1;
+                    let port = self.net.mesh().nearest_port(src, self.net.memory_ports());
+                    let req_leg =
+                        lm.base_latency(self.net.mesh().hops(src, port), MessageKind::Request.bytes());
+                    req_leg + resp
+                }
+                // Failed attempt (or a dataless upgrade): the requester
+                // waits out the worst request leg plus a reply leg before
+                // concluding/collecting.
+                None => 2 * worst_req_lat,
+            };
+
+            // Charge the stall (contention-scaled) whether or not the
+            // attempt succeeded: failed attempts cost real time.
+            let base = self.cfg.l2_latency + round_trip;
+            let stall = self
+                .cfg
+                .network
+                .contended_latency(base, self.utilization());
+            self.stats.stall_cycles[c] += stall;
+
+            // Region tracking (RegionScout baseline): lines that left
+            // remote caches or were displaced locally.
+            if let Some(rf) = &mut self.region_filter {
+                let region = rf.region_of(block);
+                if filtered && dests.is_empty() {
+                    rf.record_hit();
+                }
+                for &j in &outcome.invalidated {
+                    rf.on_remove(j, region);
+                }
+                if let Some(v) = &outcome.evicted {
+                    let vr = rf.region_of(v.block);
+                    rf.on_remove(c, vr);
+                }
+            }
+
+            // Post-transaction bookkeeping.
+            self.apply_invalidations(&outcome.invalidated, block);
+            if let Some(victim) = outcome.evicted {
+                self.handle_eviction(c, victim, outcome.evicted_dirty);
+            }
+
+            if outcome.success {
+                if let Some(rf) = &mut self.region_filter {
+                    let region = rf.region_of(block);
+                    if !requester_had {
+                        // The fill also shoots down other cores' NSRT
+                        // entries for the region (the broadcast doubles as
+                        // the notification).
+                        rf.on_fill(c, region);
+                    }
+                    // A broadcast that found no other holder of the region
+                    // verifies it as not-shared.
+                    if dests.len() + 1 == self.cfg.n_cores() && !rf.shared_elsewhere(c, region) {
+                        rf.learn(c, region);
+                    }
+                }
+                self.fill_l1(c, block, access.agent);
+                return;
+            } else if let Some(rf) = &mut self.region_filter {
+                // A failed memory-direct attempt means the NSRT entry was
+                // stale; drop it so the broadcast retry re-verifies.
+                if dests.is_empty() {
+                    rf.forget(c, rf.region_of(block));
+                }
+            }
+        }
+        unreachable!("broadcast attempt with memory always succeeds");
+    }
+
+    /// Computes the snoop destination set and whether memory participates.
+    fn destinations(
+        &self,
+        requester: usize,
+        agent: Agent,
+        sharing: SharingType,
+        filtered: bool,
+        block: BlockAddr,
+    ) -> (Vec<usize>, bool) {
+        let n = self.cfg.n_cores();
+        let broadcast =
+            || (0..n).filter(|&d| d != requester).collect::<Vec<_>>();
+        if !filtered || !self.policy.filters() {
+            return (broadcast(), true);
+        }
+        if let Some(rf) = &self.region_filter {
+            // Region filtering is address-based, not VM-based: a miss to a
+            // region this core verified as not-shared goes memory-direct;
+            // everything else broadcasts (RegionScout has no multicast).
+            let region = rf.region_of(block);
+            return if rf.nsrt_contains(requester, region) {
+                (Vec::new(), true)
+            } else {
+                (broadcast(), true)
+            };
+        }
+        let Some(vm) = agent.guest_vm() else {
+            // Hypervisor and dom0 requests must always be broadcast.
+            return (broadcast(), true);
+        };
+        match sharing {
+            SharingType::RwShared => (broadcast(), true),
+            SharingType::VmPrivate => (self.map_dests(vm, None, requester), true),
+            SharingType::RoShared => match self.content_policy {
+                ContentPolicy::Broadcast => (broadcast(), true),
+                ContentPolicy::MemoryDirect => (Vec::new(), true),
+                ContentPolicy::IntraVm => (self.map_dests(vm, None, requester), true),
+                ContentPolicy::FriendVm => {
+                    (self.map_dests(vm, self.friends[vm.index()], requester), true)
+                }
+            },
+        }
+    }
+
+    fn map_dests(&self, vm: VmId, friend: Option<VmId>, requester: usize) -> Vec<usize> {
+        let mut map = self.maps.map(vm.index());
+        if let Some(f) = friend {
+            map = map.union(self.maps.map(f.index()));
+        }
+        map.cores()
+            .map(|c| c.index())
+            .filter(|&d| d != requester && d < self.cfg.n_cores())
+            .collect()
+    }
+
+    fn read_mode(&self, agent: Agent, sharing: SharingType) -> ReadMode {
+        // The relaxed clean-shared provider rule is the Section VI protocol
+        // modification; it only applies when virtual snooping routes
+        // content pages away from broadcast.
+        if sharing == SharingType::RoShared
+            && agent.guest_vm().is_some()
+            && self.policy.uses_vcpu_maps()
+            && self.content_policy != ContentPolicy::Broadcast
+        {
+            ReadMode::CleanShared
+        } else {
+            ReadMode::Strict
+        }
+    }
+
+    fn fill_l1(&mut self, c: usize, block: BlockAddr, agent: Agent) {
+        self.l1[c].insert(CacheLine::new(block, TokenState::shared_one(), LineTag::from(agent)));
+    }
+
+    /// Applies L1 back-invalidation and residence-counter events for lines
+    /// the protocol removed from remote caches.
+    fn apply_invalidations(&mut self, invalidated: &[usize], block: BlockAddr) {
+        for &j in invalidated {
+            if let Some(line) = self.l1[j].remove(block) {
+                debug_assert_eq!(line.block, block);
+            }
+            // The removed L2 line's tag determined which VM's counter
+            // dropped; rather than thread the tag through, check every VM
+            // with a pending removal on that cache.
+            self.check_pending_removals(j);
+        }
+    }
+
+    fn handle_eviction(&mut self, c: usize, victim: CacheLine, dirty: bool) {
+        // Inclusive hierarchy: the L1 copy goes too.
+        self.l1[c].remove(victim.block);
+        let kind = if dirty {
+            self.stats.writebacks += 1;
+            MessageKind::Writeback
+        } else {
+            MessageKind::TokenReply
+        };
+        self.net.to_memory(NodeId::new(c as u16), kind);
+        if let LineTag::Vm(vm) = victim.tag {
+            let _ = vm;
+        }
+        self.check_pending_removals(c);
+    }
+
+    /// Re-evaluates counter-based removal for every VM with a pending
+    /// timer on cache `j`, plus any VM whose counter is at zero while not
+    /// running there.
+    fn check_pending_removals(&mut self, j: usize) {
+        if !self.policy.removes_cores() {
+            return;
+        }
+        for vm_idx in 0..self.cfg.n_vms {
+            let vm = VmId::new(vm_idx as u16);
+            self.maybe_remove_core(j, vm);
+        }
+    }
+
+    fn maybe_remove_core(&mut self, j: usize, vm: VmId) {
+        if !self.policy.removes_cores() {
+            return;
+        }
+        let threshold = match self.policy {
+            FilterPolicy::Counter => 1,
+            FilterPolicy::CounterThreshold { threshold } => threshold.max(1),
+            _ => return,
+        };
+        if self.l2[j].residence(vm) >= threshold {
+            return;
+        }
+        // Never remove a core the VM is currently running on.
+        if self.hv.cores_of_vm(vm) & (1 << j) != 0 {
+            return;
+        }
+        if !self.maps.map(vm.index()).contains(CoreId::new(j as u16)) {
+            return;
+        }
+        self.maps.remove_core(vm.index(), CoreId::new(j as u16));
+        self.stats.map_removes += 1;
+        self.account_map_sync(vm);
+        let period = self.removal_pending[j][vm.index()]
+            .take()
+            .map(|t0| self.cycle - t0);
+        self.removal_log.push(RemovalEvent {
+            cycle: self.cycle,
+            core: j,
+            vm: vm.index(),
+            period,
+        });
+    }
+
+    /// Charges the vCPU-map synchronization messages: the hypervisor sends
+    /// the new value to every core in the (updated) map.
+    fn account_map_sync(&mut self, vm: VmId) {
+        let map = self.maps.map(vm.index());
+        let Some(first) = map.cores().next() else {
+            return;
+        };
+        let src = NodeId::new(first.index() as u16);
+        let dests: Vec<NodeId> = map
+            .cores()
+            .skip(1)
+            .map(|c| NodeId::new(c.index() as u16))
+            .collect();
+        self.net.multicast(src, dests, MessageKind::MapUpdate);
+    }
+
+    fn count_data_source(&mut self, holder: usize, vm: Option<VmId>) {
+        match vm {
+            Some(vm) if self.maps.map(vm.index()).contains(CoreId::new(holder as u16)) => {
+                self.stats.data_intra_vm += 1;
+            }
+            _ => self.stats.data_other_vm += 1,
+        }
+    }
+
+    /// Table VI: who *could* supply a content-shared read miss.
+    fn classify_holders(&mut self, block: BlockAddr, vm: Option<VmId>) {
+        let holders: Vec<usize> = (0..self.cfg.n_cores())
+            .filter(|&j| self.l2[j].probe(block).is_some())
+            .collect();
+        if holders.is_empty() {
+            self.stats.holders_memory += 1;
+            return;
+        }
+        self.stats.holders_any_cache += 1;
+        let Some(vm) = vm else { return };
+        let own = self.maps.map(vm.index());
+        if holders.iter().any(|&j| own.contains(CoreId::new(j as u16))) {
+            self.stats.holders_intra_vm += 1;
+        } else if let Some(f) = self.friends[vm.index()] {
+            let fm = self.maps.map(f.index());
+            if holders.iter().any(|&j| fm.contains(CoreId::new(j as u16))) {
+                self.stats.holders_friend_vm += 1;
+            }
+        }
+    }
+
+    fn refresh_friends(&mut self, workload: &impl SystemWorkload) {
+        self.friends = (0..self.cfg.n_vms)
+            .map(|v| workload.friend_of(VmId::new(v as u16)))
+            .collect();
+    }
+
+    /// Average link utilization so far (for the contention factor).
+    fn utilization(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        let w = self.cfg.mesh_width;
+        let h = self.cfg.mesh_height;
+        let links = (2 * ((w - 1) * h + w * (h - 1))) as f64;
+        let capacity = links * self.cfg.network.link_bytes as f64 * self.cycle as f64;
+        self.net.traffic().byte_links() as f64 / capacity
+    }
+
+    /// Verifies token conservation for `block` across the whole machine
+    /// (test hook).
+    pub fn check_invariant(&self, block: BlockAddr) -> bool {
+        self.protocol.check_invariant(&self.l2, block)
+    }
+}
+
+struct TxOutcome {
+    success: bool,
+    source: Option<DataSource>,
+    invalidated: Vec<usize>,
+    evicted: Option<CacheLine>,
+    evicted_dirty: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{profile, Workload, WorkloadConfig};
+
+    fn small_sim(policy: FilterPolicy) -> (Simulator, Workload) {
+        let cfg = SystemConfig::small_test();
+        let sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
+        let wl = Workload::homogeneous(
+            profile("cholesky").unwrap(),
+            cfg.n_vms,
+            WorkloadConfig {
+                vcpus_per_vm: cfg.vcpus_per_vm,
+                ..Default::default()
+            },
+        );
+        (sim, wl)
+    }
+
+    #[test]
+    fn baseline_broadcasts_everything() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::TokenBroadcast);
+        sim.run(&mut wl, 500);
+        let s = sim.stats();
+        assert!(s.l2_misses > 0, "workload must miss");
+        // Every transaction snoops all 4 cores (3 remote + requester),
+        // possibly more due to retries (there are none for broadcast).
+        assert_eq!(s.snoops, s.l2_misses * 4);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn vsnoop_filters_private_misses_to_vm_domain() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::VsnoopBase);
+        sim.run(&mut wl, 500);
+        let s = sim.stats();
+        assert!(s.l2_misses > 0);
+        // 2 VMs x 2 cores on 4 cores: private misses snoop 2 cores
+        // (1 remote + requester). No host or content traffic here.
+        assert_eq!(s.misses_private, s.l2_misses);
+        assert_eq!(s.snoops, s.l2_misses * 2);
+        assert_eq!(s.retries, 0, "correct filtering never needs retries");
+    }
+
+    #[test]
+    fn filtering_halves_snoops_and_cuts_traffic() {
+        let (mut base_sim, mut wl_a) = small_sim(FilterPolicy::TokenBroadcast);
+        let (mut filt_sim, mut wl_b) = small_sim(FilterPolicy::VsnoopBase);
+        base_sim.run(&mut wl_a, 800);
+        filt_sim.run(&mut wl_b, 800);
+        assert_eq!(
+            base_sim.stats().l2_misses,
+            filt_sim.stats().l2_misses,
+            "same seed, same trace, same misses"
+        );
+        assert!(filt_sim.stats().snoops * 2 <= base_sim.stats().snoops);
+        assert!(filt_sim.traffic().byte_links() < base_sim.traffic().byte_links());
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_run() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::VsnoopBase);
+        sim.run(&mut wl, 400);
+        // Probe a swath of blocks across every VM's address space.
+        for b in 0..2000u64 {
+            assert!(sim.check_invariant(BlockAddr::new(b)), "block {b}");
+        }
+    }
+
+    #[test]
+    fn swap_grows_map_and_counter_later_shrinks_it() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::Counter);
+        sim.run(&mut wl, 300);
+        let vm0 = VmId::new(0);
+        let vm1 = VmId::new(1);
+        assert_eq!(sim.vcpu_map(vm0).len(), 2);
+        let a = VcpuId::new(vm0, 0);
+        let b = VcpuId::new(vm1, 0);
+        sim.swap_vcpus(a, b);
+        // Both VMs' maps grew to include the new core.
+        assert_eq!(sim.vcpu_map(vm0).len(), 3);
+        assert_eq!(sim.vcpu_map(vm1).len(), 3);
+        // Run long enough for the new tenants to evict the old lines.
+        sim.run(&mut wl, 8_000);
+        assert!(
+            sim.stats().map_removes > 0,
+            "counter mechanism should have removed obsolete cores"
+        );
+        assert!(
+            sim.vcpu_map(vm0).len() <= 3 && sim.vcpu_map(vm1).len() <= 3,
+            "maps must not grow unboundedly"
+        );
+        // Removal events carry measured periods.
+        assert!(sim
+            .removal_log()
+            .iter()
+            .any(|e| e.period.is_some()));
+    }
+
+    #[test]
+    fn vsnoop_base_never_shrinks_maps() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::VsnoopBase);
+        sim.run(&mut wl, 200);
+        sim.swap_vcpus(VcpuId::new(VmId::new(0), 0), VcpuId::new(VmId::new(1), 0));
+        sim.run(&mut wl, 5_000);
+        assert_eq!(sim.stats().map_removes, 0);
+        assert_eq!(sim.vcpu_map(VmId::new(0)).len(), 3);
+    }
+
+    #[test]
+    fn reset_measurement_keeps_caches_warm() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::TokenBroadcast);
+        sim.run(&mut wl, 500);
+        let misses_cold = sim.stats().miss_rate();
+        sim.reset_measurement();
+        assert_eq!(sim.stats().accesses, 0);
+        sim.run(&mut wl, 500);
+        let misses_warm = sim.stats().miss_rate();
+        assert!(
+            misses_warm < misses_cold,
+            "warm run ({misses_warm}) should miss less than cold ({misses_cold})"
+        );
+    }
+
+    #[test]
+    fn host_misses_are_broadcast_under_filtering() {
+        let cfg = SystemConfig::small_test();
+        let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+        let mut wl = Workload::homogeneous(
+            profile("SPECweb").unwrap(),
+            cfg.n_vms,
+            WorkloadConfig {
+                vcpus_per_vm: cfg.vcpus_per_vm,
+                host_activity: true,
+                ..Default::default()
+            },
+        );
+        sim.run(&mut wl, 3_000);
+        let s = sim.stats();
+        assert!(s.misses_dom0 + s.misses_hyp > 0, "host activity expected");
+        assert!(s.host_miss_fraction() > 0.0);
+        // Host misses snoop all 4; guest misses snoop 2. Total snoops sit
+        // strictly between the two extremes.
+        assert!(s.snoops > s.l2_misses * 2);
+        assert!(s.snoops < s.l2_misses * 4);
+    }
+}
+
+impl Simulator {
+    /// Test/diagnostic hook: residence counter of `vm` on cache `core`.
+    pub fn debug_residence(&self, core: usize, vm: sim_vm::VmId) -> u64 {
+        self.l2[core].residence(vm)
+    }
+
+    /// Test/diagnostic hook: the blocks currently valid in `core`'s L2.
+    pub fn debug_l2_lines(&self, core: usize) -> Vec<BlockAddr> {
+        self.l2[core].lines().map(|l| l.block).collect()
+    }
+}

@@ -1,0 +1,196 @@
+//! Statistics collected by the full-system simulator.
+//!
+//! Every metric a paper table or figure needs is a counter here: snoop tag
+//! lookups (Figs. 7-8), per-agent and per-sharing-type miss decompositions
+//! (Fig. 1, Table V), data-holder classification (Table VI), actual data
+//! sources, stall cycles for the runtime estimate (Fig. 6), and vCPU-map
+//! maintenance events.
+
+use sim_vm::{Agent, SharingType};
+
+/// Aggregate counters of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Rounds executed (one access slot per core per round).
+    pub rounds: u64,
+    /// Total accesses issued.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (including silent upgrades of E lines).
+    pub l2_hits: u64,
+    /// Coherence transactions (L2 misses and token-upgrade requests).
+    pub l2_misses: u64,
+    /// Cache tag lookups caused by snooping, *including* the requester's
+    /// own lookup (so a 16-core broadcast counts 16, matching the paper's
+    /// "total snoops occurring in all the cores" and its ideal 25% line).
+    pub snoops: u64,
+    /// Failed transient attempts that were retried.
+    pub retries: u64,
+    /// Transactions that fell back to a broadcast attempt.
+    pub broadcast_fallbacks: u64,
+    /// Misses by guest VMs.
+    pub misses_guest: u64,
+    /// Misses by dom0.
+    pub misses_dom0: u64,
+    /// Misses by the hypervisor.
+    pub misses_hyp: u64,
+    /// Misses to VM-private pages.
+    pub misses_private: u64,
+    /// Misses to RW-shared pages.
+    pub misses_rw_shared: u64,
+    /// Misses to content-shared (RO) pages.
+    pub misses_ro_shared: u64,
+    /// Accesses (L1-level) to content-shared pages.
+    pub content_accesses: u64,
+    /// Content-shared read misses for which at least one cache anywhere
+    /// held a valid copy (Table VI "Cache: all").
+    pub holders_any_cache: u64,
+    /// ... of which a cache of the requesting VM held a copy
+    /// (Table VI "Cache: intra-VM").
+    pub holders_intra_vm: u64,
+    /// ... or, failing intra-VM, a cache of the friend VM held one
+    /// (Table VI "Cache: friend-VM", incremental over intra-VM).
+    pub holders_friend_vm: u64,
+    /// Content-shared read misses that only memory could serve.
+    pub holders_memory: u64,
+    /// Transactions whose data came from a cache of the requesting VM.
+    pub data_intra_vm: u64,
+    /// ... from a cache of another VM.
+    pub data_other_vm: u64,
+    /// ... from memory.
+    pub data_memory: u64,
+    /// Dirty write-backs.
+    pub writebacks: u64,
+    /// Cores added to vCPU maps (relocations).
+    pub map_adds: u64,
+    /// Cores removed from vCPU maps (counter mechanism).
+    pub map_removes: u64,
+    /// Per-core stall cycles from miss latencies.
+    pub stall_cycles: Vec<u64>,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics for `n_cores`.
+    pub fn new(n_cores: usize) -> Self {
+        SimStats {
+            stall_cycles: vec![0; n_cores],
+            ..Default::default()
+        }
+    }
+
+    /// L2 miss ratio over all accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Share of L2 misses issued by the hypervisor + dom0 (Fig. 1's
+    /// broadcast-required fraction), in `[0, 1]`.
+    pub fn host_miss_fraction(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            (self.misses_dom0 + self.misses_hyp) as f64 / self.l2_misses as f64
+        }
+    }
+
+    /// Share of L2 misses to content-shared pages (Table V right column).
+    pub fn content_miss_fraction(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            self.misses_ro_shared as f64 / self.l2_misses as f64
+        }
+    }
+
+    /// Share of accesses to content-shared pages (Table V left column).
+    pub fn content_access_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.content_accesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Estimated runtime in cycles: issue time plus the worst core's
+    /// accumulated miss stalls (the critical path).
+    pub fn runtime_cycles(&self, cycles_per_access: u64) -> u64 {
+        self.rounds * cycles_per_access
+            + self.stall_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Records a miss by `agent` to a page of `sharing` type.
+    pub fn count_miss(&mut self, agent: Agent, sharing: SharingType) {
+        self.l2_misses += 1;
+        match agent {
+            Agent::Guest(_) => self.misses_guest += 1,
+            Agent::Dom0 => self.misses_dom0 += 1,
+            Agent::Hypervisor => self.misses_hyp += 1,
+        }
+        match sharing {
+            SharingType::VmPrivate => self.misses_private += 1,
+            SharingType::RwShared => self.misses_rw_shared += 1,
+            SharingType::RoShared => self.misses_ro_shared += 1,
+        }
+    }
+}
+
+/// One core-removal event under the counter mechanism (Fig. 9's metric).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RemovalEvent {
+    /// Cycle at which the core was removed from the VM's map.
+    pub cycle: u64,
+    /// The removed core's index.
+    pub core: usize,
+    /// The VM whose map shrank.
+    pub vm: usize,
+    /// Cycles between the vCPU's departure from the core and the removal
+    /// (`None` when the core was removed without a pending relocation,
+    /// e.g. it never hosted the VM's data again after a previous removal).
+    pub period: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_vm::{VcpuId, VmId};
+
+    #[test]
+    fn fractions_guard_division_by_zero() {
+        let s = SimStats::new(4);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.host_miss_fraction(), 0.0);
+        assert_eq!(s.content_miss_fraction(), 0.0);
+        assert_eq!(s.content_access_fraction(), 0.0);
+    }
+
+    #[test]
+    fn count_miss_decomposes() {
+        let mut s = SimStats::new(2);
+        s.count_miss(Agent::Guest(VcpuId::new(VmId::new(0), 0)), SharingType::VmPrivate);
+        s.count_miss(Agent::Dom0, SharingType::RwShared);
+        s.count_miss(Agent::Hypervisor, SharingType::RwShared);
+        s.count_miss(Agent::Guest(VcpuId::new(VmId::new(1), 0)), SharingType::RoShared);
+        assert_eq!(s.l2_misses, 4);
+        assert_eq!(s.misses_guest, 2);
+        assert_eq!(s.misses_dom0, 1);
+        assert_eq!(s.misses_hyp, 1);
+        assert_eq!(s.misses_private, 1);
+        assert_eq!(s.misses_rw_shared, 2);
+        assert_eq!(s.misses_ro_shared, 1);
+        assert!((s.host_miss_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.content_miss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_uses_worst_core() {
+        let mut s = SimStats::new(3);
+        s.rounds = 100;
+        s.stall_cycles = vec![5, 50, 20];
+        assert_eq!(s.runtime_cycles(2), 250);
+    }
+}

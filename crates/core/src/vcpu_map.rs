@@ -1,0 +1,213 @@
+//! The vCPU map register (Section IV-A).
+//!
+//! "To identify the physical cores to which the virtual CPUs of a VM are
+//! mapped, each core has a register, called vCPU map register. The vCPU
+//! map register, an n-bit vector for n cores, represents the physical
+//! cores used by the current VM running on a core." All cores running a VM
+//! hold the same value, synchronized by the hypervisor before control
+//! transfers; this model keeps one logical register per VM plus an update
+//! count standing in for the synchronization messages.
+
+use sim_vm::CoreId;
+
+/// An n-bit core vector: the snoop domain of one VM.
+///
+/// # Examples
+///
+/// ```
+/// use vsnoop::VcpuMap;
+/// use sim_vm::CoreId;
+///
+/// let mut map = VcpuMap::default();
+/// map.insert(CoreId::new(0));
+/// map.insert(CoreId::new(5));
+/// assert!(map.contains(CoreId::new(5)));
+/// assert_eq!(map.len(), 2);
+/// assert_eq!(map.cores().collect::<Vec<_>>(), vec![CoreId::new(0), CoreId::new(5)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct VcpuMap(u64);
+
+impl VcpuMap {
+    /// Creates a map from a raw bit mask (bit *i* = core *i*).
+    pub const fn from_mask(mask: u64) -> Self {
+        VcpuMap(mask)
+    }
+
+    /// Returns the raw bit mask.
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Adds a core; returns `true` if it was newly added.
+    pub fn insert(&mut self, core: CoreId) -> bool {
+        let bit = 1u64 << core.index();
+        let newly = self.0 & bit == 0;
+        self.0 |= bit;
+        newly
+    }
+
+    /// Removes a core; returns `true` if it was present.
+    pub fn remove(&mut self, core: CoreId) -> bool {
+        let bit = 1u64 << core.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether `core` is in the snoop domain.
+    pub const fn contains(self, core: CoreId) -> bool {
+        self.0 & (1 << core.index()) != 0
+    }
+
+    /// Number of cores in the domain.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the domain is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union with another map (used by the friend-VM scheme).
+    pub const fn union(self, other: VcpuMap) -> VcpuMap {
+        VcpuMap(self.0 | other.0)
+    }
+
+    /// Iterates over the cores in the domain, in index order.
+    pub fn cores(self) -> impl Iterator<Item = CoreId> {
+        (0..64u16).filter(move |&i| self.0 & (1 << i) != 0).map(CoreId::new)
+    }
+}
+
+impl FromIterator<CoreId> for VcpuMap {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut m = VcpuMap::default();
+        for c in iter {
+            m.insert(c);
+        }
+        m
+    }
+}
+
+/// The per-VM vCPU map file, with synchronization accounting.
+///
+/// Real hardware replicates each VM's map into a register on every core the
+/// VM uses; the hypervisor updates all replicas before transferring
+/// control. This model stores one logical map per VM and counts the update
+/// broadcasts so experiments can charge their (negligible) cost.
+#[derive(Clone, Debug)]
+pub struct VcpuMapFile {
+    maps: Vec<VcpuMap>,
+    sync_updates: u64,
+}
+
+impl VcpuMapFile {
+    /// Creates a map file for `n_vms` VMs, all maps empty.
+    pub fn new(n_vms: usize) -> Self {
+        VcpuMapFile {
+            maps: vec![VcpuMap::default(); n_vms],
+            sync_updates: 0,
+        }
+    }
+
+    /// Returns the snoop domain of VM `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    pub fn map(&self, vm: usize) -> VcpuMap {
+        self.maps[vm]
+    }
+
+    /// Replaces VM `vm`'s map wholesale (initial placement).
+    pub fn set(&mut self, vm: usize, map: VcpuMap) {
+        self.maps[vm] = map;
+        self.sync_updates += 1;
+    }
+
+    /// Adds `core` to VM `vm`'s domain, counting a synchronization round
+    /// if the map changed. Returns `true` if it changed.
+    pub fn add_core(&mut self, vm: usize, core: CoreId) -> bool {
+        let changed = self.maps[vm].insert(core);
+        if changed {
+            self.sync_updates += 1;
+        }
+        changed
+    }
+
+    /// Removes `core` from VM `vm`'s domain, counting a synchronization
+    /// round if the map changed. Returns `true` if it changed.
+    pub fn remove_core(&mut self, vm: usize, core: CoreId) -> bool {
+        let changed = self.maps[vm].remove(core);
+        if changed {
+            self.sync_updates += 1;
+        }
+        changed
+    }
+
+    /// Number of synchronization rounds performed.
+    pub fn sync_updates(&self) -> u64 {
+        self.sync_updates
+    }
+
+    /// Number of VMs tracked.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether the file tracks no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = VcpuMap::default();
+        assert!(m.is_empty());
+        assert!(m.insert(CoreId::new(3)));
+        assert!(!m.insert(CoreId::new(3)), "double insert is not new");
+        assert!(m.contains(CoreId::new(3)));
+        assert!(m.remove(CoreId::new(3)));
+        assert!(!m.remove(CoreId::new(3)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mask_roundtrip_and_union() {
+        let a = VcpuMap::from_mask(0b1010);
+        let b = VcpuMap::from_mask(0b0110);
+        assert_eq!(a.union(b).mask(), 0b1110);
+        assert_eq!(a.len(), 2);
+        let collected: VcpuMap = a.cores().collect();
+        assert_eq!(collected, a);
+    }
+
+    #[test]
+    fn cores_iterates_in_order() {
+        let m = VcpuMap::from_mask(0b100101);
+        let v: Vec<usize> = m.cores().map(|c| c.index()).collect();
+        assert_eq!(v, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn map_file_counts_syncs() {
+        let mut f = VcpuMapFile::new(2);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert!(f.add_core(0, CoreId::new(1)));
+        assert!(!f.add_core(0, CoreId::new(1)), "no-op add is free");
+        assert!(f.remove_core(0, CoreId::new(1)));
+        assert!(!f.remove_core(0, CoreId::new(1)));
+        assert_eq!(f.sync_updates(), 2);
+        f.set(1, VcpuMap::from_mask(0xF0));
+        assert_eq!(f.sync_updates(), 3);
+        assert_eq!(f.map(1).len(), 4);
+    }
+}

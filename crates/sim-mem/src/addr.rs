@@ -1,0 +1,143 @@
+//! Physical address arithmetic.
+//!
+//! The simulated machine uses 64-byte cache blocks and 4 KB pages
+//! (Table II), so a page holds 64 blocks. Coherence operates on
+//! [`BlockAddr`]s; sharing types are per *page*, so the conversion between
+//! the two is on the critical path of every filter decision.
+
+/// Cache block size in bytes (Table II).
+pub const BLOCK_BYTES: u64 = 64;
+/// Page size in bytes.
+pub const PAGE_BYTES: u64 = 4096;
+/// Cache blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
+
+/// A byte-granularity host-physical address.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::{Addr, BLOCK_BYTES};
+///
+/// let a = Addr::new(4096 + 65);
+/// assert_eq!(a.block().index(), 4096 / BLOCK_BYTES + 1);
+/// assert_eq!(a.page(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache block containing this address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// Returns the host page number containing this address.
+    pub const fn page(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+}
+
+/// A cache-block-granularity address (byte address divided by
+/// [`BLOCK_BYTES`]).
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::{BlockAddr, BLOCKS_PER_PAGE};
+///
+/// let b = BlockAddr::in_page(3, 5);
+/// assert_eq!(b.page(), 3);
+/// assert_eq!(b.index(), 3 * BLOCKS_PER_PAGE + 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    pub const fn new(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+
+    /// Returns the `i`-th block of host page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not smaller than [`BLOCKS_PER_PAGE`].
+    pub const fn in_page(page: u64, i: u64) -> Self {
+        assert!(i < BLOCKS_PER_PAGE, "block index exceeds page");
+        BlockAddr(page * BLOCKS_PER_PAGE + i)
+    }
+
+    /// Returns the raw block number.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the host page number containing this block.
+    pub const fn page(self) -> u64 {
+        self.0 / BLOCKS_PER_PAGE
+    }
+
+    /// Returns the block offset within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % BLOCKS_PER_PAGE
+    }
+
+    /// Returns the first byte address of this block.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 * BLOCK_BYTES)
+    }
+}
+
+impl From<Addr> for BlockAddr {
+    fn from(a: Addr) -> Self {
+        a.block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_page_relations() {
+        let a = Addr::new(2 * PAGE_BYTES + 3 * BLOCK_BYTES + 7);
+        assert_eq!(a.page(), 2);
+        let b = a.block();
+        assert_eq!(b.page(), 2);
+        assert_eq!(b.page_offset(), 3);
+        assert_eq!(b.base_addr().raw(), 2 * PAGE_BYTES + 3 * BLOCK_BYTES);
+    }
+
+    #[test]
+    fn in_page_construction() {
+        for i in 0..BLOCKS_PER_PAGE {
+            let b = BlockAddr::in_page(9, i);
+            assert_eq!(b.page(), 9);
+            assert_eq!(b.page_offset(), i);
+        }
+    }
+
+    #[test]
+    fn from_addr_conversion() {
+        let a = Addr::new(1000);
+        assert_eq!(BlockAddr::from(a), a.block());
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(BLOCKS_PER_PAGE, 64);
+        assert_eq!(BLOCK_BYTES * BLOCKS_PER_PAGE, PAGE_BYTES);
+    }
+}

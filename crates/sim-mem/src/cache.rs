@@ -1,0 +1,399 @@
+//! Set-associative caches with LRU replacement and per-VM residence
+//! counters.
+//!
+//! The residence counters are the paper's key hardware addition for
+//! supporting VM relocation (Section IV-B): "Each per-VM counter records
+//! the number of VM-private blocks in the cache for a VM. Whenever a block
+//! is added to a cache, the corresponding counter for the current VM is
+//! increased. [...] When a cacheline is evicted by replacement or
+//! invalidated by snoops, the counter of the corresponding VM is
+//! decreased. When the counter becomes zero, it is certain that the
+//! private data of the VM do not exist in the cache," at which point the
+//! core can safely leave the VM's snoop domain.
+
+use sim_vm::VmId;
+
+use crate::addr::{BlockAddr, BLOCK_BYTES};
+use crate::line::{CacheLine, LineTag};
+
+/// Geometry of a cache: capacity, associativity, block size.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::CacheGeometry;
+///
+/// // The paper's 256 KB 8-way L2 with 64-byte blocks:
+/// let g = CacheGeometry::new(256 * 1024, 8);
+/// assert_eq!(g.sets(), 512);
+/// assert_eq!(g.lines(), 4096);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheGeometry {
+    bytes: u64,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry for a cache of `bytes` capacity and `ways`
+    /// associativity, with [`BLOCK_BYTES`]-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a positive multiple of
+    /// `ways * BLOCK_BYTES` and the resulting set count is a power of two.
+    pub fn new(bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let line_bytes = ways as u64 * BLOCK_BYTES;
+        assert!(
+            bytes > 0 && bytes % line_bytes == 0,
+            "capacity must be a positive multiple of ways * block size"
+        );
+        let sets = bytes / line_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry { bytes, ways }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Associativity.
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> u64 {
+        self.bytes / (self.ways as u64 * BLOCK_BYTES)
+    }
+
+    /// Total number of lines.
+    pub const fn lines(&self) -> u64 {
+        self.bytes / BLOCK_BYTES
+    }
+
+    /// The set index of `block`.
+    pub const fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets()) as usize
+    }
+}
+
+/// Basic hit/miss statistics of one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups performed via [`Cache::access`].
+    pub accesses: u64,
+    /// Lookups that found a valid line.
+    pub hits: u64,
+    /// Lines displaced by insertion.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Misses (accesses that did not hit).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+/// A set-associative, LRU-replaced cache with VM-tagged lines.
+///
+/// The cache tracks, for every VM, how many valid lines tagged with that VM
+/// it currently holds (the paper's per-VM cache residence counters).
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::{Cache, CacheGeometry, CacheLine, TokenState, LineTag, BlockAddr};
+/// use sim_vm::VmId;
+///
+/// let mut c = Cache::new(CacheGeometry::new(4096, 2), 4);
+/// let vm = VmId::new(1);
+/// c.insert(CacheLine::new(BlockAddr::new(7), TokenState::shared_one(), LineTag::Vm(vm)));
+/// assert_eq!(c.residence(vm), 1);
+/// assert!(c.access(BlockAddr::new(7)));
+/// c.remove(BlockAddr::new(7));
+/// assert_eq!(c.residence(vm), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<CacheLine>>,
+    residence: Vec<u64>,
+    host_residence: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache able to track residence for `n_vms` VMs.
+    pub fn new(geometry: CacheGeometry, n_vms: usize) -> Self {
+        Cache {
+            geometry,
+            sets: vec![Vec::with_capacity(geometry.ways()); geometry.sets() as usize],
+            residence: vec![0; n_vms],
+            host_residence: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Performs a stats-counting lookup, touching LRU state on a hit.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.geometry.set_of(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.last_use = clock;
+            self.stats.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the line caching `block`, if present, without touching LRU
+    /// or statistics.
+    pub fn probe(&self, block: BlockAddr) -> Option<&CacheLine> {
+        let set = self.geometry.set_of(block);
+        self.sets[set].iter().find(|l| l.block == block)
+    }
+
+    /// Returns a mutable reference to the line caching `block` for in-place
+    /// token updates, without touching LRU or statistics.
+    ///
+    /// Callers must not set `state.tokens` to zero through this reference;
+    /// use [`remove`](Self::remove) to drop a line so residence counters
+    /// stay consistent.
+    pub fn probe_mut(&mut self, block: BlockAddr) -> Option<&mut CacheLine> {
+        let set = self.geometry.set_of(block);
+        self.sets[set].iter_mut().find(|l| l.block == block)
+    }
+
+    /// Inserts `line`, returning the evicted victim if the set was full.
+    ///
+    /// If the block is already present its state and tag are replaced
+    /// (residence counters adjusted accordingly) and nothing is evicted.
+    pub fn insert(&mut self, mut line: CacheLine) -> Option<CacheLine> {
+        self.clock += 1;
+        line.last_use = self.clock;
+        let set_idx = self.geometry.set_of(line.block);
+        if let Some(existing) = self.sets[set_idx].iter_mut().find(|l| l.block == line.block) {
+            let old_tag = existing.tag;
+            *existing = line;
+            self.dec_residence(old_tag);
+            self.inc_residence(line.tag);
+            return None;
+        }
+        let ways = self.geometry.ways();
+        self.inc_residence(line.tag);
+        let set = &mut self.sets[set_idx];
+        if set.len() < ways {
+            set.push(line);
+            return None;
+        }
+        // Evict the least recently used line.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        let victim = std::mem::replace(&mut set[victim_idx], line);
+        self.dec_residence(victim.tag);
+        self.stats.evictions += 1;
+        Some(victim)
+    }
+
+    /// Removes and returns the line caching `block` (snoop invalidation or
+    /// full token surrender).
+    pub fn remove(&mut self, block: BlockAddr) -> Option<CacheLine> {
+        let set = self.geometry.set_of(block);
+        let pos = self.sets[set].iter().position(|l| l.block == block)?;
+        let line = self.sets[set].swap_remove(pos);
+        self.dec_residence(line.tag);
+        Some(line)
+    }
+
+    /// Returns the residence counter of `vm`: the number of valid lines
+    /// tagged with that VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is outside the range configured at construction.
+    pub fn residence(&self, vm: VmId) -> u64 {
+        self.residence[vm.index()]
+    }
+
+    /// Returns the number of valid lines tagged as host (hypervisor/dom0).
+    pub fn host_residence(&self) -> u64 {
+        self.host_residence
+    }
+
+    /// Returns the number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all valid lines (for invariant checks and tests).
+    pub fn lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().flatten()
+    }
+
+    fn inc_residence(&mut self, tag: LineTag) {
+        match tag {
+            LineTag::Vm(vm) => self.residence[vm.index()] += 1,
+            LineTag::Host => self.host_residence += 1,
+        }
+    }
+
+    fn dec_residence(&mut self, tag: LineTag) {
+        match tag {
+            LineTag::Vm(vm) => {
+                debug_assert!(self.residence[vm.index()] > 0, "residence underflow");
+                self.residence[vm.index()] -= 1;
+            }
+            LineTag::Host => {
+                debug_assert!(self.host_residence > 0, "host residence underflow");
+                self.host_residence -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::TokenState;
+
+    fn line(block: u64, vm: u16) -> CacheLine {
+        CacheLine::new(
+            BlockAddr::new(block),
+            TokenState::shared_one(),
+            LineTag::Vm(VmId::new(vm)),
+        )
+    }
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheGeometry::new(2 * 2 * 64, 2), 4)
+    }
+
+    #[test]
+    fn geometry_paper_l2() {
+        let g = CacheGeometry::new(256 * 1024, 8);
+        assert_eq!(g.sets(), 512);
+        assert_eq!(g.lines(), 4096);
+        assert_eq!(g.ways(), 8);
+        // Blocks that differ by the set count map to the same set.
+        assert_eq!(g.set_of(BlockAddr::new(3)), g.set_of(BlockAddr::new(3 + 512)));
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_remove() {
+        let mut c = small_cache();
+        assert!(!c.access(BlockAddr::new(0)));
+        c.insert(line(0, 0));
+        assert!(c.access(BlockAddr::new(0)));
+        c.remove(BlockAddr::new(0));
+        assert!(!c.access(BlockAddr::new(0)));
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache();
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(line(0, 0));
+        c.insert(line(2, 0));
+        // Touch block 0 so block 2 is LRU.
+        assert!(c.access(BlockAddr::new(0)));
+        let victim = c.insert(line(4, 0)).expect("set was full");
+        assert_eq!(victim.block, BlockAddr::new(2));
+        assert!(c.probe(BlockAddr::new(0)).is_some());
+        assert!(c.probe(BlockAddr::new(4)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn residence_counters_track_inserts_evictions_removals() {
+        let mut c = small_cache();
+        let vm0 = VmId::new(0);
+        let vm1 = VmId::new(1);
+        c.insert(line(0, 0));
+        c.insert(line(2, 1));
+        assert_eq!(c.residence(vm0), 1);
+        assert_eq!(c.residence(vm1), 1);
+        // Evicts LRU (block 0, vm0).
+        let victim = c.insert(line(4, 1)).unwrap();
+        assert_eq!(victim.block, BlockAddr::new(0));
+        assert_eq!(c.residence(vm0), 0);
+        assert_eq!(c.residence(vm1), 2);
+        c.remove(BlockAddr::new(2));
+        assert_eq!(c.residence(vm1), 1);
+    }
+
+    #[test]
+    fn host_lines_counted_separately() {
+        let mut c = small_cache();
+        c.insert(CacheLine::new(
+            BlockAddr::new(1),
+            TokenState::shared_one(),
+            LineTag::Host,
+        ));
+        assert_eq!(c.host_residence(), 1);
+        assert_eq!(c.residence(VmId::new(0)), 0);
+        c.remove(BlockAddr::new(1));
+        assert_eq!(c.host_residence(), 0);
+    }
+
+    #[test]
+    fn reinsert_same_block_replaces_in_place() {
+        let mut c = small_cache();
+        c.insert(line(0, 0));
+        // Re-insert with a different tag: counters move, no eviction.
+        let evicted = c.insert(line(0, 1));
+        assert!(evicted.is_none());
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.residence(VmId::new(0)), 0);
+        assert_eq!(c.residence(VmId::new(1)), 1);
+    }
+
+    #[test]
+    fn residence_matches_line_scan() {
+        let mut c = Cache::new(CacheGeometry::new(16 * 4 * 64, 4), 3);
+        for i in 0..100u64 {
+            c.insert(line(i * 3, (i % 3) as u16));
+        }
+        for vm in 0..3u16 {
+            let counted = c
+                .lines()
+                .filter(|l| l.tag == LineTag::Vm(VmId::new(vm)))
+                .count() as u64;
+            assert_eq!(c.residence(VmId::new(vm)), counted);
+        }
+        assert!(c.occupancy() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheGeometry::new(3 * 64, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the token-coherence engine.
+//!
+//! Invariants checked over arbitrary operation sequences and arbitrary
+//! (possibly wrong) snoop destination sets:
+//!
+//! 1. Token conservation: for every block, cache tokens + memory tokens
+//!    equal the total.
+//! 2. At most one owner per block.
+//! 3. Residence counters always equal the scan count of tagged lines.
+//! 4. A *broadcast* write always succeeds (the forward-progress guarantee
+//!    behind persistent requests).
+
+use proptest::prelude::*;
+use sim_mem::{BlockAddr, Cache, CacheGeometry, LineTag, ReadMode, TokenProtocol};
+use sim_vm::VmId;
+
+const N_CORES: usize = 8;
+const N_VMS: usize = 4;
+const N_BLOCKS: u64 = 24;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { core: usize, block: u64, dest_mask: u8, include_memory: bool, clean: bool },
+    Write { core: usize, block: u64, dest_mask: u8, include_memory: bool },
+    BroadcastWrite { core: usize, block: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N_CORES, 0..N_BLOCKS, any::<u8>(), any::<bool>(), any::<bool>())
+            .prop_map(|(core, block, dest_mask, include_memory, clean)| Op::Read {
+                core,
+                block,
+                dest_mask,
+                include_memory,
+                clean
+            }),
+        (0..N_CORES, 0..N_BLOCKS, any::<u8>(), any::<bool>())
+            .prop_map(|(core, block, dest_mask, include_memory)| Op::Write {
+                core,
+                block,
+                dest_mask,
+                include_memory
+            }),
+        (0..N_CORES, 0..N_BLOCKS)
+            .prop_map(|(core, block)| Op::BroadcastWrite { core, block }),
+    ]
+}
+
+fn dests_from_mask(core: usize, mask: u8) -> Vec<usize> {
+    (0..N_CORES)
+        .filter(|&c| c != core && mask & (1 << c) != 0)
+        .collect()
+}
+
+fn check_all(caches: &[Cache], tp: &TokenProtocol) {
+    for b in 0..N_BLOCKS {
+        assert!(
+            tp.check_invariant(caches, BlockAddr::new(b)),
+            "token invariant broken for block {b}"
+        );
+    }
+    for (i, c) in caches.iter().enumerate() {
+        for vm in 0..N_VMS {
+            let id = VmId::new(vm as u16);
+            let scan = c.lines().filter(|l| l.tag == LineTag::Vm(id)).count() as u64;
+            assert_eq!(
+                c.residence(id),
+                scan,
+                "residence counter of {id} on cache {i} diverged"
+            );
+        }
+        let host_scan = c.lines().filter(|l| l.tag == LineTag::Host).count() as u64;
+        assert_eq!(c.host_residence(), host_scan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn protocol_preserves_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        // A small cache so evictions actually happen.
+        let mut caches = vec![Cache::new(CacheGeometry::new(4 * 2 * 64, 2), N_VMS); N_CORES];
+        let mut tp = TokenProtocol::new(N_CORES as u32);
+
+        for (i, op) in ops.iter().enumerate() {
+            let tag = LineTag::Vm(VmId::new((i % N_VMS) as u16));
+            match *op {
+                Op::Read { core, block, dest_mask, include_memory, clean } => {
+                    let b = BlockAddr::new(block);
+                    let mode = if clean { ReadMode::CleanShared } else { ReadMode::Strict };
+                    // Read misses only make sense when the block is absent.
+                    if caches[core].probe(b).is_none() {
+                        let dests = dests_from_mask(core, dest_mask);
+                        let _ = tp.read_miss(&mut caches, core, &dests, b, include_memory, tag, mode);
+                    }
+                }
+                Op::Write { core, block, dest_mask, include_memory } => {
+                    let b = BlockAddr::new(block);
+                    let writable = caches[core]
+                        .probe(b)
+                        .is_some_and(|l| l.state.can_write(N_CORES as u32));
+                    if !writable {
+                        let dests = dests_from_mask(core, dest_mask);
+                        let _ = tp.write_miss(&mut caches, core, &dests, b, include_memory, tag);
+                    }
+                }
+                Op::BroadcastWrite { core, block } => {
+                    let b = BlockAddr::new(block);
+                    let writable = caches[core]
+                        .probe(b)
+                        .is_some_and(|l| l.state.can_write(N_CORES as u32));
+                    if !writable {
+                        let dests: Vec<usize> = (0..N_CORES).filter(|&c| c != core).collect();
+                        let w = tp.write_miss(&mut caches, core, &dests, b, true, tag);
+                        prop_assert!(w.success, "broadcast write must always succeed");
+                    }
+                }
+            }
+            check_all(&caches, &tp);
+        }
+    }
+
+    #[test]
+    fn broadcast_read_always_succeeds(
+        writes in prop::collection::vec((0..N_CORES, 0..N_BLOCKS), 0..40),
+        reader in 0..N_CORES,
+        block in 0..N_BLOCKS,
+    ) {
+        let mut caches = vec![Cache::new(CacheGeometry::new(16 * 4 * 64, 4), N_VMS); N_CORES];
+        let mut tp = TokenProtocol::new(N_CORES as u32);
+        let tag = LineTag::Vm(VmId::new(0));
+        for (core, b) in writes {
+            let b = BlockAddr::new(b);
+            let dests: Vec<usize> = (0..N_CORES).filter(|&c| c != core).collect();
+            let writable = caches[core]
+                .probe(b)
+                .is_some_and(|l| l.state.can_write(N_CORES as u32));
+            if !writable {
+                let _ = tp.write_miss(&mut caches, core, &dests, b, true, tag);
+            }
+        }
+        let b = BlockAddr::new(block);
+        if caches[reader].probe(b).is_none() {
+            let dests: Vec<usize> = (0..N_CORES).filter(|&c| c != reader).collect();
+            let r = tp.read_miss(&mut caches, reader, &dests, b, true, tag, ReadMode::Strict);
+            prop_assert!(r.success, "broadcast read must always succeed");
+        }
+    }
+}

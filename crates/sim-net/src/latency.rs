@@ -1,0 +1,103 @@
+//! Network latency model.
+//!
+//! Table II of the paper: a 4-cycle router pipeline and 16-byte links. A
+//! message crossing `h` hops with `f` flits takes
+//! `h * (router + link) + (f - 1)` cycles (cut-through: the tail flits
+//! stream behind the head). On top of that base latency we expose a simple
+//! contention factor used by the end-to-end runtime estimate (Fig. 6):
+//! queueing delay grows with link utilization roughly like an M/D/1 queue.
+
+/// Pipeline and link timing parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LatencyModel {
+    /// Router pipeline depth in cycles (paper: 4).
+    pub router_cycles: u32,
+    /// Link traversal in cycles (1 for a mesh hop).
+    pub link_cycles: u32,
+    /// Link width in bytes per flit (paper: 16).
+    pub link_bytes: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            router_cycles: 4,
+            link_cycles: 1,
+            link_bytes: 16,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Base (uncontended) latency in cycles for a message of `bytes`
+    /// payload crossing `hops` links.
+    ///
+    /// A zero-hop message (local delivery) still pays one router traversal.
+    pub fn base_latency(&self, hops: u32, bytes: u32) -> u64 {
+        let flits = bytes.div_ceil(self.link_bytes).max(1);
+        let hops = hops.max(1);
+        u64::from(hops) * u64::from(self.router_cycles + self.link_cycles)
+            + u64::from(flits - 1)
+    }
+
+    /// Scales a base latency by a contention factor derived from average
+    /// link `utilization` in `[0, 1)`.
+    ///
+    /// Uses the M/D/1-style factor `1 + rho / (2 * (1 - rho))`, with the
+    /// utilization clamped to 0.95 so pathological inputs stay finite.
+    pub fn contended_latency(&self, base: u64, utilization: f64) -> u64 {
+        let rho = utilization.clamp(0.0, 0.95);
+        let factor = 1.0 + rho / (2.0 * (1.0 - rho));
+        (base as f64 * factor).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hop_control_message() {
+        let m = LatencyModel::default();
+        // 1 hop * (4 + 1) + (1 - 1) = 5 cycles.
+        assert_eq!(m.base_latency(1, 8), 5);
+    }
+
+    #[test]
+    fn multi_hop_data_message() {
+        let m = LatencyModel::default();
+        // 72 bytes = 5 flits; 3 hops * 5 + 4 = 19.
+        assert_eq!(m.base_latency(3, 72), 19);
+    }
+
+    #[test]
+    fn zero_hop_pays_one_router() {
+        let m = LatencyModel::default();
+        assert_eq!(m.base_latency(0, 8), 5);
+    }
+
+    #[test]
+    fn contention_monotonic() {
+        let m = LatencyModel::default();
+        let base = 20;
+        let l0 = m.contended_latency(base, 0.0);
+        let l5 = m.contended_latency(base, 0.5);
+        let l9 = m.contended_latency(base, 0.9);
+        assert_eq!(l0, base);
+        assert!(l5 > l0);
+        assert!(l9 > l5);
+        // Clamped: stays finite even for nonsense utilization.
+        let l_max = m.contended_latency(base, 2.0);
+        assert!(l_max >= l9 && l_max < base * 20);
+    }
+
+    #[test]
+    fn custom_link_width() {
+        let m = LatencyModel {
+            link_bytes: 8,
+            ..Default::default()
+        };
+        // 72 bytes on 8-byte links = 9 flits; 2 hops * 5 + 8 = 18.
+        assert_eq!(m.base_latency(2, 72), 18);
+    }
+}

@@ -1,0 +1,120 @@
+//! Coherence message taxonomy and sizing.
+//!
+//! The network traffic the paper reports (Table IV) is "the total amount of
+//! data transferred through the network, including both data and coherence
+//! messages". We size messages the way GEMS does: control messages are
+//! 8 bytes, data messages carry a 64-byte cache block plus an 8-byte
+//! header.
+
+/// The kinds of messages a token-coherence transaction puts on the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MessageKind {
+    /// A transient snoop request (GETS/GETX), 8-byte control message.
+    Request,
+    /// A token-carrying response without data (e.g. tokens surrendered on a
+    /// GETX by a cache holding no valid data is still modelled as a token
+    /// reply), 8-byte control message.
+    TokenReply,
+    /// A data response: 64-byte block + 8-byte header.
+    Data,
+    /// A write-back of a dirty block to memory: 64 + 8 bytes.
+    Writeback,
+    /// A persistent (starvation-avoidance) request, 8 bytes.
+    Persistent,
+    /// A vCPU-map update message from the hypervisor (Section IV-B),
+    /// 8 bytes.
+    MapUpdate,
+}
+
+impl MessageKind {
+    /// All message kinds, for iteration in statistics.
+    pub const ALL: [MessageKind; 6] = [
+        MessageKind::Request,
+        MessageKind::TokenReply,
+        MessageKind::Data,
+        MessageKind::Writeback,
+        MessageKind::Persistent,
+        MessageKind::MapUpdate,
+    ];
+
+    /// Payload size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MessageKind::Request
+            | MessageKind::TokenReply
+            | MessageKind::Persistent
+            | MessageKind::MapUpdate => 8,
+            MessageKind::Data | MessageKind::Writeback => 72,
+        }
+    }
+
+    /// Number of flits on a link carrying `link_bytes` per flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_bytes` is zero.
+    pub fn flits(self, link_bytes: u32) -> u32 {
+        assert!(link_bytes > 0, "link width must be positive");
+        self.bytes().div_ceil(link_bytes)
+    }
+
+    /// Returns `true` for the kinds that carry a full cache block.
+    pub const fn carries_data(self) -> bool {
+        matches!(self, MessageKind::Data | MessageKind::Writeback)
+    }
+
+    /// Dense index for per-kind statistics arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            MessageKind::Request => 0,
+            MessageKind::TokenReply => 1,
+            MessageKind::Data => 2,
+            MessageKind::Writeback => 3,
+            MessageKind::Persistent => 4,
+            MessageKind::MapUpdate => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_gems_convention() {
+        assert_eq!(MessageKind::Request.bytes(), 8);
+        assert_eq!(MessageKind::Data.bytes(), 72);
+        assert_eq!(MessageKind::Writeback.bytes(), 72);
+    }
+
+    #[test]
+    fn flit_counts_on_16_byte_links() {
+        assert_eq!(MessageKind::Request.flits(16), 1);
+        assert_eq!(MessageKind::Data.flits(16), 5); // ceil(72/16)
+        assert_eq!(MessageKind::TokenReply.flits(16), 1);
+    }
+
+    #[test]
+    fn data_classification() {
+        assert!(MessageKind::Data.carries_data());
+        assert!(MessageKind::Writeback.carries_data());
+        assert!(!MessageKind::Request.carries_data());
+        assert!(!MessageKind::MapUpdate.carries_data());
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; MessageKind::ALL.len()];
+        for k in MessageKind::ALL {
+            assert!(!seen[k.index()], "duplicate index");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_link_width_rejected() {
+        let _ = MessageKind::Request.flits(0);
+    }
+}

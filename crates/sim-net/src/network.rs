@@ -1,0 +1,184 @@
+//! The assembled on-chip network: topology + latency + traffic accounting.
+//!
+//! [`Network`] is the single object the coherence simulator talks to. Every
+//! `send`/`multicast` both *accounts* the traffic (byte-links, Table IV's
+//! metric) and *returns* the base latency of the transfer so the timing
+//! model can accumulate transaction latencies.
+
+use crate::latency::LatencyModel;
+use crate::message::MessageKind;
+use crate::topology::{Mesh, NodeId};
+use crate::traffic::TrafficStats;
+
+/// An on-chip mesh network with memory-controller ports.
+///
+/// # Examples
+///
+/// ```
+/// use sim_net::{Network, Mesh, MessageKind, NodeId};
+///
+/// let mut net = Network::new(Mesh::new(4, 4));
+/// let lat = net.unicast(NodeId::new(0), NodeId::new(3), MessageKind::Request);
+/// assert_eq!(lat, 15); // 3 hops x 5 cycles
+/// assert_eq!(net.traffic().byte_links(), 24); // 8 bytes x 3 links
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    mesh: Mesh,
+    latency: LatencyModel,
+    ports: Vec<NodeId>,
+    traffic: TrafficStats,
+}
+
+impl Network {
+    /// Creates a network over `mesh` with the default latency model and
+    /// memory ports at the mesh corners.
+    pub fn new(mesh: Mesh) -> Self {
+        Network {
+            mesh,
+            latency: LatencyModel::default(),
+            ports: mesh.corner_ports(),
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// Creates a network with an explicit latency model and memory ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty or contains a node outside the mesh.
+    pub fn with_config(mesh: Mesh, latency: LatencyModel, ports: Vec<NodeId>) -> Self {
+        assert!(!ports.is_empty(), "need at least one memory port");
+        assert!(
+            ports.iter().all(|p| p.index() < mesh.len()),
+            "memory port outside mesh"
+        );
+        Network {
+            mesh,
+            latency,
+            ports,
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// Returns the topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Returns the latency model.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Returns the memory-controller ports.
+    pub fn memory_ports(&self) -> &[NodeId] {
+        &self.ports
+    }
+
+    /// Returns accumulated traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Resets traffic statistics (e.g. after warm-up).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficStats::default();
+    }
+
+    /// Sends one message; returns its base latency in cycles.
+    pub fn unicast(&mut self, src: NodeId, dst: NodeId, kind: MessageKind) -> u64 {
+        let hops = self.mesh.hops(src, dst);
+        self.traffic.record(kind, hops);
+        self.latency.base_latency(hops, kind.bytes())
+    }
+
+    /// Sends the same message to every destination (as repeated unicasts);
+    /// returns the *maximum* base latency over the destinations, or 0 for
+    /// an empty destination set.
+    pub fn multicast(
+        &mut self,
+        src: NodeId,
+        dests: impl IntoIterator<Item = NodeId>,
+        kind: MessageKind,
+    ) -> u64 {
+        let mut worst = 0;
+        for d in dests {
+            worst = worst.max(self.unicast(src, d, kind));
+        }
+        worst
+    }
+
+    /// Sends a message from `src` to the nearest memory controller;
+    /// returns the base latency (network part only; the caller adds DRAM
+    /// access time).
+    pub fn to_memory(&mut self, src: NodeId, kind: MessageKind) -> u64 {
+        let port = self.mesh.nearest_port(src, &self.ports);
+        self.unicast(src, port, kind)
+    }
+
+    /// Sends a message from the memory controller nearest `dst` to `dst`.
+    pub fn from_memory(&mut self, dst: NodeId, kind: MessageKind) -> u64 {
+        let port = self.mesh.nearest_port(dst, &self.ports);
+        self.unicast(port, dst, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_accounts_every_destination() {
+        let mut net = Network::new(Mesh::new(4, 4));
+        let src = NodeId::new(0);
+        let dests: Vec<NodeId> = (1..16).map(NodeId::new).collect();
+        let lat = net.multicast(src, dests.clone(), MessageKind::Request);
+        // Farthest destination is 6 hops -> 30 cycles.
+        assert_eq!(lat, 30);
+        // 48 total hops from the corner (see topology tests) x 8 bytes.
+        assert_eq!(net.traffic().byte_links(), 48 * 8);
+        assert_eq!(net.traffic().messages(), 15);
+    }
+
+    #[test]
+    fn empty_multicast_is_free() {
+        let mut net = Network::new(Mesh::new(2, 2));
+        let lat = net.multicast(NodeId::new(0), std::iter::empty(), MessageKind::Request);
+        assert_eq!(lat, 0);
+        assert_eq!(net.traffic().messages(), 0);
+    }
+
+    #[test]
+    fn memory_roundtrip_uses_nearest_port() {
+        let mut net = Network::new(Mesh::new(4, 4));
+        // Node 5 = (1,1); nearest corner is (0,0), 2 hops away.
+        let req = net.to_memory(NodeId::new(5), MessageKind::Request);
+        assert_eq!(req, 10);
+        let resp = net.from_memory(NodeId::new(5), MessageKind::Data);
+        assert_eq!(resp, 2 * 5 + 4);
+        assert_eq!(
+            net.traffic().byte_links(),
+            8 * 2 + 72 * 2
+        );
+    }
+
+    #[test]
+    fn reset_traffic_clears_counters() {
+        let mut net = Network::new(Mesh::new(2, 2));
+        net.unicast(NodeId::new(0), NodeId::new(3), MessageKind::Data);
+        assert!(net.traffic().byte_links() > 0);
+        net.reset_traffic();
+        assert_eq!(net.traffic().byte_links(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory port")]
+    fn bad_port_rejected() {
+        let _ = Network::with_config(
+            Mesh::new(2, 2),
+            LatencyModel::default(),
+            vec![NodeId::new(9)],
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! 2D mesh topology with dimension-ordered (XY) routing.
+//!
+//! The paper's simulated system uses a 4x4 2D mesh with 16-byte links
+//! (Table II). Snoop traffic cost is dominated by how many links each
+//! message crosses, so the topology's job is hop accounting: XY routing
+//! makes the hop count between two nodes their Manhattan distance.
+
+use std::fmt;
+
+/// A node (router) of the mesh; node *i* hosts core *i* in row-major order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(i: u16) -> Self {
+        NodeId(i)
+    }
+}
+
+/// A `width` x `height` 2D mesh.
+///
+/// # Examples
+///
+/// ```
+/// use sim_net::{Mesh, NodeId};
+///
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(mesh.nodes().count(), 16);
+/// // Opposite corners of a 4x4 mesh are 6 hops apart under XY routing.
+/// assert_eq!(mesh.hops(NodeId::new(0), NodeId::new(15)), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height }
+    }
+
+    /// Returns the mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns the mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Returns the number of nodes.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Returns `true` for a degenerate 0-node mesh (never constructible).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all node identifiers in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u16).map(NodeId::new)
+    }
+
+    /// Returns the `(x, y)` coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        assert!(i < self.len(), "node {node} out of range for {}x{} mesh", self.width, self.height);
+        (i % self.width, i / self.width)
+    }
+
+    /// Returns the node at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside mesh");
+        NodeId::new((y * self.width + x) as u16)
+    }
+
+    /// Number of links a message from `a` to `b` traverses under XY
+    /// routing (the Manhattan distance).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+
+    /// Sum of hop counts from `src` to each destination (multicasts are
+    /// modelled as repeated unicasts, as in the GEMS/Garnet baseline).
+    pub fn sum_hops(&self, src: NodeId, dests: impl IntoIterator<Item = NodeId>) -> u64 {
+        dests
+            .into_iter()
+            .map(|d| u64::from(self.hops(src, d)))
+            .sum()
+    }
+
+    /// Returns the default memory-controller ports: the four corner nodes
+    /// (or fewer for degenerate meshes).
+    pub fn corner_ports(&self) -> Vec<NodeId> {
+        let mut v = vec![
+            self.node_at(0, 0),
+            self.node_at(self.width - 1, 0),
+            self.node_at(0, self.height - 1),
+            self.node_at(self.width - 1, self.height - 1),
+        ];
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Returns the memory port (from `ports`) closest to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty.
+    pub fn nearest_port(&self, node: NodeId, ports: &[NodeId]) -> NodeId {
+        assert!(!ports.is_empty(), "need at least one memory port");
+        *ports
+            .iter()
+            .min_by_key(|&&p| (self.hops(node, p), p.index()))
+            .expect("ports non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(4, 4);
+        for n in m.nodes() {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.hops(m.node_at(0, 0), m.node_at(0, 0)), 0);
+        assert_eq!(m.hops(m.node_at(0, 0), m.node_at(3, 0)), 3);
+        assert_eq!(m.hops(m.node_at(1, 1), m.node_at(2, 3)), 3);
+        // symmetric
+        assert_eq!(
+            m.hops(m.node_at(0, 2), m.node_at(3, 1)),
+            m.hops(m.node_at(3, 1), m.node_at(0, 2))
+        );
+    }
+
+    #[test]
+    fn sum_hops_broadcast_4x4() {
+        let m = Mesh::new(4, 4);
+        let src = m.node_at(0, 0);
+        let total = m.sum_hops(src, m.nodes().filter(|&n| n != src));
+        // Sum of Manhattan distances from corner (0,0) of 4x4:
+        // sum over x,y of (x + y) = 4*(0+1+2+3)*2 = 48.
+        assert_eq!(total, 48);
+    }
+
+    #[test]
+    fn corner_ports_and_nearest() {
+        let m = Mesh::new(4, 4);
+        let ports = m.corner_ports();
+        assert_eq!(ports.len(), 4);
+        assert_eq!(m.nearest_port(m.node_at(1, 1), &ports), m.node_at(0, 0));
+        assert_eq!(m.nearest_port(m.node_at(2, 3), &ports), m.node_at(3, 3));
+    }
+
+    #[test]
+    fn single_row_mesh() {
+        let m = Mesh::new(8, 1);
+        assert_eq!(m.hops(NodeId::new(0), NodeId::new(7)), 7);
+        assert_eq!(m.corner_ports().len(), 2);
+    }
+
+    #[test]
+    fn one_by_one_mesh() {
+        let m = Mesh::new(1, 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.corner_ports().len(), 1);
+        assert_eq!(m.hops(NodeId::new(0), NodeId::new(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        let m = Mesh::new(2, 2);
+        let _ = m.coords(NodeId::new(4));
+    }
+}

@@ -1,0 +1,129 @@
+//! Network traffic accounting.
+//!
+//! The paper's Table IV metric is the total amount of data moved through
+//! the network: every message contributes `bytes x links-traversed`
+//! ("byte-links"). Multicasts are modelled as one unicast per destination,
+//! matching the repeated-unicast snooping of the TokenB baseline.
+
+use crate::message::MessageKind;
+
+/// Accumulated traffic statistics.
+///
+/// # Examples
+///
+/// ```
+/// use sim_net::{TrafficStats, MessageKind};
+///
+/// let mut t = TrafficStats::default();
+/// t.record(MessageKind::Request, 3);
+/// t.record(MessageKind::Data, 2);
+/// assert_eq!(t.byte_links(), 8 * 3 + 72 * 2);
+/// assert_eq!(t.messages(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TrafficStats {
+    byte_links: u64,
+    per_kind_byte_links: [u64; MessageKind::ALL.len()],
+    per_kind_messages: [u64; MessageKind::ALL.len()],
+}
+
+impl TrafficStats {
+    /// Records one message of `kind` crossing `hops` links.
+    ///
+    /// Zero-hop (local) deliveries consume no link bandwidth and add no
+    /// traffic, but are still counted as messages.
+    pub fn record(&mut self, kind: MessageKind, hops: u32) {
+        let contribution = u64::from(kind.bytes()) * u64::from(hops);
+        self.byte_links += contribution;
+        self.per_kind_byte_links[kind.index()] += contribution;
+        self.per_kind_messages[kind.index()] += 1;
+    }
+
+    /// Total byte-links accumulated.
+    pub fn byte_links(&self) -> u64 {
+        self.byte_links
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.per_kind_messages.iter().sum()
+    }
+
+    /// Byte-links attributable to `kind`.
+    pub fn byte_links_of(&self, kind: MessageKind) -> u64 {
+        self.per_kind_byte_links[kind.index()]
+    }
+
+    /// Messages of `kind` recorded.
+    pub fn messages_of(&self, kind: MessageKind) -> u64 {
+        self.per_kind_messages[kind.index()]
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.byte_links += other.byte_links;
+        for i in 0..self.per_kind_byte_links.len() {
+            self.per_kind_byte_links[i] += other.per_kind_byte_links[i];
+            self.per_kind_messages[i] += other.per_kind_messages[i];
+        }
+    }
+
+    /// Fractional reduction of this traffic relative to `baseline`
+    /// (`1 - self/baseline`), or 0 when the baseline is empty.
+    pub fn reduction_vs(&self, baseline: &TrafficStats) -> f64 {
+        if baseline.byte_links == 0 {
+            0.0
+        } else {
+            1.0 - self.byte_links as f64 / baseline.byte_links as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_accounting() {
+        let mut t = TrafficStats::default();
+        t.record(MessageKind::Request, 2);
+        t.record(MessageKind::Request, 4);
+        t.record(MessageKind::Data, 1);
+        assert_eq!(t.byte_links_of(MessageKind::Request), 8 * 6);
+        assert_eq!(t.byte_links_of(MessageKind::Data), 72);
+        assert_eq!(t.messages_of(MessageKind::Request), 2);
+        assert_eq!(t.messages(), 3);
+        assert_eq!(t.byte_links(), 48 + 72);
+    }
+
+    #[test]
+    fn zero_hop_message_counted_but_free() {
+        let mut t = TrafficStats::default();
+        t.record(MessageKind::Data, 0);
+        assert_eq!(t.byte_links(), 0);
+        assert_eq!(t.messages(), 1);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = TrafficStats::default();
+        a.record(MessageKind::Request, 1);
+        let mut b = TrafficStats::default();
+        b.record(MessageKind::Writeback, 2);
+        b.record(MessageKind::Request, 3);
+        a.merge(&b);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.byte_links(), 8 + 144 + 24);
+    }
+
+    #[test]
+    fn reduction_vs_baseline() {
+        let mut base = TrafficStats::default();
+        base.record(MessageKind::Data, 10); // 720
+        let mut filt = TrafficStats::default();
+        filt.record(MessageKind::Data, 5); // 360
+        assert!((filt.reduction_vs(&base) - 0.5).abs() < 1e-12);
+        // Empty baseline yields 0, not a division by zero.
+        assert_eq!(filt.reduction_vs(&TrafficStats::default()), 0.0);
+    }
+}

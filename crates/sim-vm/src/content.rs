@@ -1,0 +1,357 @@
+//! Content-based page sharing (Section VI).
+//!
+//! The hypervisor hashes page contents, periodically scans for identical
+//! pages across VMs, and maps them to a single read-only host page. Any
+//! write triggers an exception and a copy-on-write: a fresh private page is
+//! allocated for the writer. The paper evaluates an *ideal* detector
+//! ("sharing detection in the experiment is more aggressive than what
+//! commercial hypervisors can do"), which is what [`ContentSharer::scan`]
+//! implements: every group of same-content pages is merged on each scan.
+
+use std::collections::HashMap;
+
+use crate::ids::VmId;
+use crate::memory::MemoryMap;
+use crate::page_table::{SharingDirectory, SharingType};
+
+/// Opaque content fingerprint of a page.
+///
+/// Real hypervisors hash the 4 KB of page data; synthetic workloads simply
+/// assign equal fingerprints to pages meant to be identical (e.g. the same
+/// guest-kernel text page in every VM).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ContentHash(pub u64);
+
+/// Result of one dedup scan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScanStats {
+    /// Number of content groups that are shared after the scan.
+    pub shared_groups: usize,
+    /// Pages now redirected to a canonical copy (excluding canonicals).
+    pub pages_deduplicated: usize,
+}
+
+/// The hypervisor's content-based page sharing machinery.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::{ContentSharer, ContentHash, SharingDirectory, SharingType, MemoryMap, VmId};
+///
+/// let mut mem = MemoryMap::new();
+/// let a = mem.alloc_page();
+/// let b = mem.alloc_page();
+/// let mut dir = SharingDirectory::new();
+/// dir.register(a, SharingType::VmPrivate, Some(VmId::new(0)));
+/// dir.register(b, SharingType::VmPrivate, Some(VmId::new(1)));
+///
+/// let mut cs = ContentSharer::new();
+/// cs.set_content(a, VmId::new(0), ContentHash(42));
+/// cs.set_content(b, VmId::new(1), ContentHash(42));
+/// let stats = cs.scan(&mut dir);
+/// assert_eq!(stats.shared_groups, 1);
+/// // Both guest pages now resolve to the same read-only host page.
+/// assert_eq!(cs.resolve(a), cs.resolve(b));
+/// assert_eq!(dir.sharing(cs.resolve(a)), SharingType::RoShared);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ContentSharer {
+    /// Registered content fingerprints: page -> (owner VM, hash).
+    content: HashMap<u64, (VmId, ContentHash)>,
+    /// Post-dedup redirection: original page -> canonical page.
+    remap: HashMap<u64, u64>,
+    /// Canonical page of each currently shared content group, with the
+    /// pages folded into it.
+    groups: HashMap<ContentHash, Group>,
+    /// Copy-on-write events performed so far.
+    cow_events: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Group {
+    canonical: u64,
+    members: Vec<(u64, VmId)>,
+}
+
+impl ContentSharer {
+    /// Creates an empty sharer.
+    pub fn new() -> Self {
+        ContentSharer::default()
+    }
+
+    /// Records the content fingerprint of `page`, owned by `vm`.
+    ///
+    /// Pages with equal fingerprints registered by *different* VMs become
+    /// candidates for sharing at the next [`scan`](Self::scan).
+    pub fn set_content(&mut self, page: u64, vm: VmId, hash: ContentHash) {
+        self.content.insert(page, (vm, hash));
+    }
+
+    /// Performs an ideal dedup scan: every set of same-content pages spanning
+    /// at least two VMs is merged onto one canonical host page, which is
+    /// marked [`SharingType::RoShared`] in the directory.
+    pub fn scan(&mut self, dir: &mut SharingDirectory) -> ScanStats {
+        let mut by_hash: HashMap<ContentHash, Vec<(u64, VmId)>> = HashMap::new();
+        for (&page, &(vm, hash)) in &self.content {
+            // Pages already folded into a group stay folded.
+            if self.remap.contains_key(&page) {
+                continue;
+            }
+            by_hash.entry(hash).or_default().push((page, vm));
+        }
+        for (hash, mut pages) in by_hash {
+            pages.sort_unstable();
+            let distinct_vms = {
+                let mut vms: Vec<VmId> = pages.iter().map(|&(_, vm)| vm).collect();
+                vms.sort_unstable();
+                vms.dedup();
+                vms.len()
+            };
+            if distinct_vms < 2 && !self.groups.contains_key(&hash) {
+                continue;
+            }
+            let group = self.groups.entry(hash).or_insert_with(|| Group {
+                canonical: pages[0].0,
+                members: Vec::new(),
+            });
+            for (page, vm) in pages {
+                if page == group.canonical {
+                    if !group.members.iter().any(|&(p, _)| p == page) {
+                        group.members.push((page, vm));
+                    }
+                    continue;
+                }
+                self.remap.insert(page, group.canonical);
+                if !group.members.iter().any(|&(p, _)| p == page) {
+                    group.members.push((page, vm));
+                }
+            }
+            dir.register(group.canonical, SharingType::RoShared, None);
+        }
+        ScanStats {
+            shared_groups: self.groups.len(),
+            pages_deduplicated: self.remap.len(),
+        }
+    }
+
+    /// Resolves a guest-visible page to the host page actually backing it
+    /// (the canonical copy if the page was deduplicated).
+    pub fn resolve(&self, page: u64) -> u64 {
+        self.remap.get(&page).copied().unwrap_or(page)
+    }
+
+    /// Returns `true` if `page` currently resolves to a shared canonical
+    /// copy (including being the canonical itself while shared).
+    pub fn is_shared(&self, page: u64) -> bool {
+        let target = self.resolve(page);
+        self.groups.values().any(|g| g.canonical == target && g.members.len() > 1)
+    }
+
+    /// Handles a write by `vm` to (guest-visible) `page`.
+    ///
+    /// If the page resolves to a shared canonical copy, performs
+    /// copy-on-write: allocates a fresh private host page for the writer,
+    /// detaches the writer from the group, and returns `Some(new_page)`.
+    /// When the group shrinks to a single member, the canonical page
+    /// reverts to VM-private. Returns `None` if the page was not shared.
+    pub fn copy_on_write(
+        &mut self,
+        page: u64,
+        vm: VmId,
+        mem: &mut MemoryMap,
+        dir: &mut SharingDirectory,
+    ) -> Option<u64> {
+        let canonical = self.resolve(page);
+        let hash = self
+            .groups
+            .iter()
+            .find(|(_, g)| g.canonical == canonical)
+            .map(|(&h, _)| h)?;
+        let group = self.groups.get_mut(&hash)?;
+        if group.members.len() < 2 {
+            return None;
+        }
+        let new_page = mem.alloc_page();
+        dir.register(new_page, SharingType::VmPrivate, Some(vm));
+        group.members.retain(|&(p, _)| p != page);
+        self.remap.remove(&page);
+        self.remap.insert(page, new_page);
+        self.cow_events += 1;
+        if group.members.len() == 1 {
+            let (last_page, last_vm) = group.members[0];
+            let canonical = group.canonical;
+            dir.register(canonical, SharingType::VmPrivate, Some(last_vm));
+            self.groups.remove(&hash);
+            debug_assert_eq!(self.resolve(last_page), canonical);
+        }
+        Some(new_page)
+    }
+
+    /// Returns the number of copy-on-write events so far.
+    pub fn cow_events(&self) -> u64 {
+        self.cow_events
+    }
+
+    /// Returns, for each VM pair `(a, b)` with `a < b`, the number of
+    /// canonical pages currently shared between them. The friend-VM
+    /// optimization (Section VI-B) picks, for each VM, the VM it shares the
+    /// most content pages with.
+    pub fn shared_page_counts(&self) -> HashMap<(VmId, VmId), usize> {
+        let mut counts: HashMap<(VmId, VmId), usize> = HashMap::new();
+        for group in self.groups.values() {
+            if group.members.len() < 2 {
+                continue;
+            }
+            let mut vms: Vec<VmId> = group.members.iter().map(|&(_, vm)| vm).collect();
+            vms.sort_unstable();
+            vms.dedup();
+            for i in 0..vms.len() {
+                for j in i + 1..vms.len() {
+                    *counts.entry((vms[i], vms[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// For `vm`, returns the VM sharing the most content pages with it, if
+    /// any sharing exists.
+    pub fn friend_of(&self, vm: VmId) -> Option<VmId> {
+        let counts = self.shared_page_counts();
+        counts
+            .iter()
+            .filter_map(|(&(a, b), &n)| {
+                if a == vm {
+                    Some((b, n))
+                } else if b == vm {
+                    Some((a, n))
+                } else {
+                    None
+                }
+            })
+            .max_by_key(|&(other, n)| (n, std::cmp::Reverse(other.index())))
+            .map(|(other, _)| other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n_vms: u16, pages_per_vm: u64) -> (MemoryMap, SharingDirectory, ContentSharer, Vec<Vec<u64>>) {
+        let mut mem = MemoryMap::new();
+        let mut dir = SharingDirectory::new();
+        let cs = ContentSharer::new();
+        let mut vm_pages = Vec::new();
+        for vm in 0..n_vms {
+            let r = mem.alloc_region(pages_per_vm);
+            for p in r.iter() {
+                dir.register(p, SharingType::VmPrivate, Some(VmId::new(vm)));
+            }
+            vm_pages.push(r.iter().collect());
+        }
+        (mem, dir, cs, vm_pages)
+    }
+
+    #[test]
+    fn scan_merges_cross_vm_identical_pages() {
+        let (_mem, mut dir, mut cs, pages) = setup(4, 4);
+        // Page 0 of every VM has the same content (e.g. kernel text).
+        for (vm, ps) in pages.iter().enumerate() {
+            cs.set_content(ps[0], VmId::new(vm as u16), ContentHash(7));
+        }
+        let stats = cs.scan(&mut dir);
+        assert_eq!(stats.shared_groups, 1);
+        assert_eq!(stats.pages_deduplicated, 3);
+        let canon = cs.resolve(pages[0][0]);
+        for ps in &pages {
+            assert_eq!(cs.resolve(ps[0]), canon);
+        }
+        assert_eq!(dir.sharing(canon), SharingType::RoShared);
+        assert!(cs.is_shared(pages[3][0]));
+    }
+
+    #[test]
+    fn same_vm_duplicates_alone_do_not_share() {
+        let (_mem, mut dir, mut cs, pages) = setup(2, 4);
+        cs.set_content(pages[0][0], VmId::new(0), ContentHash(9));
+        cs.set_content(pages[0][1], VmId::new(0), ContentHash(9));
+        let stats = cs.scan(&mut dir);
+        assert_eq!(stats.shared_groups, 0);
+        assert!(!cs.is_shared(pages[0][0]));
+    }
+
+    #[test]
+    fn copy_on_write_detaches_writer() {
+        let (mut mem, mut dir, mut cs, pages) = setup(3, 2);
+        for (vm, ps) in pages.iter().enumerate() {
+            cs.set_content(ps[0], VmId::new(vm as u16), ContentHash(1));
+        }
+        cs.scan(&mut dir);
+        let canon = cs.resolve(pages[1][0]);
+        let new_page = cs
+            .copy_on_write(pages[1][0], VmId::new(1), &mut mem, &mut dir)
+            .expect("page was shared");
+        assert_ne!(new_page, canon);
+        assert_eq!(cs.resolve(pages[1][0]), new_page);
+        assert_eq!(dir.sharing(new_page), SharingType::VmPrivate);
+        assert_eq!(dir.owner(new_page), Some(VmId::new(1)));
+        // The other two VMs still share.
+        assert!(cs.is_shared(pages[0][0]));
+        assert_eq!(cs.cow_events(), 1);
+    }
+
+    #[test]
+    fn cow_last_pair_reverts_canonical_to_private() {
+        let (mut mem, mut dir, mut cs, pages) = setup(2, 1);
+        cs.set_content(pages[0][0], VmId::new(0), ContentHash(5));
+        cs.set_content(pages[1][0], VmId::new(1), ContentHash(5));
+        cs.scan(&mut dir);
+        let canon = cs.resolve(pages[0][0]);
+        cs.copy_on_write(pages[1][0], VmId::new(1), &mut mem, &mut dir)
+            .expect("shared");
+        // Only VM0 remains: the canonical page is private again.
+        assert_eq!(dir.sharing(canon), SharingType::VmPrivate);
+        assert_eq!(dir.owner(canon), Some(VmId::new(0)));
+        assert!(!cs.is_shared(pages[0][0]));
+        // A second write on the now-private page is not a CoW.
+        assert_eq!(cs.copy_on_write(pages[0][0], VmId::new(0), &mut mem, &mut dir), None);
+    }
+
+    #[test]
+    fn friend_vm_is_the_biggest_sharer() {
+        let (_mem, mut dir, mut cs, pages) = setup(3, 8);
+        // VM0 and VM1 share 3 pages; VM0 and VM2 share 1 page.
+        for i in 0..3 {
+            cs.set_content(pages[0][i], VmId::new(0), ContentHash(100 + i as u64));
+            cs.set_content(pages[1][i], VmId::new(1), ContentHash(100 + i as u64));
+        }
+        cs.set_content(pages[0][5], VmId::new(0), ContentHash(999));
+        cs.set_content(pages[2][5], VmId::new(2), ContentHash(999));
+        cs.scan(&mut dir);
+        assert_eq!(cs.friend_of(VmId::new(0)), Some(VmId::new(1)));
+        assert_eq!(cs.friend_of(VmId::new(1)), Some(VmId::new(0)));
+        assert_eq!(cs.friend_of(VmId::new(2)), Some(VmId::new(0)));
+        let counts = cs.shared_page_counts();
+        assert_eq!(counts[&(VmId::new(0), VmId::new(1))], 3);
+        assert_eq!(counts[&(VmId::new(0), VmId::new(2))], 1);
+    }
+
+    #[test]
+    fn rescan_after_cow_does_not_refold_rewritten_page() {
+        // After CoW the writer's page has *new* content; a rescan must not
+        // merge it back unless contents match again.
+        let (mut mem, mut dir, mut cs, pages) = setup(2, 1);
+        cs.set_content(pages[0][0], VmId::new(0), ContentHash(5));
+        cs.set_content(pages[1][0], VmId::new(1), ContentHash(5));
+        cs.scan(&mut dir);
+        let fresh = cs
+            .copy_on_write(pages[1][0], VmId::new(1), &mut mem, &mut dir)
+            .unwrap();
+        // Writer's new content differs now.
+        cs.set_content(fresh, VmId::new(1), ContentHash(6));
+        let stats = cs.scan(&mut dir);
+        assert_eq!(stats.shared_groups, 0);
+        assert_eq!(cs.resolve(pages[1][0]), fresh);
+    }
+}

@@ -1,0 +1,311 @@
+//! The hypervisor's vCPU-to-core mapping and relocation machinery.
+//!
+//! Virtual snooping requires the hypervisor to know, at every instant, which
+//! physical cores each VM's vCPUs occupy (Section IV-A). The [`Hypervisor`]
+//! tracks that assignment, performs relocations (vCPU migrations), and logs
+//! [`RelocationEvent`]s so experiments can account for vCPU-map
+//! synchronization and measure relocation frequency (Table I).
+
+use std::collections::HashMap;
+
+use crate::ids::{CoreId, VcpuId, VmId};
+use crate::vm::VmSpec;
+
+/// A single vCPU relocation, as logged by the hypervisor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelocationEvent {
+    /// Simulation time (in cycles) at which the relocation happened.
+    pub cycle: u64,
+    /// The relocated vCPU.
+    pub vcpu: VcpuId,
+    /// Core the vCPU ran on before the relocation, if it was placed.
+    pub from: Option<CoreId>,
+    /// Core the vCPU runs on after the relocation.
+    pub to: CoreId,
+}
+
+/// Hypervisor state: the dynamic assignment of vCPUs to physical cores.
+///
+/// The mapping is partial in both directions: a core can be idle and a vCPU
+/// can be descheduled. Experiments in this reproduction keep every vCPU
+/// placed (the paper's simulated configurations have exactly as many vCPUs
+/// as cores), but the scheduler substrate uses the partial form.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::{Hypervisor, VmSpec, VmId, CoreId, homogeneous_vms};
+///
+/// let vms = homogeneous_vms(4, 4, 1024);
+/// let mut hv = Hypervisor::new(16, &vms);
+/// hv.place_round_robin();
+/// // With 16 vCPUs on 16 cores, every core is busy.
+/// assert!(CoreId::all(16).all(|c| hv.vcpu_on(c).is_some()));
+/// // VM0's four vCPUs sit on cores P0..P3.
+/// assert_eq!(hv.cores_of_vm(VmId::new(0)), 0b1111);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hypervisor {
+    n_cores: usize,
+    vcpu_on_core: Vec<Option<VcpuId>>,
+    core_of_vcpu: HashMap<VcpuId, CoreId>,
+    vms: Vec<VmSpec>,
+    relocations: Vec<RelocationEvent>,
+}
+
+impl Hypervisor {
+    /// Creates a hypervisor managing `n_cores` physical cores and the given
+    /// VMs. No vCPU is placed initially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or larger than 64 (vCPU maps are 64-bit
+    /// vectors throughout this reproduction, matching the paper's largest
+    /// configuration of 64 cores).
+    pub fn new(n_cores: usize, vms: &[VmSpec]) -> Self {
+        assert!(n_cores > 0 && n_cores <= 64, "core count must be in 1..=64");
+        Hypervisor {
+            n_cores,
+            vcpu_on_core: vec![None; n_cores],
+            core_of_vcpu: HashMap::new(),
+            vms: vms.to_vec(),
+            relocations: Vec::new(),
+        }
+    }
+
+    /// Returns the number of physical cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Returns the managed VM specifications.
+    pub fn vms(&self) -> &[VmSpec] {
+        &self.vms
+    }
+
+    /// Places all vCPUs on cores in VM order: VM0's vCPUs on the first
+    /// cores, then VM1's, and so on. This is the paper's "ideally pinned"
+    /// placement (Section V-B), which aligns each VM with a contiguous
+    /// quadrant of the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more vCPUs than cores.
+    pub fn place_round_robin(&mut self) {
+        let total: usize = self.vms.iter().map(|v| v.n_vcpus()).sum();
+        assert!(
+            total <= self.n_cores,
+            "cannot place {total} vCPUs on {} cores",
+            self.n_cores
+        );
+        let vms = self.vms.clone();
+        let mut next = 0u16;
+        for vm in &vms {
+            for vcpu in vm.vcpus() {
+                self.assign(0, vcpu, CoreId::new(next));
+                next += 1;
+            }
+        }
+    }
+
+    /// Assigns `vcpu` to `core` at time `cycle`, displacing nothing.
+    ///
+    /// Logs a [`RelocationEvent`] if the vCPU moved (its previous core, if
+    /// any, becomes idle). If another vCPU currently occupies `core` it is
+    /// descheduled (left unplaced); the caller decides where it goes next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn assign(&mut self, cycle: u64, vcpu: VcpuId, core: CoreId) {
+        assert!(core.index() < self.n_cores, "core {core} out of range");
+        let from = self.core_of_vcpu.get(&vcpu).copied();
+        if from == Some(core) {
+            return;
+        }
+        if let Some(old) = from {
+            self.vcpu_on_core[old.index()] = None;
+        }
+        if let Some(displaced) = self.vcpu_on_core[core.index()] {
+            self.core_of_vcpu.remove(&displaced);
+        }
+        self.vcpu_on_core[core.index()] = Some(vcpu);
+        self.core_of_vcpu.insert(vcpu, core);
+        self.relocations.push(RelocationEvent {
+            cycle,
+            vcpu,
+            from,
+            to: core,
+        });
+    }
+
+    /// Swaps the cores of two placed vCPUs at time `cycle`.
+    ///
+    /// This is the relocation primitive used by the migration experiments
+    /// (Section V-C): "two vCPUs from different VMs are randomly selected
+    /// and their physical cores are exchanged".
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vCPU is not currently placed.
+    pub fn swap(&mut self, cycle: u64, a: VcpuId, b: VcpuId) {
+        let ca = self.core_of(a).expect("vCPU a must be placed to swap");
+        let cb = self.core_of(b).expect("vCPU b must be placed to swap");
+        if ca == cb {
+            return;
+        }
+        self.vcpu_on_core[ca.index()] = Some(b);
+        self.vcpu_on_core[cb.index()] = Some(a);
+        self.core_of_vcpu.insert(a, cb);
+        self.core_of_vcpu.insert(b, ca);
+        self.relocations.push(RelocationEvent {
+            cycle,
+            vcpu: a,
+            from: Some(ca),
+            to: cb,
+        });
+        self.relocations.push(RelocationEvent {
+            cycle,
+            vcpu: b,
+            from: Some(cb),
+            to: ca,
+        });
+    }
+
+    /// Returns the core `vcpu` currently runs on, if placed.
+    pub fn core_of(&self, vcpu: VcpuId) -> Option<CoreId> {
+        self.core_of_vcpu.get(&vcpu).copied()
+    }
+
+    /// Returns the vCPU currently running on `core`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn vcpu_on(&self, core: CoreId) -> Option<VcpuId> {
+        self.vcpu_on_core[core.index()]
+    }
+
+    /// Returns the VM whose vCPU currently occupies `core`, if any.
+    pub fn vm_on(&self, core: CoreId) -> Option<VmId> {
+        self.vcpu_on(core).map(|v| v.vm())
+    }
+
+    /// Returns a bit mask (bit *i* = core *i*) of the cores on which `vm`'s
+    /// vCPUs are *currently running*.
+    ///
+    /// Note that a correct vCPU map must additionally include cores that
+    /// still hold the VM's cached data after a relocation; maintaining that
+    /// superset is the job of the virtual-snooping layer, not the
+    /// hypervisor's instantaneous view.
+    pub fn cores_of_vm(&self, vm: VmId) -> u64 {
+        let mut mask = 0u64;
+        for (i, slot) in self.vcpu_on_core.iter().enumerate() {
+            if let Some(v) = slot {
+                if v.vm() == vm {
+                    mask |= 1 << i;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Returns the relocation log.
+    pub fn relocations(&self) -> &[RelocationEvent] {
+        &self.relocations
+    }
+
+    /// Clears the relocation log (e.g. after a warm-up phase).
+    pub fn clear_relocations(&mut self) {
+        self.relocations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::homogeneous_vms;
+
+    fn hv_4x4() -> Hypervisor {
+        let vms = homogeneous_vms(4, 4, 256);
+        let mut hv = Hypervisor::new(16, &vms);
+        hv.place_round_robin();
+        hv
+    }
+
+    #[test]
+    fn round_robin_places_contiguously() {
+        let hv = hv_4x4();
+        assert_eq!(hv.cores_of_vm(VmId::new(0)), 0x000F);
+        assert_eq!(hv.cores_of_vm(VmId::new(1)), 0x00F0);
+        assert_eq!(hv.cores_of_vm(VmId::new(2)), 0x0F00);
+        assert_eq!(hv.cores_of_vm(VmId::new(3)), 0xF000);
+        // 16 placement events were logged.
+        assert_eq!(hv.relocations().len(), 16);
+    }
+
+    #[test]
+    fn swap_exchanges_cores_and_logs_two_events() {
+        let mut hv = hv_4x4();
+        hv.clear_relocations();
+        let a = VcpuId::new(VmId::new(0), 0);
+        let b = VcpuId::new(VmId::new(1), 0);
+        let ca = hv.core_of(a).unwrap();
+        let cb = hv.core_of(b).unwrap();
+        hv.swap(42, a, b);
+        assert_eq!(hv.core_of(a), Some(cb));
+        assert_eq!(hv.core_of(b), Some(ca));
+        assert_eq!(hv.vcpu_on(ca), Some(b));
+        assert_eq!(hv.vcpu_on(cb), Some(a));
+        let ev = hv.relocations();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].cycle, 42);
+        assert_eq!(ev[0].from, Some(ca));
+        assert_eq!(ev[0].to, cb);
+    }
+
+    #[test]
+    fn swap_same_core_is_noop() {
+        let mut hv = hv_4x4();
+        hv.clear_relocations();
+        let a = VcpuId::new(VmId::new(0), 0);
+        hv.swap(0, a, a);
+        assert!(hv.relocations().is_empty());
+    }
+
+    #[test]
+    fn assign_displaces_occupant() {
+        let mut hv = hv_4x4();
+        let a = VcpuId::new(VmId::new(0), 0);
+        let victim_core = CoreId::new(5);
+        let displaced = hv.vcpu_on(victim_core).unwrap();
+        hv.assign(7, a, victim_core);
+        assert_eq!(hv.core_of(a), Some(victim_core));
+        assert_eq!(hv.core_of(displaced), None);
+        // The old core of `a` is now idle.
+        assert_eq!(hv.vcpu_on(CoreId::new(0)), None);
+    }
+
+    #[test]
+    fn assign_same_core_logs_nothing() {
+        let mut hv = hv_4x4();
+        hv.clear_relocations();
+        let a = VcpuId::new(VmId::new(0), 0);
+        let core = hv.core_of(a).unwrap();
+        hv.assign(0, a, core);
+        assert!(hv.relocations().is_empty());
+    }
+
+    #[test]
+    fn vm_on_reports_running_vm() {
+        let hv = hv_4x4();
+        assert_eq!(hv.vm_on(CoreId::new(0)), Some(VmId::new(0)));
+        assert_eq!(hv.vm_on(CoreId::new(15)), Some(VmId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_cores_rejected() {
+        let _ = Hypervisor::new(65, &[]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Identifier newtypes for physical cores, virtual machines, and virtual
+//! CPUs.
+//!
+//! These are shared by every layer of the simulator: the cache substrate tags
+//! cache lines with a [`VmId`] (the paper extends cache tags with a VM
+//! identifier, Section IV-B), the interconnect maps a [`CoreId`] onto a mesh
+//! node, and the hypervisor schedules [`VcpuId`]s onto cores.
+
+use std::fmt;
+
+/// Identifier of a physical core.
+///
+/// A core owns a private L1/L2 cache pair and one node of the on-chip
+/// network. Cores are numbered densely from zero, in row-major mesh order.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::CoreId;
+///
+/// let p3 = CoreId::new(3);
+/// assert_eq!(p3.index(), 3);
+/// assert_eq!(p3.to_string(), "P3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a dense index.
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the dense index of this core.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` core identifiers, `P0 .. P(n-1)`.
+    ///
+    /// ```
+    /// use sim_vm::CoreId;
+    /// let cores: Vec<_> = CoreId::all(4).collect();
+    /// assert_eq!(cores.len(), 4);
+    /// assert_eq!(cores[3], CoreId::new(3));
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n as u16).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(index: u16) -> Self {
+        CoreId(index)
+    }
+}
+
+/// Identifier of a virtual machine.
+///
+/// In the paper each VM forms a *virtual snoop domain*: snoop requests for
+/// its private pages are only delivered to the cores in its vCPU map.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::VmId;
+///
+/// let vm = VmId::new(1);
+/// assert_eq!(vm.to_string(), "VM1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VmId(u16);
+
+impl VmId {
+    /// Creates a VM identifier from a dense index.
+    pub const fn new(index: u16) -> Self {
+        VmId(index)
+    }
+
+    /// Returns the dense index of this VM.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` VM identifiers.
+    pub fn all(n: usize) -> impl Iterator<Item = VmId> {
+        (0..n as u16).map(VmId)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VM{}", self.0)
+    }
+}
+
+impl From<u16> for VmId {
+    fn from(index: u16) -> Self {
+        VmId(index)
+    }
+}
+
+/// Identifier of a virtual CPU: the pair of its VM and its index within the
+/// VM.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::{VcpuId, VmId};
+///
+/// let v = VcpuId::new(VmId::new(2), 1);
+/// assert_eq!(v.vm(), VmId::new(2));
+/// assert_eq!(v.to_string(), "VM2.v1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VcpuId {
+    vm: VmId,
+    index: u16,
+}
+
+impl VcpuId {
+    /// Creates a vCPU identifier.
+    pub const fn new(vm: VmId, index: u16) -> Self {
+        VcpuId { vm, index }
+    }
+
+    /// Returns the VM this vCPU belongs to.
+    pub const fn vm(self) -> VmId {
+        self.vm
+    }
+
+    /// Returns the index of this vCPU within its VM.
+    pub const fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.v{}", self.vm, self.index)
+    }
+}
+
+/// The software agent performing a memory access.
+///
+/// Section III of the paper decomposes L2 misses into misses by guest VMs,
+/// by the privileged I/O domain (`domain0` in Xen), and by the hypervisor
+/// itself. Dom0 and hypervisor accesses can occur on *any* core and must
+/// always be broadcast under virtual snooping.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Agent {
+    /// A guest VM accessing memory through one of its vCPUs.
+    Guest(VcpuId),
+    /// The privileged I/O domain (Xen's domain0), which serves I/O for all
+    /// guests and migrates freely between cores.
+    Dom0,
+    /// The hypervisor itself (scheduling, page-table maintenance, ...).
+    Hypervisor,
+}
+
+impl Agent {
+    /// Returns the VM identifier if this agent is a guest vCPU.
+    pub fn guest_vm(self) -> Option<VmId> {
+        match self {
+            Agent::Guest(v) => Some(v.vm()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for Dom0 and hypervisor agents, whose requests can
+    /// never be filtered by virtual snooping.
+    pub fn is_host(self) -> bool {
+        matches!(self, Agent::Dom0 | Agent::Hypervisor)
+    }
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Guest(v) => write!(f, "{v}"),
+            Agent::Dom0 => f.write_str("dom0"),
+            Agent::Hypervisor => f.write_str("xen"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = CoreId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(CoreId::from(7u16), c);
+        assert_eq!(c.to_string(), "P7");
+    }
+
+    #[test]
+    fn core_id_all_is_dense() {
+        let v: Vec<_> = CoreId::all(16).collect();
+        assert_eq!(v.len(), 16);
+        for (i, c) in v.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn vm_id_display_and_order() {
+        assert!(VmId::new(0) < VmId::new(1));
+        assert_eq!(VmId::new(3).to_string(), "VM3");
+        assert_eq!(VmId::from(3u16).index(), 3);
+    }
+
+    #[test]
+    fn vcpu_id_components() {
+        let v = VcpuId::new(VmId::new(1), 2);
+        assert_eq!(v.vm(), VmId::new(1));
+        assert_eq!(v.index(), 2);
+        assert_eq!(v.to_string(), "VM1.v2");
+    }
+
+    #[test]
+    fn agent_classification() {
+        let g = Agent::Guest(VcpuId::new(VmId::new(0), 0));
+        assert_eq!(g.guest_vm(), Some(VmId::new(0)));
+        assert!(!g.is_host());
+        assert!(Agent::Dom0.is_host());
+        assert!(Agent::Hypervisor.is_host());
+        assert_eq!(Agent::Dom0.guest_vm(), None);
+        assert_eq!(Agent::Hypervisor.to_string(), "xen");
+        assert_eq!(Agent::Dom0.to_string(), "dom0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_default() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(CoreId::default());
+        s.insert(CoreId::new(0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(VmId::default(), VmId::new(0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Virtual machine specifications.
+//!
+//! A [`VmSpec`] describes the static shape of a VM: how many vCPUs it is
+//! allocated and how many guest-physical pages it owns. The paper's
+//! simulated configurations use four VMs with four vCPUs each on a 16-core
+//! system (Section V-A).
+
+use crate::ids::{VcpuId, VmId};
+
+/// Static description of one virtual machine.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::{VmSpec, VmId};
+///
+/// let spec = VmSpec::new(VmId::new(0), 4, 1024);
+/// assert_eq!(spec.vcpus().count(), 4);
+/// assert_eq!(spec.memory_pages(), 1024);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VmSpec {
+    id: VmId,
+    n_vcpus: u16,
+    memory_pages: u64,
+}
+
+impl VmSpec {
+    /// Creates a VM specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_vcpus` is zero; a VM without vCPUs cannot run.
+    pub fn new(id: VmId, n_vcpus: u16, memory_pages: u64) -> Self {
+        assert!(n_vcpus > 0, "a VM needs at least one vCPU");
+        VmSpec {
+            id,
+            n_vcpus,
+            memory_pages,
+        }
+    }
+
+    /// Returns the VM identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Returns the number of vCPUs allocated to this VM.
+    pub fn n_vcpus(&self) -> usize {
+        self.n_vcpus as usize
+    }
+
+    /// Returns the number of guest-physical pages allocated to this VM.
+    pub fn memory_pages(&self) -> u64 {
+        self.memory_pages
+    }
+
+    /// Iterates over the vCPU identifiers of this VM.
+    pub fn vcpus(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        let id = self.id;
+        (0..self.n_vcpus).map(move |i| VcpuId::new(id, i))
+    }
+}
+
+/// Builds the homogeneous VM set used throughout the paper's evaluation:
+/// `n_vms` VMs with `vcpus_per_vm` vCPUs and `pages_per_vm` pages each.
+///
+/// # Examples
+///
+/// ```
+/// use sim_vm::homogeneous_vms;
+///
+/// let vms = homogeneous_vms(4, 4, 2048);
+/// assert_eq!(vms.len(), 4);
+/// assert_eq!(vms[2].n_vcpus(), 4);
+/// ```
+pub fn homogeneous_vms(n_vms: usize, vcpus_per_vm: u16, pages_per_vm: u64) -> Vec<VmSpec> {
+    VmId::all(n_vms)
+        .map(|id| VmSpec::new(id, vcpus_per_vm, pages_per_vm))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let s = VmSpec::new(VmId::new(3), 2, 64);
+        assert_eq!(s.id(), VmId::new(3));
+        assert_eq!(s.n_vcpus(), 2);
+        assert_eq!(s.memory_pages(), 64);
+        let vcpus: Vec<_> = s.vcpus().collect();
+        assert_eq!(vcpus, vec![VcpuId::new(VmId::new(3), 0), VcpuId::new(VmId::new(3), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpus_rejected() {
+        let _ = VmSpec::new(VmId::new(0), 0, 64);
+    }
+
+    #[test]
+    fn homogeneous_set() {
+        let vms = homogeneous_vms(16, 4, 128);
+        assert_eq!(vms.len(), 16);
+        let total: usize = vms.iter().map(|v| v.n_vcpus()).sum();
+        assert_eq!(total, 64);
+        assert!(vms.iter().enumerate().all(|(i, v)| v.id().index() == i));
+    }
+}

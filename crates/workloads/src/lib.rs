@@ -1,0 +1,40 @@
+//! Synthetic workload generation for the *virtual snooping* reproduction.
+//!
+//! The paper drives its coherence simulator with SPLASH-2 / PARSEC /
+//! SPECjbb execution traces and its real-hardware study with PARSEC, OLTP
+//! and SPECweb; none of those binaries (nor Simics) are available here, so
+//! this crate provides parameterized trace generators whose first-order
+//! statistics are calibrated to the per-application numbers the paper
+//! reports (Fig. 1, Table I, Table V). See `DESIGN.md` for the
+//! substitution rationale and `profiles` for the calibration constants.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{Workload, WorkloadConfig, profile, AccessStream};
+//! use sim_vm::{VcpuId, VmId};
+//!
+//! // Four VMs all running canneal, with content-based sharing enabled.
+//! let cfg = WorkloadConfig { content_sharing: true, ..Default::default() };
+//! let mut wl = Workload::homogeneous(profile("canneal").unwrap(), 4, cfg);
+//! let access = wl.next_access(VcpuId::new(VmId::new(0), 0));
+//! assert!(access.addr % 64 == 0); // block-aligned
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod profiles;
+mod replay;
+mod trace;
+mod workload;
+mod zipf;
+
+pub use profiles::{
+    content_apps, fig1_apps, parsec_apps, profile, simulation_apps, AppProfile, PaperTargets,
+    SchedParams, Suite, TraceParams, PROFILES,
+};
+pub use replay::{RecordedTrace, TraceRecorder, TraceReplayer};
+pub use trace::{AccessStream, TraceAccess};
+pub use workload::{sched_vms, to_behavior, Workload, WorkloadConfig};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,60 @@
+//! Memory-access trace types.
+//!
+//! The simulator is trace-driven: workload generators produce a stream of
+//! [`TraceAccess`]es, each naming the agent performing the access (guest
+//! vCPU, dom0, or hypervisor), the host-physical byte address, and whether
+//! it is a write. This mirrors how Virtual-GEMS feeds Simics execution
+//! traces into the GEMS memory model (Section V-A).
+
+use sim_vm::{Agent, VcpuId};
+
+/// One memory access of a trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceAccess {
+    /// Who performs the access. Host agents (dom0 / hypervisor) are
+    /// attributed to the core of the vCPU whose slot they occupy — the
+    /// paper's metrics only depend on their *share* of traffic, which must
+    /// always be broadcast, not on their placement.
+    pub agent: Agent,
+    /// Host-physical byte address.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+/// A source of memory accesses, one per simulated core slot.
+///
+/// Implemented by the synthetic workload generators in this crate and by
+/// scripted traces in tests.
+pub trait AccessStream {
+    /// Produces the next access for the core currently running `vcpu`.
+    fn next_access(&mut self, vcpu: VcpuId) -> TraceAccess;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_vm::VmId;
+
+    struct Fixed(u64);
+    impl AccessStream for Fixed {
+        fn next_access(&mut self, vcpu: VcpuId) -> TraceAccess {
+            self.0 += 64;
+            TraceAccess {
+                agent: Agent::Guest(vcpu),
+                addr: self.0,
+                write: false,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut s: Box<dyn AccessStream> = Box::new(Fixed(0));
+        let v = VcpuId::new(VmId::new(0), 0);
+        let a = s.next_access(v);
+        let b = s.next_access(v);
+        assert_eq!(a.agent, Agent::Guest(v));
+        assert_ne!(a.addr, b.addr);
+    }
+}

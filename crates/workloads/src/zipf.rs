@@ -1,0 +1,135 @@
+//! A Zipf-distributed index sampler.
+//!
+//! Memory page popularity in real applications is heavily skewed; a Zipf
+//! distribution over the working set is the standard synthetic stand-in.
+//! The sampler precomputes the cumulative distribution once and answers
+//! samples with a binary search, so per-access cost is `O(log n)`.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to
+/// `1 / (i + 1)^s`.
+///
+/// `s = 0` degenerates to the uniform distribution; larger `s` concentrates
+/// probability on low indices ("hot" pages).
+///
+/// # Examples
+///
+/// ```
+/// use workloads::ZipfSampler;
+/// use rand::{SeedableRng, rngs::SmallRng};
+///
+/// let z = ZipfSampler::new(100, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` indices with skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one index");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point droop at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no indices (never: `new` requires
+    /// at least one).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_head() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let head = (0..20_000).filter(|_| z.sample(&mut rng) < 10).count();
+        assert!(
+            head > 10_000,
+            "with s=1.2 the top 10 of 1000 indices should absorb most draws, got {head}/20000"
+        );
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(3, 2.5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn single_index_always_zero() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_indices_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_skew_rejected() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+}

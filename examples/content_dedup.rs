@@ -1,0 +1,75 @@
+//! Content-based page sharing and the Section VI routing optimizations.
+//!
+//! Four VMs run `blackscholes`, whose inputs are identical across
+//! instances: an ideal dedup scan folds nearly half of all accesses onto
+//! read-only shared pages. The example compares the four content-page
+//! routing policies and shows the copy-on-write machinery breaking
+//! sharing when a VM writes.
+//!
+//! ```text
+//! cargo run --release --example content_dedup
+//! ```
+
+use virtual_snooping::prelude::*;
+use virtual_snooping::sim_vm::{ContentHash, ContentSharer, MemoryMap, SharingDirectory, SharingType};
+
+fn measure(policy: ContentPolicy) -> (f64, f64) {
+    let cfg = SystemConfig::paper_default();
+    let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, policy);
+    let mut wl = Workload::homogeneous(
+        profile("blackscholes").expect("registered workload"),
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            content_sharing: true,
+            ..Default::default()
+        },
+    );
+    sim.run(&mut wl, 30_000);
+    sim.reset_measurement();
+    sim.run(&mut wl, 40_000);
+    let s = sim.stats();
+    let norm = 100.0 * s.snoops as f64 / (s.l2_misses.max(1) * 16) as f64;
+    let mem_share = 100.0 * s.data_memory as f64
+        / (s.data_memory + s.data_intra_vm + s.data_other_vm).max(1) as f64;
+    (norm, mem_share)
+}
+
+fn main() {
+    println!("Content-based sharing on blackscholes (46% of accesses are dedup'd)\n");
+    println!("policy            snoops vs tokenB   data from memory");
+    for policy in ContentPolicy::ALL {
+        let (norm, mem) = measure(policy);
+        println!("{policy:<18} {norm:>10.1}%       {mem:>10.1}%");
+    }
+    println!(
+        "\nmemory-direct snoops least but forgoes cache-to-cache transfers;\n\
+         friend-VM recovers most of them at a small snoop cost (Fig. 10 /\n\
+         Table VI trade-off).\n"
+    );
+
+    // --- Copy-on-write in isolation ---------------------------------------
+    println!("Copy-on-write demonstration:");
+    let mut mem = MemoryMap::new();
+    let mut dir = SharingDirectory::new();
+    let mut cs = ContentSharer::new();
+    let (a, b) = (mem.alloc_page(), mem.alloc_page());
+    dir.register(a, SharingType::VmPrivate, Some(VmId::new(0)));
+    dir.register(b, SharingType::VmPrivate, Some(VmId::new(1)));
+    cs.set_content(a, VmId::new(0), ContentHash(0xFEED));
+    cs.set_content(b, VmId::new(1), ContentHash(0xFEED));
+    cs.scan(&mut dir);
+    println!(
+        "  after scan: page {a} and page {b} -> canonical {} ({:?})",
+        cs.resolve(b),
+        dir.sharing(cs.resolve(b)),
+    );
+    let fresh = cs
+        .copy_on_write(b, VmId::new(1), &mut mem, &mut dir)
+        .expect("page was shared");
+    println!(
+        "  VM1 writes: gets fresh private page {fresh} ({:?}); page {a} is {:?} again",
+        dir.sharing(fresh),
+        dir.sharing(a),
+    );
+}

@@ -1,0 +1,68 @@
+//! Trace record / replay: capture exactly the access stream one policy
+//! consumed, persist it, and replay it bit-identically under every other
+//! policy — the apples-to-apples comparison methodology the experiment
+//! harness is built on, shown end to end.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use virtual_snooping::prelude::*;
+use virtual_snooping::vsnoop::ReplayWorkload;
+use virtual_snooping::workloads::{RecordedTrace, TraceRecorder};
+
+fn main() {
+    let cfg = SystemConfig::paper_default();
+
+    // 1. Record a run under the TokenB baseline.
+    let wl = Workload::homogeneous(
+        profile("specjbb").expect("registered workload"),
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            content_sharing: true,
+            ..Default::default()
+        },
+    );
+    let mut recorder = TraceRecorder::new(wl);
+    let mut base = Simulator::new(cfg, FilterPolicy::TokenBroadcast, ContentPolicy::Broadcast);
+    base.run(&mut recorder, 30_000);
+    let (trace, wl) = recorder.finish();
+    println!(
+        "recorded {} accesses from the TokenB run ({} L2 misses)",
+        trace.len(),
+        base.stats().l2_misses
+    );
+
+    // 2. Persist and reload it (the file format a downstream tool would
+    //    exchange).
+    let mut bytes = Vec::new();
+    trace.write(&mut bytes).expect("serialize trace");
+    let trace = RecordedTrace::read(&mut bytes.as_slice()).expect("deserialize trace");
+    println!("serialized to {} bytes, reloaded identically\n", bytes.len());
+
+    // 3. Replay under every filter policy: same misses, different snoops.
+    println!("policy                     L2 misses       snoops    vs tokenB");
+    for policy in [
+        FilterPolicy::TokenBroadcast,
+        FilterPolicy::REGION_SCOUT_4K,
+        FilterPolicy::VsnoopBase,
+        FilterPolicy::Counter,
+    ] {
+        let mut replay = ReplayWorkload::new(trace.replay(), &wl);
+        let mut sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
+        sim.run(&mut replay, 30_000);
+        let s = sim.stats();
+        assert_eq!(
+            s.l2_misses,
+            base.stats().l2_misses,
+            "identical trace must produce identical misses"
+        );
+        println!(
+            "{policy:<24} {misses:>11} {snoops:>12}   {pct:>6.1}%",
+            misses = s.l2_misses,
+            snoops = s.snoops,
+            pct = 100.0 * s.snoops as f64 / base.stats().snoops as f64,
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! `vsnoop-sim` — run a custom virtual-snooping simulation from the
+//! command line.
+//!
+//! ```text
+//! vsnoop-sim [--app NAME] [--vms N] [--policy P] [--content C]
+//!            [--rounds N] [--warmup N] [--migration-ms X] [--seed N]
+//!            [--host-activity] [--content-sharing] [--list-apps]
+//!
+//! policies: tokenb | vsnoop | counter | counter-threshold[:T] | regionscout
+//! content:  broadcast | memory-direct | intra-vm | friend-vm
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run --release --bin vsnoop-sim -- \
+//!     --app canneal --policy counter --migration-ms 0.5 --rounds 200000
+//! ```
+
+use std::process::exit;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use virtual_snooping::prelude::*;
+use virtual_snooping::vsnoop::EnergyModel;
+
+struct Options {
+    app: String,
+    vms: usize,
+    policy: FilterPolicy,
+    content: ContentPolicy,
+    rounds: u64,
+    warmup: u64,
+    migration_ms: Option<f64>,
+    seed: u64,
+    host_activity: bool,
+    content_sharing: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            app: "ferret".to_string(),
+            vms: 4,
+            policy: FilterPolicy::VsnoopBase,
+            content: ContentPolicy::Broadcast,
+            rounds: 60_000,
+            warmup: 20_000,
+            migration_ms: None,
+            seed: 0xC0FFEE,
+            host_activity: false,
+            content_sharing: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vsnoop-sim [--app NAME] [--vms N] [--policy P] [--content C]\n\
+         \u{20}                 [--rounds N] [--warmup N] [--migration-ms X] [--seed N]\n\
+         \u{20}                 [--host-activity] [--content-sharing] [--list-apps]\n\
+         policies: tokenb | vsnoop | counter | counter-threshold[:T] | regionscout\n\
+         content:  broadcast | memory-direct | intra-vm | friend-vm"
+    );
+    exit(2)
+}
+
+fn parse_policy(s: &str) -> Option<FilterPolicy> {
+    match s {
+        "tokenb" => Some(FilterPolicy::TokenBroadcast),
+        "vsnoop" => Some(FilterPolicy::VsnoopBase),
+        "counter" => Some(FilterPolicy::Counter),
+        "regionscout" => Some(FilterPolicy::REGION_SCOUT_4K),
+        _ => {
+            if let Some(t) = s.strip_prefix("counter-threshold") {
+                let threshold = t.strip_prefix(':').map_or(Some(10), |v| v.parse().ok())?;
+                Some(FilterPolicy::CounterThreshold { threshold })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn parse_content(s: &str) -> Option<ContentPolicy> {
+    match s {
+        "broadcast" => Some(ContentPolicy::Broadcast),
+        "memory-direct" => Some(ContentPolicy::MemoryDirect),
+        "intra-vm" => Some(ContentPolicy::IntraVm),
+        "friend-vm" => Some(ContentPolicy::FriendVm),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--app" => opts.app = value("--app"),
+            "--vms" => opts.vms = value("--vms").parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                opts.policy = parse_policy(&value("--policy")).unwrap_or_else(|| usage())
+            }
+            "--content" => {
+                opts.content = parse_content(&value("--content")).unwrap_or_else(|| usage())
+            }
+            "--rounds" => opts.rounds = value("--rounds").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => opts.warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--migration-ms" => {
+                opts.migration_ms =
+                    Some(value("--migration-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--host-activity" => opts.host_activity = true,
+            "--content-sharing" => opts.content_sharing = true,
+            "--list-apps" => {
+                for p in workloads::PROFILES {
+                    println!("{}", p.name);
+                }
+                exit(0)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(app) = profile(&opts.app) else {
+        eprintln!("unknown application '{}' (try --list-apps)", opts.app);
+        exit(2)
+    };
+    let cfg = SystemConfig {
+        n_vms: opts.vms,
+        ..SystemConfig::paper_default()
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        exit(2)
+    }
+
+    let mut sim = Simulator::new(cfg, opts.policy, opts.content);
+    let mut wl = Workload::homogeneous(
+        app,
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            seed: opts.seed,
+            host_activity: opts.host_activity,
+            content_sharing: opts.content_sharing,
+        },
+    );
+
+    sim.run(&mut wl, opts.warmup);
+    sim.reset_measurement();
+    match opts.migration_ms {
+        None => sim.run(&mut wl, opts.rounds),
+        Some(ms) => {
+            let period = ((ms * cfg.cycles_per_ms as f64) as u64).max(1);
+            let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5157);
+            let n_vms = cfg.n_vms;
+            let vcpus = cfg.vcpus_per_vm;
+            sim.run_with_migration(&mut wl, opts.rounds, period, move |_| {
+                let a = rng.gen_range(0..n_vms) as u16;
+                let mut b = rng.gen_range(0..n_vms - 1) as u16;
+                if b >= a {
+                    b += 1;
+                }
+                (
+                    VcpuId::new(VmId::new(a), rng.gen_range(0..vcpus)),
+                    VcpuId::new(VmId::new(b), rng.gen_range(0..vcpus)),
+                )
+            });
+        }
+    }
+
+    let s = sim.stats();
+    let e = EnergyModel::default().breakdown(s, sim.traffic());
+    println!(
+        "{} x{} VMs | policy {} | content {} | {} rounds",
+        app.name, cfg.n_vms, opts.policy, opts.content, opts.rounds
+    );
+    println!("accesses            {:>14}", s.accesses);
+    println!(
+        "L1 / L2 hit rate    {:>13.1}% / {:.1}%",
+        100.0 * s.l1_hits as f64 / s.accesses.max(1) as f64,
+        100.0 * s.l2_hits as f64 / s.accesses.max(1) as f64,
+    );
+    println!(
+        "L2 misses           {:>14}  ({:.2}% of accesses)",
+        s.l2_misses,
+        100.0 * s.miss_rate()
+    );
+    println!(
+        "snoop tag lookups   {:>14}  ({:.1}% of a {}-core broadcast)",
+        s.snoops,
+        100.0 * s.snoops as f64 / (s.l2_misses.max(1) * cfg.n_cores() as u64) as f64,
+        cfg.n_cores()
+    );
+    println!("retries/fallbacks   {:>14}  / {}", s.retries, s.broadcast_fallbacks);
+    println!("traffic             {:>14}  byte-links", sim.traffic().byte_links());
+    println!(
+        "snoop energy        {:>14.1}  uJ (tags {:.1} uJ, network {:.1} uJ)",
+        e.snoop_pj() / 1e6,
+        e.tag_pj / 1e6,
+        e.network_pj / 1e6
+    );
+    println!(
+        "vCPU map changes    {:>14}  adds, {} removals",
+        s.map_adds, s.map_removes
+    );
+    for vm in 0..cfg.n_vms {
+        let id = VmId::new(vm as u16);
+        println!("  {id} snoop domain: {:?}", sim.vcpu_map(id).cores().map(|c| c.index()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,45 @@
+//! Umbrella crate for the *Virtual Snooping* reproduction (MICRO 2010).
+//!
+//! Re-exports the workspace's public API so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`vsnoop`] — the virtual-snooping filter, policies, simulator, and
+//!   per-figure experiment drivers;
+//! * [`sim_mem`] — caches and the TokenB coherence engine;
+//! * [`sim_net`] — the 2D-mesh on-chip network;
+//! * [`sim_vm`] — hypervisor, page tables, content sharing, scheduler;
+//! * [`workloads`] — calibrated synthetic trace generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use virtual_snooping::prelude::*;
+//!
+//! let cfg = SystemConfig::small_test();
+//! let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+//! let mut wl = Workload::homogeneous(
+//!     profile("canneal").unwrap(),
+//!     cfg.n_vms,
+//!     WorkloadConfig { vcpus_per_vm: cfg.vcpus_per_vm, ..Default::default() },
+//! );
+//! sim.run(&mut wl, 500);
+//! let filtered = sim.stats().snoops;
+//! assert!(filtered > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sim_mem;
+pub use sim_net;
+pub use sim_vm;
+pub use vsnoop;
+pub use workloads;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use sim_vm::{Agent, CoreId, VcpuId, VmId};
+    pub use vsnoop::{
+        snoop_reduction, ContentPolicy, FilterPolicy, Simulator, SystemConfig, VcpuMap,
+    };
+    pub use workloads::{profile, AccessStream, Workload, WorkloadConfig};
+}

@@ -1,0 +1,64 @@
+//! Integration tests of the `vsnoop-sim` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vsnoop-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn lists_all_registered_applications() {
+    let (stdout, _, ok) = run(&["--list-apps"]);
+    assert!(ok);
+    for app in ["cholesky", "fft", "canneal", "SPECweb", "OLTP"] {
+        assert!(stdout.lines().any(|l| l == app), "missing {app}");
+    }
+    assert_eq!(stdout.lines().count(), workloads::PROFILES.len());
+}
+
+#[test]
+fn runs_a_small_simulation_and_reports() {
+    let (stdout, _, ok) = run(&[
+        "--app", "radix", "--policy", "vsnoop", "--rounds", "2000", "--warmup", "1000",
+    ]);
+    assert!(ok, "simulation run failed: {stdout}");
+    assert!(stdout.contains("radix x4 VMs"));
+    assert!(stdout.contains("snoop tag lookups"));
+    assert!(stdout.contains("25.0% of a 16-core broadcast"));
+    assert!(stdout.contains("VM3 snoop domain"));
+}
+
+#[test]
+fn parses_counter_threshold_with_value() {
+    let (stdout, _, ok) = run(&[
+        "--app", "lu", "--policy", "counter-threshold:25",
+        "--rounds", "500", "--warmup", "100",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("counter-threshold(25)"));
+}
+
+#[test]
+fn rejects_unknown_app_and_bad_policy() {
+    let (_, stderr, ok) = run(&["--app", "doom"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown application"));
+    let (_, stderr, ok) = run(&["--policy", "psychic"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "bad policy should print usage: {stderr}");
+}
+
+#[test]
+fn rejects_invalid_vm_count() {
+    let (_, stderr, ok) = run(&["--vms", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("overcommitted"), "got: {stderr}");
+}

@@ -1,0 +1,109 @@
+//! Cross-crate consistency checks: the constants and contracts the crates
+//! rely on but cannot verify individually.
+
+use virtual_snooping::prelude::*;
+use virtual_snooping::sim_mem::{BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+use virtual_snooping::sim_vm::SharingType;
+
+#[test]
+fn address_constants_agree_across_crates() {
+    // `workloads` duplicates the page/block geometry to avoid a dependency
+    // cycle; verify the generated addresses agree with `sim-mem`'s view.
+    assert_eq!(BLOCK_BYTES, 64);
+    assert_eq!(PAGE_BYTES, 4096);
+    assert_eq!(BLOCKS_PER_PAGE, 64);
+
+    let mut wl = Workload::homogeneous(
+        profile("radix").unwrap(),
+        2,
+        WorkloadConfig::default(),
+    );
+    for i in 0..1000u16 {
+        let a = wl.next_access(VcpuId::new(VmId::new((i % 2) as u16), i % 4));
+        assert_eq!(a.addr % BLOCK_BYTES, 0, "accesses are block-aligned");
+        let block = virtual_snooping::sim_mem::Addr::new(a.addr).block();
+        assert_eq!(block.page(), a.addr / PAGE_BYTES, "block/page math agrees");
+    }
+}
+
+#[test]
+fn every_generated_address_is_registered_with_the_hypervisor() {
+    let mut wl = Workload::homogeneous(
+        profile("canneal").unwrap(),
+        4,
+        WorkloadConfig {
+            host_activity: true,
+            content_sharing: true,
+            ..Default::default()
+        },
+    );
+    for i in 0..20_000u32 {
+        let vcpu = VcpuId::new(VmId::new((i % 4) as u16), (i % 4) as u16);
+        let a = wl.next_access(vcpu);
+        let page = a.addr / PAGE_BYTES;
+        let sharing = wl.directory().sharing(page);
+        match a.agent {
+            Agent::Guest(v) => {
+                match sharing {
+                    SharingType::VmPrivate => {
+                        assert_eq!(
+                            wl.directory().owner(page),
+                            Some(v.vm()),
+                            "private page accessed by the wrong VM"
+                        );
+                    }
+                    SharingType::RoShared => {} // deduplicated content page
+                    SharingType::RwShared => {
+                        panic!("guests never touch host pools in this workload")
+                    }
+                }
+            }
+            Agent::Dom0 | Agent::Hypervisor => {
+                assert_eq!(sharing, SharingType::RwShared, "host pools are RW-shared");
+            }
+        }
+    }
+}
+
+#[test]
+fn friend_vm_is_symmetric_for_homogeneous_workloads() {
+    let wl = Workload::homogeneous(
+        profile("blackscholes").unwrap(),
+        4,
+        WorkloadConfig {
+            content_sharing: true,
+            ..Default::default()
+        },
+    );
+    for vm in 0..4u16 {
+        let f = wl.content().friend_of(VmId::new(vm));
+        assert!(f.is_some(), "VM{vm} shares content, must have a friend");
+        assert_ne!(f, Some(VmId::new(vm)), "a VM is not its own friend");
+    }
+}
+
+#[test]
+fn simulator_vcpu_maps_match_hypervisor_placement_at_start() {
+    let cfg = SystemConfig::paper_default();
+    let sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+    for vm in 0..cfg.n_vms {
+        let id = VmId::new(vm as u16);
+        assert_eq!(
+            sim.vcpu_map(id).mask(),
+            sim.hypervisor().cores_of_vm(id),
+            "initial map equals the pinned placement"
+        );
+    }
+}
+
+#[test]
+fn scheduler_and_trace_layers_share_the_profile_registry() {
+    // Every simulation app has both usable trace params and usable sched
+    // params, so the same name can drive either experiment family.
+    for app in workloads::simulation_apps() {
+        assert!(app.trace.private_pages > 0);
+        assert!(app.sched.work_ms > 0.0);
+        let vms = workloads::sched_vms(app, 2, 4, 0.1);
+        assert_eq!(vms.len(), 3); // 2 guests + dom0
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over the assembled system: arbitrary short runs
+//! with arbitrary policies and migrations preserve the global invariants.
+
+use proptest::prelude::*;
+use virtual_snooping::prelude::*;
+use virtual_snooping::sim_mem::BlockAddr;
+
+fn policy_strategy() -> impl Strategy<Value = FilterPolicy> {
+    prop_oneof![
+        Just(FilterPolicy::TokenBroadcast),
+        Just(FilterPolicy::VsnoopBase),
+        Just(FilterPolicy::Counter),
+        (1u64..32).prop_map(|threshold| FilterPolicy::CounterThreshold { threshold }),
+    ]
+}
+
+fn content_strategy() -> impl Strategy<Value = ContentPolicy> {
+    prop_oneof![
+        Just(ContentPolicy::Broadcast),
+        Just(ContentPolicy::MemoryDirect),
+        Just(ContentPolicy::IntraVm),
+        Just(ContentPolicy::FriendVm),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_policy_runs_preserve_invariants(
+        policy in policy_strategy(),
+        content in content_strategy(),
+        app_idx in 0usize..10,
+        seed in 0u64..1000,
+        swaps in prop::collection::vec((0u16..4, 0u16..4, 0u16..4, 0u16..4), 0..4),
+    ) {
+        let cfg = SystemConfig::small_test();
+        let mut sim = Simulator::new(cfg, policy, content);
+        let app = workloads::simulation_apps()[app_idx];
+        let mut wl = Workload::homogeneous(
+            app,
+            cfg.n_vms,
+            WorkloadConfig {
+                vcpus_per_vm: cfg.vcpus_per_vm,
+                seed,
+                content_sharing: content != ContentPolicy::Broadcast,
+                ..Default::default()
+            },
+        );
+        sim.run(&mut wl, 300);
+        for (va, ia, vb, ib) in swaps {
+            let a = VcpuId::new(VmId::new(va % cfg.n_vms as u16), ia % cfg.vcpus_per_vm);
+            let b = VcpuId::new(VmId::new(vb % cfg.n_vms as u16), ib % cfg.vcpus_per_vm);
+            if a.vm() != b.vm() {
+                sim.swap_vcpus(a, b);
+            }
+            sim.run(&mut wl, 300);
+        }
+
+        // Token conservation everywhere the workload can have touched.
+        for block in 0..(wl.allocated_pages() * 64) {
+            prop_assert!(
+                sim.check_invariant(BlockAddr::new(block)),
+                "token invariant broken at block {block} under {policy}/{content}"
+            );
+        }
+        // Every access was either a hit or a miss; counters are consistent.
+        let s = sim.stats();
+        prop_assert_eq!(s.l1_hits + s.l2_hits + s.l2_misses, s.accesses);
+        prop_assert_eq!(s.misses_guest + s.misses_dom0 + s.misses_hyp, s.l2_misses);
+        prop_assert_eq!(
+            s.misses_private + s.misses_rw_shared + s.misses_ro_shared,
+            s.l2_misses
+        );
+        // vCPU maps always cover the cores the VMs currently run on.
+        for vm in 0..cfg.n_vms {
+            let id = VmId::new(vm as u16);
+            let running = sim.hypervisor().cores_of_vm(id);
+            prop_assert_eq!(
+                sim.vcpu_map(id).mask() & running,
+                running,
+                "map must contain all cores the VM runs on"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_snoops_never_exceed_broadcast(
+        app_idx in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let app = workloads::simulation_apps()[app_idx];
+        let mk = |policy| {
+            let mut sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
+            let mut wl = Workload::homogeneous(
+                app,
+                cfg.n_vms,
+                WorkloadConfig {
+                    vcpus_per_vm: cfg.vcpus_per_vm,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            sim.run(&mut wl, 1_500);
+            (sim.stats().snoops, sim.stats().l2_misses)
+        };
+        let (sb, mb) = mk(FilterPolicy::TokenBroadcast);
+        let (sv, mv) = mk(FilterPolicy::VsnoopBase);
+        prop_assert_eq!(mb, mv, "identical traces must miss identically");
+        prop_assert!(sv <= sb, "filtering must never increase snoops");
+    }
+}
