@@ -4,9 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sim_mem::{BlockAddr, Cache, CacheGeometry, CacheLine, LineTag, ReadMode, TokenProtocol,
-              TokenState};
+use rand::SeedableRng;
+use sim_mem::{
+    BlockAddr, Cache, CacheGeometry, CacheLine, LineTag, ReadMode, TokenProtocol, TokenState,
+};
 use sim_net::{Mesh, MessageKind, Network, NodeId};
 use sim_vm::{SharingDirectory, SharingType, TypeTlb, VmId};
 use workloads::ZipfSampler;
@@ -76,11 +77,15 @@ fn bench_network(c: &mut Criterion) {
     let mut net = Network::new(Mesh::new(4, 4));
     let dests: Vec<NodeId> = (1..16u16).map(NodeId::new).collect();
     group.bench_function("broadcast_request", |bench| {
-        bench.iter(|| black_box(net.multicast(NodeId::new(0), dests.iter().copied(), MessageKind::Request)))
+        bench.iter(|| {
+            black_box(net.multicast(NodeId::new(0), dests.iter().copied(), MessageKind::Request))
+        })
     });
     group.bench_function("quadrant_multicast", |bench| {
         let quad: Vec<NodeId> = [1u16, 4, 5].iter().map(|&i| NodeId::new(i)).collect();
-        bench.iter(|| black_box(net.multicast(NodeId::new(0), quad.iter().copied(), MessageKind::Request)))
+        bench.iter(|| {
+            black_box(net.multicast(NodeId::new(0), quad.iter().copied(), MessageKind::Request))
+        })
     });
     group.finish();
 }
@@ -125,5 +130,11 @@ fn bench_workload(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_protocol, bench_network, bench_workload);
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_protocol,
+    bench_network,
+    bench_workload
+);
 criterion_main!(benches);

@@ -68,7 +68,12 @@ fn main() {
         "broadcast fallbacks",
     ]);
     let (n, r, f) = run(FilterPolicy::Counter, scale);
-    t.row(["counter (exact zero)".to_string(), f1(n), r.to_string(), f.to_string()]);
+    t.row([
+        "counter (exact zero)".to_string(),
+        f1(n),
+        r.to_string(),
+        f.to_string(),
+    ]);
     for threshold in [2u64, 10, 50, 200, 1000] {
         let (n, r, f) = run(FilterPolicy::CounterThreshold { threshold }, scale);
         t.row([

@@ -5,8 +5,21 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig1", "fig2", "fig2_validation", "fig3", "table1", "table2", "table3", "table4",
-        "fig6", "fig7", "fig8", "fig9", "table5", "fig10", "table6",
+        "fig1",
+        "fig2",
+        "fig2_validation",
+        "fig3",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table5",
+        "fig10",
+        "table6",
     ];
     // Prefer in-process execution when built as part of the workspace; the
     // simplest robust approach is to re-exec sibling binaries living next

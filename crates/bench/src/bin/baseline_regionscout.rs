@@ -9,7 +9,7 @@
 //! decision from two page-table bits and an n-bit register, and filters
 //! *every* VM-private miss.
 
-use vsnoop::experiments::{run_pinned, RunScale};
+use vsnoop::experiments::run_pinned;
 use vsnoop::{ContentPolicy, EnergyModel, FilterPolicy, SystemConfig};
 use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
 use workloads::simulation_apps;
@@ -67,8 +67,10 @@ fn main() {
             app.name.to_string(),
             f1(100.0 * rs.stats().snoops as f64 / base.stats().snoops.max(1) as f64),
             f1(100.0 * vs.stats().snoops as f64 / base.stats().snoops.max(1) as f64),
-            f1(100.0 * rs.traffic().byte_links() as f64 / base.traffic().byte_links().max(1) as f64),
-            f1(100.0 * vs.traffic().byte_links() as f64 / base.traffic().byte_links().max(1) as f64),
+            f1(100.0 * rs.traffic().byte_links() as f64
+                / base.traffic().byte_links().max(1) as f64),
+            f1(100.0 * vs.traffic().byte_links() as f64
+                / base.traffic().byte_links().max(1) as f64),
             f1(100.0 * ers.snoop_pj() / eb.snoop_pj().max(1e-9)),
             f1(100.0 * evs.snoop_pj() / eb.snoop_pj().max(1e-9)),
         ]);

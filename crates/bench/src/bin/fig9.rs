@@ -48,12 +48,7 @@ fn main() {
         xs.sort_unstable();
         let med = xs[xs.len() / 2] as f64 / cfg.cycles_per_ms as f64;
         let p90 = xs[(xs.len() * 9 / 10).min(xs.len() - 1)] as f64 / cfg.cycles_per_ms as f64;
-        t2.row([
-            app.name.to_string(),
-            xs.len().to_string(),
-            f1(med),
-            f1(p90),
-        ]);
+        t2.row([app.name.to_string(), xs.len().to_string(), f1(med), f1(p90)]);
     }
     t2.maybe_dump_csv("fig9_t2").expect("csv dump");
     println!("{t2}");

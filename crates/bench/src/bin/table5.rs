@@ -12,13 +12,7 @@ fn main() {
          radix accesses content heavily but almost never misses on it.",
     );
     let rows = table5(scale_from_env());
-    let mut t = TextTable::new([
-        "workload",
-        "access %",
-        "paper",
-        "L2 miss %",
-        "paper",
-    ]);
+    let mut t = TextTable::new(["workload", "access %", "paper", "L2 miss %", "paper"]);
     let (mut sa, mut sm) = (0.0, 0.0);
     for r in &rows {
         sa += r.access_pct;

@@ -193,8 +193,8 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f1(4.5678), "4.6");
+        assert_eq!(f2(4.5678), "4.57");
         assert_eq!(opt(None), "-");
         assert_eq!(opt(Some(62.79)), "62.8");
     }

@@ -1,0 +1,72 @@
+//! Typed simulator diagnostics.
+//!
+//! The hot simulation paths used to abort via `expect` when internal
+//! bookkeeping disagreed (an unplaced vCPU picked for migration, an L2
+//! probe missing a line the L1 directory said was present). Under fault
+//! injection those disagreements become *reachable*, so they are now
+//! surfaced as [`SimError`] values: the simulator records them in a
+//! bounded diagnostic log (see `Simulator::diagnostics`) and degrades
+//! gracefully instead of panicking.
+
+use sim_mem::BlockAddr;
+use sim_vm::VcpuId;
+
+/// A recoverable internal inconsistency observed by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A vCPU named in a migration request is not placed on any core; the
+    /// relocation was skipped.
+    VcpuNotPlaced {
+        /// The unplaced vCPU.
+        vcpu: VcpuId,
+        /// The operation that needed it (static description).
+        context: &'static str,
+    },
+    /// An L1 hit pointed at a block the core's L2 no longer holds
+    /// (inclusion violated); the access was treated as a miss.
+    CacheDesync {
+        /// The core whose cache hierarchy disagreed with itself.
+        core: usize,
+        /// The block in question.
+        block: BlockAddr,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::VcpuNotPlaced { vcpu, context } => {
+                write!(f, "vCPU {vcpu} not placed during {context}; skipped")
+            }
+            SimError::CacheDesync { core, block } => {
+                write!(
+                    f,
+                    "core {core}: L1 hit on {block:?} absent from L2; treated as miss"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_vm::VmId;
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = SimError::VcpuNotPlaced {
+            vcpu: VcpuId::new(VmId::new(1), 2),
+            context: "swap_vcpus",
+        };
+        let s = e.to_string();
+        assert!(s.contains("not placed"), "{s}");
+        let e = SimError::CacheDesync {
+            core: 3,
+            block: BlockAddr::new(7),
+        };
+        assert!(e.to_string().contains("core 3"));
+    }
+}

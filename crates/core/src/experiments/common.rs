@@ -109,5 +109,4 @@ mod tests {
         assert!(sim.stats().l2_misses > 0);
         assert!(sim.traffic().byte_links() > 0);
     }
-
 }

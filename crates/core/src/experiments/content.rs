@@ -155,7 +155,10 @@ mod tests {
         assert!(get("canneal").access_pct > get("lu").access_pct);
         // radix accesses content a lot but misses on it almost never.
         let radix = get("radix");
-        assert!(radix.access_pct > 10.0 && radix.miss_pct < 6.0, "radix: {radix:?}");
+        assert!(
+            radix.access_pct > 10.0 && radix.miss_pct < 6.0,
+            "radix: {radix:?}"
+        );
         // fft misses on content far out of proportion to its accesses.
         let fft = get("fft");
         assert!(fft.miss_pct > fft.access_pct);

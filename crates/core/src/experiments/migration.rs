@@ -185,7 +185,10 @@ mod tests {
             nc < nb,
             "counter ({nc:.2}) must filter more than vsnoop-base ({nb:.2}) at 0.1ms"
         );
-        assert!(nb > 0.5, "base should have decayed badly at 0.1ms (got {nb:.2})");
+        assert!(
+            nb > 0.5,
+            "base should have decayed badly at 0.1ms (got {nb:.2})"
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic fault-injection plans for the coherence engine.
+//!
+//! A [`FaultPlan`] describes *what* to inject and with what probabilities;
+//! the simulator derives all randomness from the plan's seed, so any soak
+//! run is exactly reproducible. The plan covers every fault class of the
+//! robustness campaign:
+//!
+//! * **Link faults** — snoop-request drops and bounded message delays
+//!   (delegated to [`sim_net::LinkFaults`] inside the network).
+//! * **vCPU-map corruption** — a filter register loses a bit, gains a
+//!   spurious bit (possibly beyond the physical core count), or is
+//!   replaced by garbage wholesale.
+//! * **Delayed map synchronization** — after a migration, the register
+//!   update lags the hypervisor by a configurable number of cycles.
+//! * **Spurious token bounces** — a cache spontaneously writes a line's
+//!   tokens back to memory, as if a transient request had failed.
+//!
+//! The plan also configures the *recovery* side: `audit_period_cycles`
+//! controls how often the modeled hypervisor scrubs the filter registers
+//! back into a valid state (repairs are counted in
+//! `SimStats::map_repairs`).
+
+use sim_net::LinkFaultConfig;
+
+/// How a corrupted vCPU-map register is mangled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapCorruption {
+    /// Clear one bit that is currently set (the filter under-covers).
+    ClearBit,
+    /// Set one arbitrary bit in the 64-bit register, possibly beyond the
+    /// physical core count (the filter over-covers or goes invalid).
+    SetBit,
+    /// Replace the whole register with garbage.
+    Garbage,
+}
+
+impl MapCorruption {
+    /// All corruption modes, for uniform selection.
+    pub const ALL: [MapCorruption; 3] = [
+        MapCorruption::ClearBit,
+        MapCorruption::SetBit,
+        MapCorruption::Garbage,
+    ];
+}
+
+/// A seeded, deterministic fault-injection plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed from which every injection decision derives.
+    pub seed: u64,
+    /// Probability a snoop request message is dropped in flight.
+    pub drop_p: f64,
+    /// Probability a message is delayed in flight.
+    pub delay_p: f64,
+    /// Upper bound (inclusive) on an injected message delay, in cycles.
+    pub max_delay_cycles: u64,
+    /// Per-round probability that one VM's vCPU-map register is corrupted.
+    pub corrupt_map_p: f64,
+    /// Extra cycles between a migration and the vCPU-map register update
+    /// reaching the filters (0 = synchronous, the fault-free behaviour).
+    pub map_sync_delay_cycles: u64,
+    /// Per-round probability that one cached line spontaneously bounces
+    /// its tokens to memory.
+    pub spurious_bounce_p: f64,
+    /// Period, in cycles, of the hypervisor's register audit that repairs
+    /// corrupted or stale maps (0 disables auditing).
+    pub audit_period_cycles: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (and never audits). Running with this
+    /// plan is bit-identical to running with no plan at all.
+    pub const fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            max_delay_cycles: 0,
+            corrupt_map_p: 0.0,
+            map_sync_delay_cycles: 0,
+            spurious_bounce_p: 0.0,
+            audit_period_cycles: 0,
+        }
+    }
+
+    /// The soak default: every fault class enabled at rates aggressive
+    /// enough to exercise each recovery path millions of times per run,
+    /// with the audit scrubbing registers every 50k cycles.
+    pub const fn all(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.01,
+            delay_p: 0.05,
+            max_delay_cycles: 40,
+            corrupt_map_p: 0.001,
+            map_sync_delay_cycles: 2_000,
+            spurious_bounce_p: 0.002,
+            audit_period_cycles: 50_000,
+        }
+    }
+
+    /// The link-fault slice of the plan, for [`sim_net::LinkFaults`].
+    pub fn link_config(&self) -> LinkFaultConfig {
+        LinkFaultConfig {
+            drop_p: self.drop_p,
+            delay_p: self.delay_p,
+            max_delay_cycles: self.max_delay_cycles,
+        }
+    }
+
+    /// Whether any link-level fault class is enabled.
+    pub fn any_link(&self) -> bool {
+        self.link_config().any()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn any(&self) -> bool {
+        self.any_link()
+            || self.corrupt_map_p > 0.0
+            || self.map_sync_delay_cycles > 0
+            || self.spurious_bounce_p > 0.0
+    }
+
+    /// Whether vCPU-map registers can disagree with the hypervisor under
+    /// this plan (corruption or lagging synchronization). When false, map
+    /// coverage is a hard invariant the checker may enforce at any time.
+    pub fn maps_can_diverge(&self) -> bool {
+        self.corrupt_map_p > 0.0 || self.map_sync_delay_cycles > 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+/// Counts of injections actually performed during a run, kept separately
+/// from [`crate::SimStats`] so the *response* counters (degraded
+/// broadcasts, persistent requests, repairs) can be compared against the
+/// *stimulus* that provoked them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjectionStats {
+    /// vCPU-map registers corrupted, by mode.
+    pub maps_bit_cleared: u64,
+    /// Registers that gained a spurious bit.
+    pub maps_bit_set: u64,
+    /// Registers replaced with garbage.
+    pub maps_garbaged: u64,
+    /// Spontaneous token bounces injected.
+    pub spurious_bounces: u64,
+    /// Map-register updates deferred past their migration.
+    pub delayed_syncs: u64,
+}
+
+impl FaultInjectionStats {
+    /// Total vCPU-map corruptions across all modes.
+    pub fn maps_corrupted(&self) -> u64 {
+        self.maps_bit_cleared + self.maps_bit_set + self.maps_garbaged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none(7);
+        assert!(!p.any());
+        assert!(!p.any_link());
+        assert!(!p.maps_can_diverge());
+    }
+
+    #[test]
+    fn all_plan_enables_every_class() {
+        let p = FaultPlan::all(7);
+        assert!(p.any());
+        assert!(p.any_link());
+        assert!(p.maps_can_diverge());
+        assert!(p.audit_period_cycles > 0);
+        assert!(p.link_config().any());
+    }
+}

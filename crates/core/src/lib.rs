@@ -43,9 +43,12 @@
 #![warn(missing_docs)]
 
 mod analytic;
+pub mod checker;
 mod config;
 mod energy;
+mod error;
 pub mod experiments;
+pub mod fault;
 mod policy;
 mod region_filter;
 mod simulator;
@@ -53,10 +56,13 @@ mod stats;
 mod vcpu_map;
 
 pub use analytic::{fig2_sweep, snoop_reduction, Fig2Point};
+pub use checker::{CheckerConfig, CheckerCtx, InvariantChecker, InvariantKind, Violation};
 pub use config::{ConfigError, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use region_filter::RegionFilter;
+pub use error::SimError;
+pub use fault::{FaultInjectionStats, FaultPlan, MapCorruption};
 pub use policy::{ContentPolicy, FilterPolicy};
+pub use region_filter::RegionFilter;
 pub use simulator::{ReplayWorkload, Simulator, SystemWorkload};
 pub use stats::{RemovalEvent, SimStats};
 pub use vcpu_map::{VcpuMap, VcpuMapFile};

@@ -62,13 +62,18 @@ impl FilterPolicy {
     pub const fn uses_vcpu_maps(self) -> bool {
         matches!(
             self,
-            FilterPolicy::VsnoopBase | FilterPolicy::Counter | FilterPolicy::CounterThreshold { .. }
+            FilterPolicy::VsnoopBase
+                | FilterPolicy::Counter
+                | FilterPolicy::CounterThreshold { .. }
         )
     }
 
     /// Whether this policy removes cores from vCPU maps.
     pub const fn removes_cores(self) -> bool {
-        matches!(self, FilterPolicy::Counter | FilterPolicy::CounterThreshold { .. })
+        matches!(
+            self,
+            FilterPolicy::Counter | FilterPolicy::CounterThreshold { .. }
+        )
     }
 }
 

@@ -19,14 +19,23 @@
 //! 4. residence-counter events may shrink vCPU maps (counter /
 //!    counter-threshold policies), logged for Fig. 9.
 
-use sim_mem::{BlockAddr, Cache, CacheGeometry, CacheLine, DataSource, LineTag, ReadMode,
-              TokenProtocol, TokenState, PAGE_BYTES};
-use sim_net::{Mesh, MessageKind, Network, NodeId};
-use sim_vm::{Agent, CoreId, Hypervisor, SharingDirectory, SharingType, TypeTlb, VcpuId, VmId,
-             VmSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_mem::{
+    BlockAddr, Cache, CacheGeometry, CacheLine, DataSource, LineTag, ReadMode, TokenProtocol,
+    TokenState, PAGE_BYTES,
+};
+use sim_net::{LinkFaults, Mesh, MessageKind, Network, NodeId};
+use sim_vm::{
+    Agent, CoreId, Hypervisor, SharingDirectory, SharingType, TypeTlb, UnplacedVcpu, VcpuId, VmId,
+    VmSpec,
+};
 use workloads::{AccessStream, TraceAccess, Workload};
 
+use crate::checker::{valid_core_mask, CheckerConfig, CheckerCtx, InvariantChecker};
 use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::fault::{FaultInjectionStats, FaultPlan, MapCorruption};
 use crate::policy::{ContentPolicy, FilterPolicy};
 use crate::region_filter::RegionFilter;
 use crate::stats::{RemovalEvent, SimStats};
@@ -138,6 +147,30 @@ pub struct Simulator {
     removal_log: Vec<RemovalEvent>,
     cycle: u64,
     stats: SimStats,
+    /// Fault-injection state; `None` means the fault-free fast path (the
+    /// behaviour is then bit-identical to a build without this feature).
+    faults: Option<FaultState>,
+    /// Runtime invariant checker, enabled via [`Simulator::enable_checker`].
+    checker: Option<InvariantChecker>,
+    /// Bounded log of recoverable internal inconsistencies.
+    diagnostics: Vec<SimError>,
+    diagnostics_total: u64,
+}
+
+/// One deferred vCPU-map register update (map-sync-delay fault).
+struct PendingSync {
+    due: u64,
+    vm: VmId,
+    core: CoreId,
+}
+
+/// Live state derived from a [`FaultPlan`].
+struct FaultState {
+    plan: FaultPlan,
+    rng: SmallRng,
+    pending_syncs: Vec<PendingSync>,
+    next_audit: u64,
+    injected: FaultInjectionStats,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -199,10 +232,119 @@ impl Simulator {
             removal_log: Vec::new(),
             cycle: 0,
             stats: SimStats::new(n),
+            faults: None,
+            checker: None,
+            diagnostics: Vec::new(),
+            diagnostics_total: 0,
             cfg,
             policy,
             content_policy,
         }
+    }
+
+    /// Installs a fault-injection plan. Link faults (drops/delays) are
+    /// threaded into the network; map corruption, delayed synchronization
+    /// and spurious bounces are injected at round boundaries; the
+    /// hypervisor audit repairs registers every `audit_period_cycles`.
+    ///
+    /// Installing [`FaultPlan::none`] (or never calling this) keeps the
+    /// simulator on the fault-free fast path.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.any_link() {
+            // Derive the link seed from the plan seed so one seed
+            // reproduces the whole campaign.
+            self.net.install_faults(Some(LinkFaults::new(
+                plan.link_config(),
+                plan.seed ^ 0x9E37_79B9_7F4A_7C15,
+            )));
+        } else {
+            self.net.install_faults(None);
+        }
+        self.faults = Some(FaultState {
+            rng: SmallRng::seed_from_u64(plan.seed),
+            pending_syncs: Vec::new(),
+            next_audit: if plan.audit_period_cycles > 0 {
+                self.cycle + plan.audit_period_cycles
+            } else {
+                u64::MAX
+            },
+            injected: FaultInjectionStats::default(),
+            plan,
+        });
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Counts of faults actually injected so far, if a plan is installed.
+    pub fn fault_injections(&self) -> Option<&FaultInjectionStats> {
+        self.faults.as_ref().map(|f| &f.injected)
+    }
+
+    /// Link-level fault counters (drops/delays), when link faults are on.
+    pub fn link_faults(&self) -> Option<&LinkFaults> {
+        self.net.link_faults()
+    }
+
+    /// Enables the runtime invariant checker: hard invariants on every
+    /// transaction's block, full-machine sweeps per
+    /// [`CheckerConfig::sweep_every`].
+    pub fn enable_checker(&mut self, cfg: CheckerConfig) {
+        self.checker = Some(InvariantChecker::new(cfg));
+    }
+
+    /// The invariant checker, if enabled.
+    pub fn checker(&self) -> Option<&InvariantChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Forces a full-machine invariant sweep now (e.g. at the end of a
+    /// soak phase). No-op when the checker is disabled.
+    pub fn run_checker_sweep(&mut self) {
+        let trusted = self.maps_trusted();
+        let Some(mut ch) = self.checker.take() else {
+            return;
+        };
+        ch.full_sweep(
+            self.cycle,
+            &CheckerCtx {
+                l1: &self.l1,
+                l2: &self.l2,
+                protocol: &self.protocol,
+                maps: &self.maps,
+                hv: &self.hv,
+                maps_trusted: trusted,
+            },
+        );
+        self.checker = Some(ch);
+    }
+
+    /// Recoverable internal inconsistencies observed so far (bounded log;
+    /// see [`Simulator::diagnostics_total`] for the unbounded count).
+    pub fn diagnostics(&self) -> &[SimError] {
+        &self.diagnostics
+    }
+
+    /// Total diagnostics recorded, including any past the log cap.
+    pub fn diagnostics_total(&self) -> u64 {
+        self.diagnostics_total
+    }
+
+    fn diagnose(&mut self, e: SimError) {
+        self.diagnostics_total += 1;
+        if self.diagnostics.len() < 64 {
+            self.diagnostics.push(e);
+        }
+    }
+
+    /// Whether the vCPU-map registers are guaranteed in sync with the
+    /// hypervisor (no corruption or delayed-sync faults in the plan).
+    fn maps_trusted(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| !f.plan.maps_can_diverge())
     }
 
     /// The system configuration.
@@ -265,6 +407,7 @@ impl Simulator {
         for _ in 0..rounds {
             self.cycle += self.cfg.cycles_per_access;
             self.stats.rounds += 1;
+            self.on_round_start();
             for core in CoreId::all(self.cfg.n_cores()) {
                 let Some(vcpu) = self.hv.vcpu_on(core) else {
                     continue;
@@ -293,12 +436,15 @@ impl Simulator {
         for _ in 0..rounds {
             self.cycle += self.cfg.cycles_per_access;
             self.stats.rounds += 1;
+            self.on_round_start();
             if self.cycle >= next_migration {
                 next_migration += period_cycles;
                 let (a, b) = pick(migration_no);
                 migration_no += 1;
                 if a.vm() != b.vm() {
-                    self.swap_vcpus(a, b);
+                    // An unplaced pick is recorded as a diagnostic inside
+                    // swap_vcpus; the storm simply continues.
+                    let _ = self.swap_vcpus(a, b);
                 }
             }
             for core in CoreId::all(self.cfg.n_cores()) {
@@ -314,16 +460,42 @@ impl Simulator {
     /// Exchanges the physical cores of two vCPUs, maintaining vCPU maps
     /// (new cores are added; old cores stay until the counter mechanism
     /// clears them) and starting Fig. 9 removal timers.
-    pub fn swap_vcpus(&mut self, a: VcpuId, b: VcpuId) {
-        let ca = self.hv.core_of(a).expect("vCPU a placed");
-        let cb = self.hv.core_of(b).expect("vCPU b placed");
+    ///
+    /// An unplaced vCPU is not a panic: the swap is skipped, the
+    /// inconsistency is recorded in [`Simulator::diagnostics`], and the
+    /// error is returned for callers that want to react.
+    pub fn swap_vcpus(&mut self, a: VcpuId, b: VcpuId) -> Result<(), SimError> {
+        let (ca, cb) = match self.hv.try_swap(self.cycle, a, b) {
+            Ok(cores) => cores,
+            Err(UnplacedVcpu(vcpu)) => {
+                let e = SimError::VcpuNotPlaced {
+                    vcpu,
+                    context: "swap_vcpus",
+                };
+                self.diagnose(e.clone());
+                return Err(e);
+            }
+        };
         if ca == cb {
-            return;
+            return Ok(());
         }
-        self.hv.swap(self.cycle, a, b);
         for (vcpu, old, new) in [(a, ca, cb), (b, cb, ca)] {
             let vm = vcpu.vm();
-            if self.maps.add_core(vm.index(), new) {
+            // Under the map-sync-delay fault the register update lags the
+            // migration; the window where the new core is missing from its
+            // own VM's map is exactly what the use-time validation and the
+            // degraded broadcast fallback must absorb.
+            let sync_delay = self
+                .faults
+                .as_ref()
+                .map_or(0, |f| f.plan.map_sync_delay_cycles);
+            if sync_delay > 0 && !self.maps.map(vm.index()).contains(new) {
+                let due = self.cycle + sync_delay;
+                if let Some(f) = &mut self.faults {
+                    f.pending_syncs.push(PendingSync { due, vm, core: new });
+                    f.injected.delayed_syncs += 1;
+                }
+            } else if self.maps.add_core(vm.index(), new) {
                 self.stats.map_adds += 1;
                 self.account_map_sync(vm);
             }
@@ -337,6 +509,131 @@ impl Simulator {
                 self.maybe_remove_core(old.index(), vm);
             }
         }
+        Ok(())
+    }
+
+    /// Round-boundary fault machinery: applies due register syncs, injects
+    /// the per-round fault classes, and runs the periodic hypervisor audit.
+    /// A no-op without an installed plan.
+    fn on_round_start(&mut self) {
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        let cycle = self.cycle;
+
+        // 1. Deferred vCPU-map updates whose delay has elapsed.
+        let mut i = 0;
+        while i < f.pending_syncs.len() {
+            if f.pending_syncs[i].due <= cycle {
+                let p = f.pending_syncs.swap_remove(i);
+                if self.maps.add_core(p.vm.index(), p.core) {
+                    self.stats.map_adds += 1;
+                    self.account_map_sync(p.vm);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. vCPU-map register corruption.
+        if f.plan.corrupt_map_p > 0.0 && f.rng.gen_bool(f.plan.corrupt_map_p) {
+            let vm = f.rng.gen_range(0..self.cfg.n_vms);
+            let cur = self.maps.map(vm);
+            let mode = MapCorruption::ALL[f.rng.gen_range(0..MapCorruption::ALL.len())];
+            match mode {
+                MapCorruption::ClearBit => {
+                    let bits: Vec<CoreId> = cur.cores().collect();
+                    if !bits.is_empty() {
+                        let victim = bits[f.rng.gen_range(0..bits.len())];
+                        let mut m = cur;
+                        m.remove(victim);
+                        self.maps.corrupt(vm, m);
+                        f.injected.maps_bit_cleared += 1;
+                    }
+                }
+                MapCorruption::SetBit => {
+                    // Any of the 64 register bits, including ones beyond
+                    // the physical core count (an *invalid* register).
+                    let bit = f.rng.gen_range(0..64u32);
+                    self.maps
+                        .corrupt(vm, VcpuMap::from_mask(cur.mask() | (1u64 << bit)));
+                    f.injected.maps_bit_set += 1;
+                }
+                MapCorruption::Garbage => {
+                    let garbage = f.rng.gen::<u64>();
+                    self.maps.corrupt(vm, VcpuMap::from_mask(garbage));
+                    f.injected.maps_garbaged += 1;
+                }
+            }
+        }
+
+        // 3. Spurious token bounce: a random cached line surrenders its
+        // tokens to memory, as if a transient request had failed.
+        if f.plan.spurious_bounce_p > 0.0 && f.rng.gen_bool(f.plan.spurious_bounce_p) {
+            let core = f.rng.gen_range(0..self.cfg.n_cores());
+            let occ = self.l2[core].occupancy();
+            if occ > 0 {
+                let idx = f.rng.gen_range(0..occ);
+                let victim = self.l2[core].lines().nth(idx).map(|l| l.block);
+                if let Some(block) = victim {
+                    if let Some(line) = self.l2[core].remove(block) {
+                        let dirty = self.protocol.writeback(&line);
+                        self.handle_eviction(core, line, dirty);
+                        f.injected.spurious_bounces += 1;
+                    }
+                }
+            }
+        }
+
+        // 4. Periodic hypervisor audit: scrub every register back to a
+        // valid, covering state. Right after the audit the registers are
+        // known-good, so the map invariants can be checked even under a
+        // corrupting plan.
+        if cycle >= f.next_audit {
+            f.next_audit = cycle + f.plan.audit_period_cycles;
+            self.audit_maps();
+            self.faults = Some(f);
+            self.checker_check_maps();
+            return;
+        }
+        self.faults = Some(f);
+    }
+
+    /// The hypervisor's register scrubber: strips invalid bits and
+    /// restores every running core, leaving legitimate stale-but-valid
+    /// bits (old cores still caching the VM's data) untouched.
+    fn audit_maps(&mut self) {
+        let valid = valid_core_mask(self.cfg.n_cores());
+        for vm_idx in 0..self.cfg.n_vms {
+            let vm = VmId::new(vm_idx as u16);
+            let cur = self.maps.map(vm_idx).mask();
+            let repaired = (cur & valid) | self.hv.cores_of_vm(vm);
+            if repaired != cur {
+                self.maps.set(vm_idx, VcpuMap::from_mask(repaired));
+                self.stats.map_repairs += 1;
+                self.account_map_sync(vm);
+            }
+        }
+    }
+
+    /// Runs the checker's map audit with the registers marked trusted —
+    /// valid only immediately after [`Simulator::audit_maps`].
+    fn checker_check_maps(&mut self) {
+        let Some(mut ch) = self.checker.take() else {
+            return;
+        };
+        ch.check_maps(
+            self.cycle,
+            &CheckerCtx {
+                l1: &self.l1,
+                l2: &self.l2,
+                protocol: &self.protocol,
+                maps: &self.maps,
+                hv: &self.hv,
+                maps_trusted: true,
+            },
+        );
+        self.checker = Some(ch);
     }
 
     /// One access slot on `core`.
@@ -376,16 +673,26 @@ impl Simulator {
         let hit = {
             let present = self.l2[c].access(block);
             if present {
-                let line = self.l2[c].probe_mut(block).expect("present");
-                if access.write {
-                    if line.state.can_write(total) {
-                        line.state.dirty = true;
-                        true
-                    } else {
+                match self.l2[c].probe_mut(block) {
+                    Some(line) => {
+                        if access.write {
+                            if line.state.can_write(total) {
+                                line.state.dirty = true;
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            line.state.can_read()
+                        }
+                    }
+                    // A hit that vanished between lookup and probe: the
+                    // cache disagrees with itself. Diagnose and fall
+                    // through to a (correct, if slower) miss.
+                    None => {
+                        self.diagnose(SimError::CacheDesync { core: c, block });
                         false
                     }
-                } else {
-                    line.state.can_read()
                 }
             } else {
                 false
@@ -403,9 +710,39 @@ impl Simulator {
             self.classify_holders(block, access.agent.guest_vm());
         }
         self.transaction(core, access, block, sharing);
+        self.run_checker(block);
     }
 
-    /// Executes one coherence transaction with the retry ladder.
+    /// Post-transaction invariant check on the touched block (plus the
+    /// periodic full sweep). No-op when the checker is disabled.
+    fn run_checker(&mut self, block: BlockAddr) {
+        let trusted = self.maps_trusted();
+        let Some(mut ch) = self.checker.take() else {
+            return;
+        };
+        ch.on_transaction(
+            self.cycle,
+            block,
+            &CheckerCtx {
+                l1: &self.l1,
+                l2: &self.l2,
+                protocol: &self.protocol,
+                maps: &self.maps,
+                hv: &self.hv,
+                maps_trusted: trusted,
+            },
+        );
+        self.checker = Some(ch);
+    }
+
+    /// Executes one coherence transaction: the paper's bounded transient
+    /// retry ladder (two filtered attempts, then broadcast), hardened for
+    /// fault injection with extra broadcast retries under exponential
+    /// backoff and a final escalation to a guaranteed *persistent request*
+    /// (Token Coherence's forward-progress mechanism, carried on the
+    /// reliable virtual channel). Fault-free, the first broadcast attempt
+    /// always succeeds, so the extra rungs are never exercised and the
+    /// ladder is exactly the original three attempts.
     fn transaction(
         &mut self,
         core: CoreId,
@@ -420,15 +757,29 @@ impl Simulator {
         // block (an upgrade does not change its region count).
         let requester_had = self.l2[c].probe(block).is_some();
 
-        for attempt in 0..3u32 {
+        let transient_attempts: u32 = if self.faults.is_some() { 5 } else { 3 };
+        for attempt in 0..=transient_attempts {
+            let persistent = attempt == transient_attempts;
             let filtered = attempt < 2;
-            let (dests, include_memory) =
-                self.destinations(c, access.agent, sharing, filtered, block);
+            let (dests, include_memory, degraded) = if persistent {
+                let n = self.cfg.n_cores();
+                ((0..n).filter(|&d| d != c).collect(), true, false)
+            } else {
+                self.destinations(c, access.agent, sharing, filtered, block)
+            };
             if attempt > 0 {
                 self.stats.retries += 1;
                 if attempt == 2 {
                     self.stats.broadcast_fallbacks += 1;
                 }
+            }
+            if persistent {
+                self.stats.persistent_requests += 1;
+            }
+            if degraded && attempt == 0 {
+                // The requester's map register failed validation; this
+                // transaction runs as a full broadcast (degraded mode).
+                self.stats.degraded_broadcasts += 1;
             }
 
             // Request traffic: one control message per snooped cache, plus
@@ -436,20 +787,41 @@ impl Simulator {
             // *worst* leg only matters for failed attempts (the requester
             // must conclude nobody will answer); successful transactions
             // are gated by the leg to the actual responder, computed below.
-            let dest_nodes: Vec<NodeId> =
-                dests.iter().map(|&d| NodeId::new(d as u16)).collect();
+            // Under link faults a request may be dropped (traffic is still
+            // accounted — the message was sent) or delayed; persistent
+            // requests ride the reliable channel and cannot be dropped.
+            let req_kind = if persistent {
+                MessageKind::Persistent
+            } else {
+                MessageKind::Request
+            };
             let src = NodeId::new(c as u16);
-            let mut worst_req_lat = self.net.multicast(src, dest_nodes, MessageKind::Request);
+            let mut delivered: Vec<usize> = Vec::with_capacity(dests.len());
+            let mut worst_req_lat = 0u64;
+            for &d in &dests {
+                let out = self.net.send(src, NodeId::new(d as u16), req_kind);
+                worst_req_lat = worst_req_lat.max(out.latency);
+                if out.delivered {
+                    delivered.push(d);
+                }
+            }
+            let mut memory_heard = include_memory;
             if include_memory {
-                worst_req_lat = worst_req_lat.max(self.net.to_memory(src, MessageKind::Request));
+                let out = self.net.send_to_memory(src, req_kind);
+                worst_req_lat = worst_req_lat.max(out.latency);
+                memory_heard = out.delivered;
             }
 
             // The paper counts the requester's own tag lookup too (ideal
-            // filtering on 16 cores -> 25% of baseline snoops).
-            self.stats.snoops += dests.len() as u64 + 1;
+            // filtering on 16 cores -> 25% of baseline snoops). A dropped
+            // request never reaches a tag array, so only delivered ones
+            // count.
+            self.stats.snoops += delivered.len() as u64 + 1;
 
             let outcome = if access.write {
-                let w = self.protocol.write_miss(&mut self.l2, c, &dests, block, include_memory, tag);
+                let w =
+                    self.protocol
+                        .write_miss(&mut self.l2, c, &delivered, block, memory_heard, tag);
                 // Token-only replies.
                 for &r in &w.token_repliers {
                     self.net
@@ -464,7 +836,13 @@ impl Simulator {
                 }
             } else {
                 let r = self.protocol.read_miss(
-                    &mut self.l2, c, &dests, block, include_memory, tag, mode,
+                    &mut self.l2,
+                    c,
+                    &delivered,
+                    block,
+                    memory_heard,
+                    tag,
+                    mode,
                 );
                 TxOutcome {
                     success: r.success,
@@ -493,12 +871,14 @@ impl Simulator {
                     req_leg + resp
                 }
                 Some(DataSource::Memory) => {
-                    let resp = self.net.from_memory(src, MessageKind::Data)
-                        + self.cfg.memory_latency;
+                    let resp =
+                        self.net.from_memory(src, MessageKind::Data) + self.cfg.memory_latency;
                     self.stats.data_memory += 1;
                     let port = self.net.mesh().nearest_port(src, self.net.memory_ports());
-                    let req_leg =
-                        lm.base_latency(self.net.mesh().hops(src, port), MessageKind::Request.bytes());
+                    let req_leg = lm.base_latency(
+                        self.net.mesh().hops(src, port),
+                        MessageKind::Request.bytes(),
+                    );
                     req_leg + resp
                 }
                 // Failed attempt (or a dataless upgrade): the requester
@@ -510,10 +890,7 @@ impl Simulator {
             // Charge the stall (contention-scaled) whether or not the
             // attempt succeeded: failed attempts cost real time.
             let base = self.cfg.l2_latency + round_trip;
-            let stall = self
-                .cfg
-                .network
-                .contended_latency(base, self.utilization());
+            let stall = self.cfg.network.contended_latency(base, self.utilization());
             self.stats.stall_cycles[c] += stall;
 
             // Region tracking (RegionScout baseline): lines that left
@@ -547,9 +924,11 @@ impl Simulator {
                         // the notification).
                         rf.on_fill(c, region);
                     }
-                    // A broadcast that found no other holder of the region
-                    // verifies it as not-shared.
-                    if dests.len() + 1 == self.cfg.n_cores() && !rf.shared_elsewhere(c, region) {
+                    // A broadcast that reached every other core and found
+                    // no holder of the region verifies it as not-shared
+                    // (a dropped request verifies nothing).
+                    if delivered.len() + 1 == self.cfg.n_cores() && !rf.shared_elsewhere(c, region)
+                    {
                         rf.learn(c, region);
                     }
                 }
@@ -562,11 +941,27 @@ impl Simulator {
                     rf.forget(c, rf.region_of(block));
                 }
             }
+
+            assert!(
+                !persistent,
+                "persistent broadcast with memory cannot fail: it reaches \
+                 every token holder on the reliable channel"
+            );
+            // Exponential escalation: each failed broadcast rung backs off
+            // twice as long before re-arbitrating (reachable only under
+            // link faults — fault-free, the first broadcast succeeds).
+            if attempt >= 2 {
+                let backoff = worst_req_lat.saturating_mul(1u64 << (attempt - 2).min(8));
+                self.stats.stall_cycles[c] += backoff;
+            }
         }
-        unreachable!("broadcast attempt with memory always succeeds");
+        unreachable!("the persistent attempt either succeeds or asserts");
     }
 
-    /// Computes the snoop destination set and whether memory participates.
+    /// Computes the snoop destination set, whether memory participates,
+    /// and whether the filter had to *degrade* to broadcast because the
+    /// requester's vCPU-map register failed validation (see
+    /// [`Simulator::map_usable`]).
     fn destinations(
         &self,
         requester: usize,
@@ -574,12 +969,11 @@ impl Simulator {
         sharing: SharingType,
         filtered: bool,
         block: BlockAddr,
-    ) -> (Vec<usize>, bool) {
+    ) -> (Vec<usize>, bool, bool) {
         let n = self.cfg.n_cores();
-        let broadcast =
-            || (0..n).filter(|&d| d != requester).collect::<Vec<_>>();
+        let broadcast = || (0..n).filter(|&d| d != requester).collect::<Vec<_>>();
         if !filtered || !self.policy.filters() {
-            return (broadcast(), true);
+            return (broadcast(), true, false);
         }
         if let Some(rf) = &self.region_filter {
             // Region filtering is address-based, not VM-based: a miss to a
@@ -587,26 +981,72 @@ impl Simulator {
             // everything else broadcasts (RegionScout has no multicast).
             let region = rf.region_of(block);
             return if rf.nsrt_contains(requester, region) {
-                (Vec::new(), true)
+                (Vec::new(), true, false)
             } else {
-                (broadcast(), true)
+                (broadcast(), true, false)
             };
         }
         let Some(vm) = agent.guest_vm() else {
             // Hypervisor and dom0 requests must always be broadcast.
-            return (broadcast(), true);
+            return (broadcast(), true, false);
+        };
+        // Validate the register(s) the filter is about to trust; a failed
+        // check falls back to full broadcast (correct by construction —
+        // broadcast is what an unfiltered protocol would do) and is
+        // counted as a degraded-mode transaction.
+        let usable = |ok: bool, dests: Vec<usize>| {
+            if ok {
+                (dests, true, false)
+            } else {
+                (broadcast(), true, true)
+            }
         };
         match sharing {
-            SharingType::RwShared => (broadcast(), true),
-            SharingType::VmPrivate => (self.map_dests(vm, None, requester), true),
+            SharingType::RwShared => (broadcast(), true, false),
+            SharingType::VmPrivate => usable(
+                self.map_usable(vm, None, requester),
+                self.map_dests(vm, None, requester),
+            ),
             SharingType::RoShared => match self.content_policy {
-                ContentPolicy::Broadcast => (broadcast(), true),
-                ContentPolicy::MemoryDirect => (Vec::new(), true),
-                ContentPolicy::IntraVm => (self.map_dests(vm, None, requester), true),
+                ContentPolicy::Broadcast => (broadcast(), true, false),
+                ContentPolicy::MemoryDirect => (Vec::new(), true, false),
+                ContentPolicy::IntraVm => usable(
+                    self.map_usable(vm, None, requester),
+                    self.map_dests(vm, None, requester),
+                ),
                 ContentPolicy::FriendVm => {
-                    (self.map_dests(vm, self.friends[vm.index()], requester), true)
+                    let friend = self.friends[vm.index()];
+                    usable(
+                        self.map_usable(vm, friend, requester),
+                        self.map_dests(vm, friend, requester),
+                    )
                 }
             },
+        }
+    }
+
+    /// Requester-side validation of the vCPU-map register(s) a filtered
+    /// snoop is about to trust — both checks are local and cheap, exactly
+    /// what filter hardware could implement:
+    ///
+    /// * no bit beyond the physical core count (a garbage register), and
+    /// * the requester's own core present in its VM's map (a core running
+    ///   the VM is by definition in its snoop domain — its absence means
+    ///   the register is stale or corrupted).
+    ///
+    /// A friend VM's register only needs the validity check: the friend
+    /// does not run on the requester's core, and a *missing* friend bit
+    /// merely under-filters, which the transient retry ladder already
+    /// absorbs (the safe-retry property).
+    fn map_usable(&self, vm: VmId, friend: Option<VmId>, requester: usize) -> bool {
+        let valid = valid_core_mask(self.cfg.n_cores());
+        let own = self.maps.map(vm.index()).mask();
+        if own & !valid != 0 || own & (1u64 << requester) == 0 {
+            return false;
+        }
+        match friend {
+            Some(f) => self.maps.map(f.index()).mask() & !valid == 0,
+            None => true,
         }
     }
 
@@ -637,7 +1077,11 @@ impl Simulator {
     }
 
     fn fill_l1(&mut self, c: usize, block: BlockAddr, agent: Agent) {
-        self.l1[c].insert(CacheLine::new(block, TokenState::shared_one(), LineTag::from(agent)));
+        self.l1[c].insert(CacheLine::new(
+            block,
+            TokenState::shared_one(),
+            LineTag::from(agent),
+        ));
     }
 
     /// Applies L1 back-invalidation and residence-counter events for lines
@@ -719,7 +1163,12 @@ impl Simulator {
     /// Charges the vCPU-map synchronization messages: the hypervisor sends
     /// the new value to every core in the (updated) map.
     fn account_map_sync(&mut self, vm: VmId) {
-        let map = self.maps.map(vm.index());
+        // Mask to physical cores: a corrupted register can hold bits
+        // beyond the mesh, but the hypervisor's update broadcast only ever
+        // targets real cores.
+        let map = VcpuMap::from_mask(
+            self.maps.map(vm.index()).mask() & valid_core_mask(self.cfg.n_cores()),
+        );
         let Some(first) = map.cores().next() else {
             return;
         };
@@ -734,7 +1183,12 @@ impl Simulator {
 
     fn count_data_source(&mut self, holder: usize, vm: Option<VmId>) {
         match vm {
-            Some(vm) if self.maps.map(vm.index()).contains(CoreId::new(holder as u16)) => {
+            Some(vm)
+                if self
+                    .maps
+                    .map(vm.index())
+                    .contains(CoreId::new(holder as u16)) =>
+            {
                 self.stats.data_intra_vm += 1;
             }
             _ => self.stats.data_other_vm += 1,
@@ -794,6 +1248,18 @@ struct TxOutcome {
     invalidated: Vec<usize>,
     evicted: Option<CacheLine>,
     evicted_dirty: bool,
+}
+
+impl Simulator {
+    /// Test/diagnostic hook: residence counter of `vm` on cache `core`.
+    pub fn debug_residence(&self, core: usize, vm: sim_vm::VmId) -> u64 {
+        self.l2[core].residence(vm)
+    }
+
+    /// Test/diagnostic hook: the blocks currently valid in `core`'s L2.
+    pub fn debug_l2_lines(&self, core: usize) -> Vec<BlockAddr> {
+        self.l2[core].lines().map(|l| l.block).collect()
+    }
 }
 
 #[cfg(test)]
@@ -874,7 +1340,7 @@ mod tests {
         assert_eq!(sim.vcpu_map(vm0).len(), 2);
         let a = VcpuId::new(vm0, 0);
         let b = VcpuId::new(vm1, 0);
-        sim.swap_vcpus(a, b);
+        sim.swap_vcpus(a, b).unwrap();
         // Both VMs' maps grew to include the new core.
         assert_eq!(sim.vcpu_map(vm0).len(), 3);
         assert_eq!(sim.vcpu_map(vm1).len(), 3);
@@ -889,17 +1355,15 @@ mod tests {
             "maps must not grow unboundedly"
         );
         // Removal events carry measured periods.
-        assert!(sim
-            .removal_log()
-            .iter()
-            .any(|e| e.period.is_some()));
+        assert!(sim.removal_log().iter().any(|e| e.period.is_some()));
     }
 
     #[test]
     fn vsnoop_base_never_shrinks_maps() {
         let (mut sim, mut wl) = small_sim(FilterPolicy::VsnoopBase);
         sim.run(&mut wl, 200);
-        sim.swap_vcpus(VcpuId::new(VmId::new(0), 0), VcpuId::new(VmId::new(1), 0));
+        sim.swap_vcpus(VcpuId::new(VmId::new(0), 0), VcpuId::new(VmId::new(1), 0))
+            .unwrap();
         sim.run(&mut wl, 5_000);
         assert_eq!(sim.stats().map_removes, 0);
         assert_eq!(sim.vcpu_map(VmId::new(0)).len(), 3);
@@ -941,17 +1405,5 @@ mod tests {
         // strictly between the two extremes.
         assert!(s.snoops > s.l2_misses * 2);
         assert!(s.snoops < s.l2_misses * 4);
-    }
-}
-
-impl Simulator {
-    /// Test/diagnostic hook: residence counter of `vm` on cache `core`.
-    pub fn debug_residence(&self, core: usize, vm: sim_vm::VmId) -> u64 {
-        self.l2[core].residence(vm)
-    }
-
-    /// Test/diagnostic hook: the blocks currently valid in `core`'s L2.
-    pub fn debug_l2_lines(&self, core: usize) -> Vec<BlockAddr> {
-        self.l2[core].lines().map(|l| l.block).collect()
     }
 }

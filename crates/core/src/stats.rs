@@ -29,6 +29,15 @@ pub struct SimStats {
     pub retries: u64,
     /// Transactions that fell back to a broadcast attempt.
     pub broadcast_fallbacks: u64,
+    /// Transactions that exhausted the transient retry ladder (possible
+    /// only under fault injection) and escalated to a persistent request.
+    pub persistent_requests: u64,
+    /// Transactions broadcast because the requester's vCPU-map register
+    /// failed validation (invalid bits, or missing the requester's own
+    /// core) — the degraded-mode fallback.
+    pub degraded_broadcasts: u64,
+    /// vCPU-map registers repaired by the hypervisor's periodic audit.
+    pub map_repairs: u64,
     /// Misses by guest VMs.
     pub misses_guest: u64,
     /// Misses by dom0.
@@ -119,8 +128,7 @@ impl SimStats {
     /// Estimated runtime in cycles: issue time plus the worst core's
     /// accumulated miss stalls (the critical path).
     pub fn runtime_cycles(&self, cycles_per_access: u64) -> u64 {
-        self.rounds * cycles_per_access
-            + self.stall_cycles.iter().copied().max().unwrap_or(0)
+        self.rounds * cycles_per_access + self.stall_cycles.iter().copied().max().unwrap_or(0)
     }
 
     /// Records a miss by `agent` to a page of `sharing` type.
@@ -171,10 +179,16 @@ mod tests {
     #[test]
     fn count_miss_decomposes() {
         let mut s = SimStats::new(2);
-        s.count_miss(Agent::Guest(VcpuId::new(VmId::new(0), 0)), SharingType::VmPrivate);
+        s.count_miss(
+            Agent::Guest(VcpuId::new(VmId::new(0), 0)),
+            SharingType::VmPrivate,
+        );
         s.count_miss(Agent::Dom0, SharingType::RwShared);
         s.count_miss(Agent::Hypervisor, SharingType::RwShared);
-        s.count_miss(Agent::Guest(VcpuId::new(VmId::new(1), 0)), SharingType::RoShared);
+        s.count_miss(
+            Agent::Guest(VcpuId::new(VmId::new(1), 0)),
+            SharingType::RoShared,
+        );
         assert_eq!(s.l2_misses, 4);
         assert_eq!(s.misses_guest, 2);
         assert_eq!(s.misses_dom0, 1);

@@ -77,7 +77,9 @@ impl VcpuMap {
 
     /// Iterates over the cores in the domain, in index order.
     pub fn cores(self) -> impl Iterator<Item = CoreId> {
-        (0..64u16).filter(move |&i| self.0 & (1 << i) != 0).map(CoreId::new)
+        (0..64u16)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(CoreId::new)
     }
 }
 
@@ -147,6 +149,13 @@ impl VcpuMapFile {
         changed
     }
 
+    /// Overwrites VM `vm`'s map **without** counting a synchronization
+    /// round: this models hardware corruption of the register (fault
+    /// injection), not a hypervisor update. Returns the previous value.
+    pub fn corrupt(&mut self, vm: usize, map: VcpuMap) -> VcpuMap {
+        std::mem::replace(&mut self.maps[vm], map)
+    }
+
     /// Number of synchronization rounds performed.
     pub fn sync_updates(&self) -> u64 {
         self.sync_updates
@@ -194,6 +203,17 @@ mod tests {
         let m = VcpuMap::from_mask(0b100101);
         let v: Vec<usize> = m.cores().map(|c| c.index()).collect();
         assert_eq!(v, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn corrupt_bypasses_sync_accounting() {
+        let mut f = VcpuMapFile::new(1);
+        f.set(0, VcpuMap::from_mask(0b11));
+        let before = f.sync_updates();
+        let old = f.corrupt(0, VcpuMap::from_mask(u64::MAX));
+        assert_eq!(old.mask(), 0b11);
+        assert_eq!(f.map(0).mask(), u64::MAX);
+        assert_eq!(f.sync_updates(), before, "corruption is not a sync");
     }
 
     #[test]

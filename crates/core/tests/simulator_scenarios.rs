@@ -93,7 +93,8 @@ fn map_sync_messages_are_charged_for_relocations() {
     let mut wl = workload("ocean", &cfg, false);
     sim.run(&mut wl, 2_000);
     let before = sim.traffic().messages_of(sim_net::MessageKind::MapUpdate);
-    sim.swap_vcpus(VcpuId::new(VmId::new(0), 1), VcpuId::new(VmId::new(2), 3));
+    sim.swap_vcpus(VcpuId::new(VmId::new(0), 1), VcpuId::new(VmId::new(2), 3))
+        .unwrap();
     let after = sim.traffic().messages_of(sim_net::MessageKind::MapUpdate);
     assert!(
         after > before,
@@ -119,8 +120,9 @@ fn counter_threshold_retries_recover_from_premature_removal() {
     for i in 0..4u16 {
         sim.swap_vcpus(
             VcpuId::new(VmId::new(0), i % 4),
-            VcpuId::new(VmId::new((1 + i % 3) as u16), i % 4),
-        );
+            VcpuId::new(VmId::new(1 + i % 3), i % 4),
+        )
+        .unwrap();
         sim.run(&mut wl, 2_000);
     }
     let s = sim.stats();

@@ -46,7 +46,7 @@ impl CacheGeometry {
         assert!(ways > 0, "associativity must be positive");
         let line_bytes = ways as u64 * BLOCK_BYTES;
         assert!(
-            bytes > 0 && bytes % line_bytes == 0,
+            bytes > 0 && bytes.is_multiple_of(line_bytes),
             "capacity must be a positive multiple of ways * block size"
         );
         let sets = bytes / line_bytes;
@@ -192,7 +192,10 @@ impl Cache {
         self.clock += 1;
         line.last_use = self.clock;
         let set_idx = self.geometry.set_of(line.block);
-        if let Some(existing) = self.sets[set_idx].iter_mut().find(|l| l.block == line.block) {
+        if let Some(existing) = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.block == line.block)
+        {
             let old_tag = existing.tag;
             *existing = line;
             self.dec_residence(old_tag);
@@ -300,7 +303,10 @@ mod tests {
         assert_eq!(g.lines(), 4096);
         assert_eq!(g.ways(), 8);
         // Blocks that differ by the set count map to the same set.
-        assert_eq!(g.set_of(BlockAddr::new(3)), g.set_of(BlockAddr::new(3 + 512)));
+        assert_eq!(
+            g.set_of(BlockAddr::new(3)),
+            g.set_of(BlockAddr::new(3 + 512))
+        );
     }
 
     #[test]

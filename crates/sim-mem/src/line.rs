@@ -147,19 +147,42 @@ mod tests {
 
     #[test]
     fn moesi_derivation() {
-        assert_eq!(TokenState { tokens: 0, owner: false, dirty: false }.moesi(TOTAL), Moesi::I);
+        assert_eq!(
+            TokenState {
+                tokens: 0,
+                owner: false,
+                dirty: false
+            }
+            .moesi(TOTAL),
+            Moesi::I
+        );
         assert_eq!(TokenState::modified(TOTAL).moesi(TOTAL), Moesi::M);
         assert_eq!(
-            TokenState { tokens: 5, owner: true, dirty: true }.moesi(TOTAL),
+            TokenState {
+                tokens: 5,
+                owner: true,
+                dirty: true
+            }
+            .moesi(TOTAL),
             Moesi::O
         );
         assert_eq!(
-            TokenState { tokens: TOTAL, owner: true, dirty: false }.moesi(TOTAL),
+            TokenState {
+                tokens: TOTAL,
+                owner: true,
+                dirty: false
+            }
+            .moesi(TOTAL),
             Moesi::E
         );
         assert_eq!(TokenState::shared_one().moesi(TOTAL), Moesi::S);
         assert_eq!(
-            TokenState { tokens: 3, owner: true, dirty: false }.moesi(TOTAL),
+            TokenState {
+                tokens: 3,
+                owner: true,
+                dirty: false
+            }
+            .moesi(TOTAL),
             Moesi::S
         );
     }
@@ -169,7 +192,12 @@ mod tests {
         assert!(TokenState::shared_one().can_read());
         assert!(!TokenState::shared_one().can_write(TOTAL));
         assert!(TokenState::modified(TOTAL).can_write(TOTAL));
-        assert!(!TokenState { tokens: 0, owner: false, dirty: false }.can_read());
+        assert!(!TokenState {
+            tokens: 0,
+            owner: false,
+            dirty: false
+        }
+        .can_read());
     }
 
     #[test]

@@ -225,6 +225,15 @@ impl TokenProtocol {
         self.memory.tokens(block)
     }
 
+    /// Whether memory holds the owner token for `block`. Together with
+    /// [`TokenProtocol::memory_tokens`] this exposes the complete
+    /// memory-side token ledger, so an external invariant checker can
+    /// verify conservation and owner uniqueness without reaching into the
+    /// protocol's internals.
+    pub fn memory_has_owner(&self, block: BlockAddr) -> bool {
+        self.memory.has_owner(block)
+    }
+
     /// Executes a read-miss (GETS) attempt by `requester` over the snoop
     /// destination set `dests`.
     ///
@@ -237,6 +246,7 @@ impl TokenProtocol {
     /// Panics if `dests` contains the requester, or if the requester
     /// already holds a valid line for `block` (that would be a hit, not a
     /// miss).
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     pub fn read_miss(
         &mut self,
         caches: &mut [Cache],
@@ -247,7 +257,10 @@ impl TokenProtocol {
         tag: LineTag,
         mode: ReadMode,
     ) -> ReadResult {
-        assert!(!dests.contains(&requester), "requester must not snoop itself");
+        assert!(
+            !dests.contains(&requester),
+            "requester must not snoop itself"
+        );
         assert!(
             caches[requester].probe(block).is_none(),
             "read_miss on a block the requester already caches"
@@ -288,10 +301,7 @@ impl TokenProtocol {
                 invalidated.push(c);
                 (line.state, DataSource::Cache(c))
             }
-        } else if include_memory
-            && mode == ReadMode::Strict
-            && self.memory.has_owner(block)
-        {
+        } else if include_memory && mode == ReadMode::Strict && self.memory.has_owner(block) {
             // TokenB memory answers a GETS with *all* its tokens plus the
             // owner token: a sole reader lands in E.
             let (taken, owner_taken) = self.memory.take(block, self.memory.total());
@@ -304,10 +314,7 @@ impl TokenProtocol {
                 },
                 DataSource::Memory,
             )
-        } else if include_memory
-            && mode == ReadMode::CleanShared
-            && self.memory.tokens(block) > 0
-        {
+        } else if include_memory && mode == ReadMode::CleanShared && self.memory.tokens(block) > 0 {
             let (taken, owner_taken) = self.memory.take(block, 1);
             debug_assert_eq!(taken, 1);
             (
@@ -362,7 +369,10 @@ impl TokenProtocol {
         include_memory: bool,
         tag: LineTag,
     ) -> WriteResult {
-        assert!(!dests.contains(&requester), "requester must not snoop itself");
+        assert!(
+            !dests.contains(&requester),
+            "requester must not snoop itself"
+        );
         let total = self.total_tokens();
         let snooped = dests.len();
         let existing = caches[requester].probe(block).map(|l| l.state);
@@ -449,7 +459,8 @@ impl TokenProtocol {
     /// token, if held) return to memory. Returns `true` if a dirty
     /// write-back was required.
     pub fn writeback(&mut self, line: &CacheLine) -> bool {
-        self.memory.put(line.block, line.state.tokens, line.state.owner);
+        self.memory
+            .put(line.block, line.state.tokens, line.state.owner);
         line.state.owner && line.state.dirty
     }
 
@@ -487,7 +498,6 @@ impl TokenProtocol {
             None => (None, false),
         }
     }
-
 }
 
 #[cfg(test)]
@@ -582,7 +592,15 @@ mod tests {
         let (mut caches, mut tp) = setup();
         let b = BlockAddr::new(50);
         for core in 0..4 {
-            let r = tp.read_miss(&mut caches, core, &[], b, true, tag(0), ReadMode::CleanShared);
+            let r = tp.read_miss(
+                &mut caches,
+                core,
+                &[],
+                b,
+                true,
+                tag(0),
+                ReadMode::CleanShared,
+            );
             assert!(r.success, "clean read {core} failed");
             assert_eq!(r.source, Some(DataSource::Memory));
             assert!(tp.check_invariant(&caches, b));
@@ -610,7 +628,15 @@ mod tests {
         tp.read_miss(&mut caches, 0, &[], b, true, tag(0), ReadMode::CleanShared);
         // Core 1 snoops only core 0, memory excluded: the plain holder
         // serves under CleanShared (read-only data is safe anywhere)...
-        let r = tp.read_miss(&mut caches, 1, &[0], b, false, tag(1), ReadMode::CleanShared);
+        let r = tp.read_miss(
+            &mut caches,
+            1,
+            &[0],
+            b,
+            false,
+            tag(1),
+            ReadMode::CleanShared,
+        );
         assert!(r.success);
         assert_eq!(r.source, Some(DataSource::Cache(0)));
         // ...its single token transferred, so core 0's line vanished.
@@ -690,7 +716,10 @@ mod tests {
         assert!(!w.success);
         assert!(w.bounced);
         assert!(caches[0].probe(b).is_none(), "failed write must not fill");
-        assert!(caches[1].probe(b).is_none(), "snooped holder gave its token");
+        assert!(
+            caches[1].probe(b).is_none(),
+            "snooped holder gave its token"
+        );
         assert_eq!(caches[3].probe(b).unwrap().state.tokens, 3);
         assert_eq!(tp.memory_tokens(b), 1);
         assert!(tp.check_invariant(&caches, b));
@@ -735,7 +764,15 @@ mod tests {
         let (mut caches, mut tp) = setup();
         let b = BlockAddr::new(3);
         let vm = VmId::new(2);
-        read(&mut tp, &mut caches, 1, &others(1), b, true, LineTag::Vm(vm));
+        read(
+            &mut tp,
+            &mut caches,
+            1,
+            &others(1),
+            b,
+            true,
+            LineTag::Vm(vm),
+        );
         assert_eq!(caches[1].residence(vm), 1);
         tp.write_miss(&mut caches, 0, &others(0), b, true, LineTag::Vm(vm));
         assert_eq!(caches[1].residence(vm), 0);
@@ -746,7 +783,15 @@ mod tests {
     #[should_panic(expected = "must not snoop itself")]
     fn self_snoop_rejected() {
         let (mut caches, mut tp) = setup();
-        let _ = read(&mut tp, &mut caches, 0, &[0, 1], BlockAddr::new(1), true, tag(0));
+        let _ = read(
+            &mut tp,
+            &mut caches,
+            0,
+            &[0, 1],
+            BlockAddr::new(1),
+            true,
+            tag(0),
+        );
     }
 
     #[test]

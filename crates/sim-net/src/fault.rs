@@ -1,0 +1,213 @@
+//! Link-level fault injection: seeded, deterministic message drops and
+//! bounded delays.
+//!
+//! The fault model mirrors what an unordered, unacknowledged snoop request
+//! channel can do to a real interconnect:
+//!
+//! * **Drops** apply only to [`MessageKind::Request`] messages. Persistent
+//!   requests and vCPU-map updates ride the guaranteed (acknowledged)
+//!   virtual channel, and response messages (`Data`, `TokenReply`,
+//!   `Writeback`) are modeled reliable because the simulator's protocol
+//!   step transfers state atomically — a lost response would be a protocol
+//!   bug, not a fault-tolerance scenario.
+//! * **Delays** can hit any message kind, adding a bounded number of
+//!   cycles to its latency. Delays never reorder protocol state (the step
+//!   is atomic); they stress the timing model and retry accounting.
+//!
+//! All decisions come from a [`rand::rngs::SmallRng`] seeded by the fault
+//! plan, so a soak run is exactly reproducible from its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::MessageKind;
+
+/// Probabilities and bounds for link faults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaultConfig {
+    /// Probability a snoop request message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a message is delayed.
+    pub delay_p: f64,
+    /// Upper bound (inclusive) on the injected delay, in cycles.
+    pub max_delay_cycles: u64,
+}
+
+impl LinkFaultConfig {
+    /// A configuration that injects nothing.
+    pub const fn none() -> Self {
+        LinkFaultConfig {
+            drop_p: 0.0,
+            delay_p: 0.0,
+            max_delay_cycles: 0,
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn any(&self) -> bool {
+        self.drop_p > 0.0 || (self.delay_p > 0.0 && self.max_delay_cycles > 0)
+    }
+}
+
+/// The fate of one message under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered normally.
+    Deliver,
+    /// Delivered after this many extra cycles.
+    Delayed(u64),
+    /// Never delivered.
+    Dropped,
+}
+
+/// Deterministic, seeded link-fault state, installed into a
+/// [`crate::Network`] via [`crate::Network::install_faults`].
+#[derive(Clone, Debug)]
+pub struct LinkFaults {
+    cfg: LinkFaultConfig,
+    rng: SmallRng,
+    drops: u64,
+    delays: u64,
+    delay_cycles: u64,
+}
+
+impl LinkFaults {
+    /// Creates fault state with the given configuration and seed.
+    pub fn new(cfg: LinkFaultConfig, seed: u64) -> Self {
+        LinkFaults {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            drops: 0,
+            delays: 0,
+            delay_cycles: 0,
+        }
+    }
+
+    /// Decides the fate of one message of `kind`.
+    ///
+    /// Only [`MessageKind::Request`] messages can be dropped (see the
+    /// module docs for the channel model); any kind can be delayed.
+    pub fn judge(&mut self, kind: MessageKind) -> Delivery {
+        if kind == MessageKind::Request
+            && self.cfg.drop_p > 0.0
+            && self.rng.gen_bool(self.cfg.drop_p)
+        {
+            self.drops += 1;
+            return Delivery::Dropped;
+        }
+        if self.cfg.delay_p > 0.0
+            && self.cfg.max_delay_cycles > 0
+            && self.rng.gen_bool(self.cfg.delay_p)
+        {
+            let d = self.rng.gen_range(1..self.cfg.max_delay_cycles + 1);
+            self.delays += 1;
+            self.delay_cycles += d;
+            return Delivery::Delayed(d);
+        }
+        Delivery::Deliver
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> LinkFaultConfig {
+        self.cfg
+    }
+
+    /// Messages dropped so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Messages delayed so far.
+    pub fn delays(&self) -> u64 {
+        self.delays
+    }
+
+    /// Total injected delay cycles.
+    pub fn delay_cycles(&self) -> u64 {
+        self.delay_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_all() -> LinkFaults {
+        LinkFaults::new(
+            LinkFaultConfig {
+                drop_p: 1.0,
+                delay_p: 0.0,
+                max_delay_cycles: 0,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn only_requests_drop() {
+        let mut f = drop_all();
+        assert_eq!(f.judge(MessageKind::Request), Delivery::Dropped);
+        for kind in [
+            MessageKind::TokenReply,
+            MessageKind::Data,
+            MessageKind::Writeback,
+            MessageKind::Persistent,
+            MessageKind::MapUpdate,
+        ] {
+            assert_eq!(f.judge(kind), Delivery::Deliver, "{kind:?} must not drop");
+        }
+        assert_eq!(f.drops(), 1);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_counted() {
+        let mut f = LinkFaults::new(
+            LinkFaultConfig {
+                drop_p: 0.0,
+                delay_p: 1.0,
+                max_delay_cycles: 9,
+            },
+            7,
+        );
+        for _ in 0..500 {
+            match f.judge(MessageKind::Data) {
+                Delivery::Delayed(d) => assert!((1..=9).contains(&d)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+        assert_eq!(f.delays(), 500);
+        assert!(f.delay_cycles() >= 500);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let cfg = LinkFaultConfig {
+            drop_p: 0.3,
+            delay_p: 0.3,
+            max_delay_cycles: 20,
+        };
+        let mut a = LinkFaults::new(cfg, 99);
+        let mut b = LinkFaults::new(cfg, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.judge(MessageKind::Request), b.judge(MessageKind::Request));
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut f = LinkFaults::new(
+            LinkFaultConfig {
+                drop_p: 0.25,
+                delay_p: 0.0,
+                max_delay_cycles: 0,
+            },
+            1234,
+        );
+        let n = 20_000;
+        for _ in 0..n {
+            f.judge(MessageKind::Request);
+        }
+        let rate = f.drops() as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate} far from 0.25");
+    }
+}

@@ -36,8 +36,7 @@ impl LatencyModel {
     pub fn base_latency(&self, hops: u32, bytes: u32) -> u64 {
         let flits = bytes.div_ceil(self.link_bytes).max(1);
         let hops = hops.max(1);
-        u64::from(hops) * u64::from(self.router_cycles + self.link_cycles)
-            + u64::from(flits - 1)
+        u64::from(hops) * u64::from(self.router_cycles + self.link_cycles) + u64::from(flits - 1)
     }
 
     /// Scales a base latency by a contention factor derived from average

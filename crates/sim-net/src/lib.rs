@@ -24,14 +24,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 mod latency;
 mod message;
 mod network;
 mod topology;
 mod traffic;
 
+pub use fault::{Delivery, LinkFaultConfig, LinkFaults};
 pub use latency::LatencyModel;
 pub use message::MessageKind;
-pub use network::Network;
+pub use network::{Network, SendOutcome};
 pub use topology::{Mesh, NodeId};
 pub use traffic::TrafficStats;

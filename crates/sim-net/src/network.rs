@@ -5,10 +5,24 @@
 //! metric) and *returns* the base latency of the transfer so the timing
 //! model can accumulate transaction latencies.
 
+use crate::fault::{Delivery, LinkFaults};
 use crate::latency::LatencyModel;
 use crate::message::MessageKind;
 use crate::topology::{Mesh, NodeId};
 use crate::traffic::TrafficStats;
+
+/// Outcome of a fault-aware [`Network::send`].
+///
+/// Traffic is accounted whether or not the message arrives (it was put on
+/// the wire); `delivered` tells the caller whether the destination ever
+/// sees it, and `latency` includes any injected delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// Whether the destination receives the message.
+    pub delivered: bool,
+    /// Latency in cycles, including injected delay.
+    pub latency: u64,
+}
 
 /// An on-chip mesh network with memory-controller ports.
 ///
@@ -28,6 +42,7 @@ pub struct Network {
     latency: LatencyModel,
     ports: Vec<NodeId>,
     traffic: TrafficStats,
+    faults: Option<LinkFaults>,
 }
 
 impl Network {
@@ -39,6 +54,7 @@ impl Network {
             latency: LatencyModel::default(),
             ports: mesh.corner_ports(),
             traffic: TrafficStats::default(),
+            faults: None,
         }
     }
 
@@ -58,7 +74,21 @@ impl Network {
             latency,
             ports,
             traffic: TrafficStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs (or, with `None`, clears) link-fault injection state.
+    ///
+    /// With no faults installed, [`Network::send`] behaves exactly like
+    /// [`Network::unicast`] with guaranteed delivery.
+    pub fn install_faults(&mut self, faults: Option<LinkFaults>) {
+        self.faults = faults;
+    }
+
+    /// Returns the installed link-fault state, if any.
+    pub fn link_faults(&self) -> Option<&LinkFaults> {
+        self.faults.as_ref()
     }
 
     /// Returns the topology.
@@ -109,6 +139,37 @@ impl Network {
         worst
     }
 
+    /// Sends one message subject to installed link faults.
+    ///
+    /// Traffic and base latency are accounted exactly as for
+    /// [`Network::unicast`]; on top of that the installed [`LinkFaults`]
+    /// (if any) may drop the message (`delivered == false`) or delay it
+    /// (extra cycles added to `latency`).
+    pub fn send(&mut self, src: NodeId, dst: NodeId, kind: MessageKind) -> SendOutcome {
+        let base = self.unicast(src, dst, kind);
+        match self.faults.as_mut().map(|f| f.judge(kind)) {
+            None | Some(Delivery::Deliver) => SendOutcome {
+                delivered: true,
+                latency: base,
+            },
+            Some(Delivery::Delayed(extra)) => SendOutcome {
+                delivered: true,
+                latency: base + extra,
+            },
+            Some(Delivery::Dropped) => SendOutcome {
+                delivered: false,
+                latency: base,
+            },
+        }
+    }
+
+    /// Fault-aware variant of [`Network::to_memory`]: sends toward the
+    /// nearest memory controller, subject to installed link faults.
+    pub fn send_to_memory(&mut self, src: NodeId, kind: MessageKind) -> SendOutcome {
+        let port = self.mesh.nearest_port(src, &self.ports);
+        self.send(src, port, kind)
+    }
+
     /// Sends a message from `src` to the nearest memory controller;
     /// returns the base latency (network part only; the caller adds DRAM
     /// access time).
@@ -157,10 +218,7 @@ mod tests {
         assert_eq!(req, 10);
         let resp = net.from_memory(NodeId::new(5), MessageKind::Data);
         assert_eq!(resp, 2 * 5 + 4);
-        assert_eq!(
-            net.traffic().byte_links(),
-            8 * 2 + 72 * 2
-        );
+        assert_eq!(net.traffic().byte_links(), 8 * 2 + 72 * 2);
     }
 
     #[test]
@@ -170,6 +228,56 @@ mod tests {
         assert!(net.traffic().byte_links() > 0);
         net.reset_traffic();
         assert_eq!(net.traffic().byte_links(), 0);
+    }
+
+    #[test]
+    fn send_without_faults_matches_unicast() {
+        let mut a = Network::new(Mesh::new(4, 4));
+        let mut b = Network::new(Mesh::new(4, 4));
+        let lat = a.unicast(NodeId::new(0), NodeId::new(3), MessageKind::Request);
+        let out = b.send(NodeId::new(0), NodeId::new(3), MessageKind::Request);
+        assert!(out.delivered);
+        assert_eq!(out.latency, lat);
+        assert_eq!(a.traffic().byte_links(), b.traffic().byte_links());
+    }
+
+    #[test]
+    fn dropped_send_still_accounts_traffic() {
+        use crate::fault::{LinkFaultConfig, LinkFaults};
+        let mut net = Network::new(Mesh::new(4, 4));
+        net.install_faults(Some(LinkFaults::new(
+            LinkFaultConfig {
+                drop_p: 1.0,
+                delay_p: 0.0,
+                max_delay_cycles: 0,
+            },
+            42,
+        )));
+        let out = net.send(NodeId::new(0), NodeId::new(3), MessageKind::Request);
+        assert!(!out.delivered);
+        assert_eq!(net.traffic().messages(), 1);
+        assert_eq!(net.link_faults().unwrap().drops(), 1);
+        // Reliable kinds are immune even at drop_p = 1.
+        let out = net.send(NodeId::new(0), NodeId::new(3), MessageKind::Persistent);
+        assert!(out.delivered);
+    }
+
+    #[test]
+    fn delayed_send_adds_latency() {
+        use crate::fault::{LinkFaultConfig, LinkFaults};
+        let mut net = Network::new(Mesh::new(4, 4));
+        let base = net.unicast(NodeId::new(0), NodeId::new(3), MessageKind::Data);
+        net.install_faults(Some(LinkFaults::new(
+            LinkFaultConfig {
+                drop_p: 0.0,
+                delay_p: 1.0,
+                max_delay_cycles: 4,
+            },
+            42,
+        )));
+        let out = net.send(NodeId::new(0), NodeId::new(3), MessageKind::Data);
+        assert!(out.delivered);
+        assert!(out.latency > base && out.latency <= base + 4);
     }
 
     #[test]

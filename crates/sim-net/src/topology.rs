@@ -96,7 +96,12 @@ impl Mesh {
     /// Panics if `node` is out of range.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         let i = node.index();
-        assert!(i < self.len(), "node {node} out of range for {}x{} mesh", self.width, self.height);
+        assert!(
+            i < self.len(),
+            "node {node} out of range for {}x{} mesh",
+            self.width,
+            self.height
+        );
         (i % self.width, i / self.width)
     }
 

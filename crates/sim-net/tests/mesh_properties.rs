@@ -1,3 +1,6 @@
+//! Gated behind the `proptest` feature: run with `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the mesh topology and traffic accounting.
 
 use proptest::prelude::*;

@@ -144,7 +144,9 @@ impl ContentSharer {
     /// copy (including being the canonical itself while shared).
     pub fn is_shared(&self, page: u64) -> bool {
         let target = self.resolve(page);
-        self.groups.values().any(|g| g.canonical == target && g.members.len() > 1)
+        self.groups
+            .values()
+            .any(|g| g.canonical == target && g.members.len() > 1)
     }
 
     /// Handles a write by `vm` to (guest-visible) `page`.
@@ -238,7 +240,10 @@ impl ContentSharer {
 mod tests {
     use super::*;
 
-    fn setup(n_vms: u16, pages_per_vm: u64) -> (MemoryMap, SharingDirectory, ContentSharer, Vec<Vec<u64>>) {
+    fn setup(
+        n_vms: u16,
+        pages_per_vm: u64,
+    ) -> (MemoryMap, SharingDirectory, ContentSharer, Vec<Vec<u64>>) {
         let mut mem = MemoryMap::new();
         let mut dir = SharingDirectory::new();
         let cs = ContentSharer::new();
@@ -315,10 +320,14 @@ mod tests {
         assert_eq!(dir.owner(canon), Some(VmId::new(0)));
         assert!(!cs.is_shared(pages[0][0]));
         // A second write on the now-private page is not a CoW.
-        assert_eq!(cs.copy_on_write(pages[0][0], VmId::new(0), &mut mem, &mut dir), None);
+        assert_eq!(
+            cs.copy_on_write(pages[0][0], VmId::new(0), &mut mem, &mut dir),
+            None
+        );
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `i` indexes two page lists at once
     fn friend_vm_is_the_biggest_sharer() {
         let (_mem, mut dir, mut cs, pages) = setup(3, 8);
         // VM0 and VM1 share 3 pages; VM0 and VM2 share 1 page.

@@ -24,6 +24,19 @@ pub struct RelocationEvent {
     pub to: CoreId,
 }
 
+/// Error from [`Hypervisor::try_swap`]: the named vCPU is not placed on
+/// any core, so it cannot take part in a relocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnplacedVcpu(pub VcpuId);
+
+impl std::fmt::Display for UnplacedVcpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vCPU {} is not placed on any core", self.0)
+    }
+}
+
+impl std::error::Error for UnplacedVcpu {}
+
 /// Hypervisor state: the dynamic assignment of vCPUs to physical cores.
 ///
 /// The mapping is partial in both directions: a core can be idle and a vCPU
@@ -147,12 +160,27 @@ impl Hypervisor {
     ///
     /// # Panics
     ///
-    /// Panics if either vCPU is not currently placed.
+    /// Panics if either vCPU is not currently placed. Callers that cannot
+    /// guarantee placement should use [`Hypervisor::try_swap`] instead.
     pub fn swap(&mut self, cycle: u64, a: VcpuId, b: VcpuId) {
-        let ca = self.core_of(a).expect("vCPU a must be placed to swap");
-        let cb = self.core_of(b).expect("vCPU b must be placed to swap");
+        self.try_swap(cycle, a, b)
+            .expect("both vCPUs must be placed to swap");
+    }
+
+    /// Fallible variant of [`Hypervisor::swap`]: swaps the cores of two
+    /// placed vCPUs, or reports which vCPU was unplaced without touching
+    /// any state. On success returns the cores the vCPUs ran on *before*
+    /// the swap, `(core_of(a), core_of(b))`.
+    pub fn try_swap(
+        &mut self,
+        cycle: u64,
+        a: VcpuId,
+        b: VcpuId,
+    ) -> Result<(CoreId, CoreId), UnplacedVcpu> {
+        let ca = self.core_of(a).ok_or(UnplacedVcpu(a))?;
+        let cb = self.core_of(b).ok_or(UnplacedVcpu(b))?;
         if ca == cb {
-            return;
+            return Ok((ca, cb));
         }
         self.vcpu_on_core[ca.index()] = Some(b);
         self.vcpu_on_core[cb.index()] = Some(a);
@@ -170,6 +198,7 @@ impl Hypervisor {
             from: Some(cb),
             to: ca,
         });
+        Ok((ca, cb))
     }
 
     /// Returns the core `vcpu` currently runs on, if placed.
@@ -262,6 +291,39 @@ mod tests {
         assert_eq!(ev[0].cycle, 42);
         assert_eq!(ev[0].from, Some(ca));
         assert_eq!(ev[0].to, cb);
+    }
+
+    #[test]
+    fn try_swap_reports_unplaced_vcpu_without_mutation() {
+        let vms = homogeneous_vms(4, 4, 256);
+        let mut hv = Hypervisor::new(16, &vms);
+        // Place only VM0's vCPUs; VM1's stay unplaced.
+        for (i, vcpu) in vms[0].vcpus().enumerate() {
+            hv.assign(0, vcpu, CoreId::new(i as u16));
+        }
+        hv.clear_relocations();
+        let placed = VcpuId::new(VmId::new(0), 0);
+        let unplaced = VcpuId::new(VmId::new(1), 0);
+        assert_eq!(
+            hv.try_swap(1, placed, unplaced),
+            Err(UnplacedVcpu(unplaced))
+        );
+        assert_eq!(
+            hv.try_swap(1, unplaced, placed),
+            Err(UnplacedVcpu(unplaced))
+        );
+        assert_eq!(hv.core_of(placed), Some(CoreId::new(0)));
+        assert!(hv.relocations().is_empty());
+    }
+
+    #[test]
+    fn try_swap_returns_prior_cores() {
+        let mut hv = hv_4x4();
+        let a = VcpuId::new(VmId::new(0), 0);
+        let b = VcpuId::new(VmId::new(1), 0);
+        let ca = hv.core_of(a).unwrap();
+        let cb = hv.core_of(b).unwrap();
+        assert_eq!(hv.try_swap(5, a, b), Ok((ca, cb)));
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod scheduler;
 mod vm;
 
 pub use content::{ContentHash, ContentSharer, ScanStats};
-pub use hypervisor::{Hypervisor, RelocationEvent};
+pub use hypervisor::{Hypervisor, RelocationEvent, UnplacedVcpu};
 pub use ids::{Agent, CoreId, VcpuId, VmId};
 pub use memory::{MemoryMap, PageRange};
 pub use page_table::{SharingDirectory, SharingType, TlbStats, TypeTlb};

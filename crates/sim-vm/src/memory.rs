@@ -53,7 +53,11 @@ impl PageRange {
     ///
     /// Panics if `i` is out of bounds.
     pub fn page(&self, i: u64) -> u64 {
-        assert!(i < self.pages, "page index {i} out of range 0..{}", self.pages);
+        assert!(
+            i < self.pages,
+            "page index {i} out of range 0..{}",
+            self.pages
+        );
         self.base + i
     }
 

@@ -108,7 +108,9 @@ impl SharingDirectory {
 
     /// Returns the sharing type of `page` (default: VM-private).
     pub fn sharing(&self, page: u64) -> SharingType {
-        self.entries.get(&page).map_or(SharingType::default(), |e| e.sharing)
+        self.entries
+            .get(&page)
+            .map_or(SharingType::default(), |e| e.sharing)
     }
 
     /// Returns the VM recorded as owner of `page`, if any. Shared pages
@@ -222,7 +224,11 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for t in [SharingType::VmPrivate, SharingType::RwShared, SharingType::RoShared] {
+        for t in [
+            SharingType::VmPrivate,
+            SharingType::RwShared,
+            SharingType::RoShared,
+        ] {
             assert_eq!(SharingType::decode(t.encode()), Some(t));
         }
         assert_eq!(SharingType::decode(0b11), None);

@@ -269,10 +269,8 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
     let mut makespan: Option<u64> = None;
     let mut tick = 0u64;
     // Per-VM serial-phase state (Amdahl sections), keyed by workload index.
-    let mut vm_serial: BTreeMap<VmId, bool> = workloads
-        .iter()
-        .map(|w| (w.spec.id(), false))
-        .collect();
+    let mut vm_serial: BTreeMap<VmId, bool> =
+        workloads.iter().map(|w| (w.spec.id(), false)).collect();
     let vm_behavior: BTreeMap<VmId, WorkloadBehavior> = workloads
         .iter()
         .map(|w| (w.spec.id(), w.behavior))
@@ -280,7 +278,7 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
 
     while tick < config.max_ticks {
         // Credit refill at every accounting period boundary.
-        if tick % config.credit_period_ticks == 0 {
+        if tick.is_multiple_of(config.credit_period_ticks) {
             let active = vcpus.iter().filter(|v| !v.finished()).count().max(1);
             let fair = config.credit_period_ticks as f64 * config.n_cores as f64 / active as f64;
             for v in vcpus.iter_mut().filter(|v| !v.finished()) {
@@ -335,9 +333,7 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
             if running[vcpus[vi].home].is_none() {
                 continue; // old core free: stay for cache warmth
             }
-            let (base, len) = vcpus[vi]
-                .allowed
-                .unwrap_or((0, config.n_cores));
+            let (base, len) = vcpus[vi].allowed.unwrap_or((0, config.n_cores));
             let idle: Vec<usize> = (base..base + len)
                 .filter(|&c| running[c].is_none())
                 .collect();
@@ -346,14 +342,13 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
             }
         }
 
-        let is_runnable =
-            |v: &VcpuState| v.runnable(*vm_serial.get(&v.id.vm()).unwrap_or(&false));
+        let is_runnable = |v: &VcpuState| v.runnable(*vm_serial.get(&v.id.vm()).unwrap_or(&false));
 
         // Deschedule cores whose current vCPU can no longer run.
-        for core in 0..config.n_cores {
-            if let Some(vi) = running[core] {
+        for slot in running.iter_mut() {
+            if let Some(vi) = *slot {
                 if !is_runnable(&vcpus[vi]) {
-                    running[core] = None;
+                    *slot = None;
                 }
             }
         }
@@ -366,9 +361,7 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
             let pick = vcpus
                 .iter()
                 .enumerate()
-                .filter(|(vi, v)| {
-                    v.home == core && is_runnable(v) && !running.contains(&Some(*vi))
-                })
+                .filter(|(vi, v)| v.home == core && is_runnable(v) && !running.contains(&Some(*vi)))
                 .max_by(|a, b| a.1.credits.total_cmp(&b.1.credits))
                 .map(|(vi, _)| vi);
             running[core] = pick;
@@ -404,8 +397,8 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
         }
 
         // Execute one tick on every busy core.
-        for core in 0..config.n_cores {
-            let Some(vi) = running[core] else { continue };
+        for (core, slot) in running.iter_mut().enumerate() {
+            let Some(vi) = *slot else { continue };
             busy_core_ticks += 1;
             let migrated = vcpus[vi].last_ran.is_some_and(|c| c != core);
             if migrated {
@@ -420,16 +413,13 @@ pub fn run_scheduler(config: &SchedulerConfig, workloads: &[VmWorkload]) -> Sche
                 vcpus[vi].remaining_work -= 1.0;
                 if vcpus[vi].remaining_work <= 0.0 {
                     vcpus[vi].finished_at = Some(tick + 1);
-                    running[core] = None;
+                    *slot = None;
                 }
             }
         }
 
         tick += 1;
-        let all_done = vcpus
-            .iter()
-            .filter(|v| !v.background)
-            .all(|v| v.finished());
+        let all_done = vcpus.iter().filter(|v| !v.background).all(|v| v.finished());
         if all_done {
             makespan = Some(tick);
             break;
@@ -507,7 +497,10 @@ mod tests {
             policy: SchedPolicy::Pinned,
             ..Default::default()
         };
-        let out = run_scheduler(&cfg, &[guest(0, 4, WorkloadBehavior::cpu_bound(500.0, 0.0))]);
+        let out = run_scheduler(
+            &cfg,
+            &[guest(0, 4, WorkloadBehavior::cpu_bound(500.0, 0.0))],
+        );
         assert_eq!(out.makespan_ticks, 500);
         assert_eq!(out.migrations, 0);
         assert!(out.avg_relocation_period_ms.is_none());
@@ -522,7 +515,10 @@ mod tests {
             policy: SchedPolicy::Pinned,
             ..Default::default()
         };
-        let out = run_scheduler(&cfg, &[guest(0, 2, WorkloadBehavior::cpu_bound(300.0, 0.0))]);
+        let out = run_scheduler(
+            &cfg,
+            &[guest(0, 2, WorkloadBehavior::cpu_bound(300.0, 0.0))],
+        );
         assert_eq!(out.makespan_ticks, 600);
     }
 
@@ -604,7 +600,10 @@ mod tests {
         };
         let wls = vec![guest(0, 4, b), guest(1, 4, b), dom0()];
         let out = run_scheduler(&cfg, &wls);
-        assert!(out.migrations > 0, "dom0 perturbation must cause migrations");
+        assert!(
+            out.migrations > 0,
+            "dom0 perturbation must cause migrations"
+        );
         let period = out.avg_relocation_period_ms.unwrap();
         assert!(period > 0.0);
     }
@@ -672,12 +671,15 @@ mod tests {
         // And, averaged over seeds, it should recover most of full
         // migration's throughput advantage over pinning.
         let mk = |policy, seed| {
-            let cfg = SchedulerConfig { n_cores: 4, policy, seed, ..Default::default() };
+            let cfg = SchedulerConfig {
+                n_cores: 4,
+                policy,
+                seed,
+                ..Default::default()
+            };
             run_scheduler(&cfg, &wls).makespan_ticks
         };
-        let avg = |policy| -> f64 {
-            (0..5).map(|s| mk(policy, 7 + s) as f64).sum::<f64>() / 5.0
-        };
+        let avg = |policy| -> f64 { (0..5).map(|s| mk(policy, 7 + s) as f64).sum::<f64>() / 5.0 };
         let pinned = avg(SchedPolicy::Pinned);
         let restricted = avg(SchedPolicy::Restricted { domain_cores: 2 });
         assert!(

@@ -91,7 +91,10 @@ mod tests {
         assert_eq!(s.n_vcpus(), 2);
         assert_eq!(s.memory_pages(), 64);
         let vcpus: Vec<_> = s.vcpus().collect();
-        assert_eq!(vcpus, vec![VcpuId::new(VmId::new(3), 0), VcpuId::new(VmId::new(3), 1)]);
+        assert_eq!(
+            vcpus,
+            vec![VcpuId::new(VmId::new(3), 0), VcpuId::new(VmId::new(3), 1)]
+        );
     }
 
     #[test]

@@ -157,8 +157,11 @@ const fn default_sched() -> SchedParams {
 macro_rules! profile {
     ($name:literal, $suite:expr, trace: { $($tf:ident : $tv:expr),* $(,)? },
      sched: { $($sf:ident : $sv:expr),* $(,)? },
-     targets: { $($gf:ident : $gv:expr),* $(,)? }) => {
-        AppProfile {
+     targets: { $($gf:ident : $gv:expr),* $(,)? }) => {{
+        // Some invocations specify every field, making the `..defaults`
+        // spread redundant for that expansion only.
+        #[allow(clippy::needless_update)]
+        let p = AppProfile {
             name: $name,
             suite: $suite,
             trace: TraceParams { $($tf: $tv,)* ..default_trace() },
@@ -174,8 +177,9 @@ macro_rules! profile {
                     table5_miss_pct: None,
                 }
             },
-        }
-    };
+        };
+        p
+    }};
 }
 
 /// Every application profile, in the paper's presentation order.
@@ -321,18 +325,31 @@ pub fn profile(name: &str) -> Option<&'static AppProfile> {
 /// The ten applications of the simulation sections (Tables III-IV,
 /// Figs. 6-8): five SPLASH-2 kernels, four PARSEC applications, SPECjbb.
 pub fn simulation_apps() -> Vec<&'static AppProfile> {
-    ["cholesky", "fft", "lu", "ocean", "radix",
-     "blackscholes", "canneal", "dedup", "ferret", "specjbb"]
-        .iter()
-        .map(|n| profile(n).expect("registered"))
-        .collect()
+    [
+        "cholesky",
+        "fft",
+        "lu",
+        "ocean",
+        "radix",
+        "blackscholes",
+        "canneal",
+        "dedup",
+        "ferret",
+        "specjbb",
+    ]
+    .iter()
+    .map(|n| profile(n).expect("registered"))
+    .collect()
 }
 
 /// The applications of Fig. 1 / Fig. 3 / Table I: 13 PARSEC plus the two
 /// I/O-intensive server workloads (Fig. 3 and Table I use only the PARSEC
 /// subset).
 pub fn fig1_apps() -> Vec<&'static AppProfile> {
-    let mut v: Vec<_> = PROFILES.iter().filter(|p| p.suite == Suite::Parsec).collect();
+    let mut v: Vec<_> = PROFILES
+        .iter()
+        .filter(|p| p.suite == Suite::Parsec)
+        .collect();
     v.push(profile("OLTP").expect("registered"));
     v.push(profile("SPECweb").expect("registered"));
     v
@@ -340,7 +357,10 @@ pub fn fig1_apps() -> Vec<&'static AppProfile> {
 
 /// The 13 PARSEC applications (Fig. 3, Table I).
 pub fn parsec_apps() -> Vec<&'static AppProfile> {
-    PROFILES.iter().filter(|p| p.suite == Suite::Parsec).collect()
+    PROFILES
+        .iter()
+        .filter(|p| p.suite == Suite::Parsec)
+        .collect()
 }
 
 /// The nine applications of Table V / Fig. 10 / Table VI (the simulation
@@ -386,10 +406,24 @@ mod tests {
             let t = &p.trace;
             assert!(t.private_pages > 0, "{}: empty working set", p.name);
             assert!(t.content_pages > 0, "{}: empty content pool", p.name);
-            for &f in &[t.write_frac, t.content_frac, t.content_write_frac, t.hyp_frac, t.dom0_frac] {
-                assert!((0.0..=1.0).contains(&f), "{}: fraction out of range", p.name);
+            for &f in &[
+                t.write_frac,
+                t.content_frac,
+                t.content_write_frac,
+                t.hyp_frac,
+                t.dom0_frac,
+            ] {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "{}: fraction out of range",
+                    p.name
+                );
             }
-            assert!(t.hyp_frac + t.dom0_frac + t.content_frac < 1.0, "{}", p.name);
+            assert!(
+                t.hyp_frac + t.dom0_frac + t.content_frac < 1.0,
+                "{}",
+                p.name
+            );
             let s = &p.sched;
             assert!(s.mean_busy_ms > 0.0 && s.mean_blocked_ms > 0.0 && s.work_ms > 0.0);
             assert!((0.0..1.0).contains(&s.dom0_load), "{}", p.name);

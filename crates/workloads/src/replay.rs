@@ -135,7 +135,10 @@ impl RecordedTrace {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a trace file",
+            ));
         }
         let mut ver = [0u8; 1];
         r.read_exact(&mut ver)?;
@@ -161,12 +164,7 @@ impl RecordedTrace {
                     0 => Agent::Guest(vcpu),
                     1 => Agent::Dom0,
                     2 => Agent::Hypervisor,
-                    _ => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "bad agent code",
-                        ))
-                    }
+                    _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad agent code")),
                 };
                 events.push(TraceAccess {
                     agent,
@@ -244,12 +242,14 @@ mod tests {
     fn replay_reproduces_the_recording() {
         let wl = Workload::homogeneous(profile("fft").unwrap(), 2, WorkloadConfig::default());
         let mut rec = TraceRecorder::new(wl);
-        let original: Vec<TraceAccess> =
-            (0..400).map(|i| rec.next_access(vcpu(i % 2, (i % 8 / 2) as u16))).collect();
+        let original: Vec<TraceAccess> = (0..400)
+            .map(|i| rec.next_access(vcpu(i % 2, i % 8 / 2)))
+            .collect();
         let (trace, _wl) = rec.finish();
         let mut rep = trace.replay();
-        let replayed: Vec<TraceAccess> =
-            (0..400).map(|i| rep.next_access(vcpu(i % 2, (i % 8 / 2) as u16))).collect();
+        let replayed: Vec<TraceAccess> = (0..400)
+            .map(|i| rep.next_access(vcpu(i % 2, i % 8 / 2)))
+            .collect();
         assert_eq!(original, replayed);
     }
 

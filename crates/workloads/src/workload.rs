@@ -19,8 +19,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_vm::{
-    Agent, ContentHash, ContentSharer, MemoryMap, PageRange, SharingDirectory, SharingType,
-    VcpuId, VmId, VmSpec, VmWorkload, WorkloadBehavior,
+    Agent, ContentHash, ContentSharer, MemoryMap, PageRange, SharingDirectory, SharingType, VcpuId,
+    VmId, VmSpec, VmWorkload, WorkloadBehavior,
 };
 
 use crate::profiles::{AppProfile, SchedParams};
@@ -109,7 +109,10 @@ pub struct Workload {
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Workload")
-            .field("apps", &self.profiles.iter().map(|p| p.name).collect::<Vec<_>>())
+            .field(
+                "apps",
+                &self.profiles.iter().map(|p| p.name).collect::<Vec<_>>(),
+            )
             .field("vms", &self.profiles.len())
             .field("vcpus_per_vm", &self.cfg.vcpus_per_vm)
             .finish_non_exhaustive()
@@ -148,7 +151,11 @@ impl Workload {
                 dir.register(page, SharingType::VmPrivate, Some(vm));
                 // Identical contents across VMs running the same app: page j
                 // of every instance hashes to the same value.
-                content.set_content(page, vm, ContentHash((p.name.len() as u64) << 32 | j as u64));
+                content.set_content(
+                    page,
+                    vm,
+                    ContentHash((p.name.len() as u64) << 32 | j as u64),
+                );
             }
             pools.push(VmPools {
                 chunks,
@@ -157,7 +164,10 @@ impl Workload {
                 content: content_region,
                 chunk_zipf: ZipfSampler::new(chunk_pages as usize, p.trace.zipf_s),
                 shared_zipf: ZipfSampler::new(p.trace.shared_pages as usize, p.trace.shared_zipf),
-                content_zipf: ZipfSampler::new(p.trace.content_pages as usize, p.trace.content_zipf),
+                content_zipf: ZipfSampler::new(
+                    p.trace.content_pages as usize,
+                    p.trace.content_zipf,
+                ),
             });
         }
 
@@ -309,7 +319,11 @@ impl AccessStream for Workload {
                     (self.content.resolve(guest_page), true, p.content_write_frac)
                 }
             } else {
-                (self.content.resolve(guest_page), write, p.content_write_frac)
+                (
+                    self.content.resolve(guest_page),
+                    write,
+                    p.content_write_frac,
+                )
             }
         } else if self.rng.gen::<f64>() < p.vm_shared_frac {
             // The VM-wide shared heap (cold, and contended between the
@@ -501,8 +515,7 @@ mod tests {
         // Host slots are drawn on *fresh* accesses only (burst repeats
         // continue the guest stream), so the per-access rate is the
         // configured fraction divided by the reuse burst length.
-        let expect =
-            (p.trace.hyp_frac + p.trace.dom0_frac) * n as f64 / p.trace.reuse_burst as f64;
+        let expect = (p.trace.hyp_frac + p.trace.dom0_frac) * n as f64 / p.trace.reuse_burst as f64;
         let got = host as f64;
         assert!(
             (got - expect).abs() < expect * 0.3,
@@ -515,7 +528,9 @@ mod tests {
         let mk = || {
             let mut wl =
                 Workload::homogeneous(profile("radix").unwrap(), 2, WorkloadConfig::default());
-            (0..100).map(|_| wl.next_access(vcpu(0, 0)).addr).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| wl.next_access(vcpu(0, 0)).addr)
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
     }

@@ -37,7 +37,10 @@ impl ZipfSampler {
     /// Panics if `n` is zero or `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "need at least one index");
-        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "skew must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {
@@ -86,7 +89,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 

@@ -1,3 +1,6 @@
+//! Gated behind the `proptest` feature: run with `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the workload generators.
 
 use proptest::prelude::*;
@@ -76,7 +79,7 @@ proptest! {
             let mut wl = Workload::homogeneous(app, 2, WorkloadConfig { seed, ..Default::default() });
             (0..500u16)
                 .map(|i| {
-                    let v = VcpuId::new(VmId::new((i % 2) as u16), i % 4);
+                    let v = VcpuId::new(VmId::new(i % 2), i % 4);
                     let a = wl.next_access(v);
                     (a.addr, a.write)
                 })

@@ -11,7 +11,9 @@
 //! ```
 
 use virtual_snooping::prelude::*;
-use virtual_snooping::sim_vm::{ContentHash, ContentSharer, MemoryMap, SharingDirectory, SharingType};
+use virtual_snooping::sim_vm::{
+    ContentHash, ContentSharer, MemoryMap, SharingDirectory, SharingType,
+};
 
 fn measure(policy: ContentPolicy) -> (f64, f64) {
     let cfg = SystemConfig::paper_default();

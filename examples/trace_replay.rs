@@ -39,7 +39,10 @@ fn main() {
     let mut bytes = Vec::new();
     trace.write(&mut bytes).expect("serialize trace");
     let trace = RecordedTrace::read(&mut bytes.as_slice()).expect("deserialize trace");
-    println!("serialized to {} bytes, reloaded identically\n", bytes.len());
+    println!(
+        "serialized to {} bytes, reloaded identically\n",
+        bytes.len()
+    );
 
     // 3. Replay under every filter policy: same misses, different snoops.
     println!("policy                     L2 misses       snoops    vs tokenB");

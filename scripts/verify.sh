@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full offline verification: tier-1 build+test, formatting, lints, and the
+# robustness soak. No network access required — all third-party deps are
+# vendored API shims (see DESIGN.md "Dependencies").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (deterministic suites)"
+cargo test -q
+
+echo "==> cargo test -q --features proptest (randomized suites)"
+cargo test -q --features proptest
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (default features)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (--features proptest)"
+cargo clippy --workspace --all-targets --features proptest -- -D warnings
+
+echo "==> robustness soak (fault injection + invariant checker)"
+./target/release/soak
+
+echo "verify.sh: ALL CHECKS PASSED"

@@ -105,9 +105,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--app" => opts.app = value("--app"),
             "--vms" => opts.vms = value("--vms").parse().unwrap_or_else(|_| usage()),
-            "--policy" => {
-                opts.policy = parse_policy(&value("--policy")).unwrap_or_else(|| usage())
-            }
+            "--policy" => opts.policy = parse_policy(&value("--policy")).unwrap_or_else(|| usage()),
             "--content" => {
                 opts.content = parse_content(&value("--content")).unwrap_or_else(|| usage())
             }
@@ -209,8 +207,14 @@ fn main() {
         100.0 * s.snoops as f64 / (s.l2_misses.max(1) * cfg.n_cores() as u64) as f64,
         cfg.n_cores()
     );
-    println!("retries/fallbacks   {:>14}  / {}", s.retries, s.broadcast_fallbacks);
-    println!("traffic             {:>14}  byte-links", sim.traffic().byte_links());
+    println!(
+        "retries/fallbacks   {:>14}  / {}",
+        s.retries, s.broadcast_fallbacks
+    );
+    println!(
+        "traffic             {:>14}  byte-links",
+        sim.traffic().byte_links()
+    );
     println!(
         "snoop energy        {:>14.1}  uJ (tags {:.1} uJ, network {:.1} uJ)",
         e.snoop_pj() / 1e6,
@@ -223,6 +227,12 @@ fn main() {
     );
     for vm in 0..cfg.n_vms {
         let id = VmId::new(vm as u16);
-        println!("  {id} snoop domain: {:?}", sim.vcpu_map(id).cores().map(|c| c.index()).collect::<Vec<_>>());
+        println!(
+            "  {id} snoop domain: {:?}",
+            sim.vcpu_map(id)
+                .cores()
+                .map(|c| c.index())
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -39,7 +39,8 @@ pub use workloads;
 pub mod prelude {
     pub use sim_vm::{Agent, CoreId, VcpuId, VmId};
     pub use vsnoop::{
-        snoop_reduction, ContentPolicy, FilterPolicy, Simulator, SystemConfig, VcpuMap,
+        snoop_reduction, CheckerConfig, ContentPolicy, FaultPlan, FilterPolicy, InvariantChecker,
+        Simulator, SystemConfig, VcpuMap,
     };
     pub use workloads::{profile, AccessStream, Workload, WorkloadConfig};
 }

@@ -39,8 +39,14 @@ fn runs_a_small_simulation_and_reports() {
 #[test]
 fn parses_counter_threshold_with_value() {
     let (stdout, _, ok) = run(&[
-        "--app", "lu", "--policy", "counter-threshold:25",
-        "--rounds", "500", "--warmup", "100",
+        "--app",
+        "lu",
+        "--policy",
+        "counter-threshold:25",
+        "--rounds",
+        "500",
+        "--warmup",
+        "100",
     ]);
     assert!(ok);
     assert!(stdout.contains("counter-threshold(25)"));
@@ -53,7 +59,10 @@ fn rejects_unknown_app_and_bad_policy() {
     assert!(stderr.contains("unknown application"));
     let (_, stderr, ok) = run(&["--policy", "psychic"]);
     assert!(!ok);
-    assert!(stderr.contains("usage:"), "bad policy should print usage: {stderr}");
+    assert!(
+        stderr.contains("usage:"),
+        "bad policy should print usage: {stderr}"
+    );
 }
 
 #[test]

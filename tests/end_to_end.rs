@@ -35,7 +35,11 @@ fn policies_order_snoops_correctly() {
 fn filtering_never_needs_retries_when_pinned() {
     for app in ["cholesky", "ocean", "specjbb"] {
         let sim = run_policy(FilterPolicy::VsnoopBase, app, 5_000);
-        assert_eq!(sim.stats().retries, 0, "{app}: pinned private pages never fail");
+        assert_eq!(
+            sim.stats().retries,
+            0,
+            "{app}: pinned private pages never fail"
+        );
         assert_eq!(sim.stats().broadcast_fallbacks, 0, "{app}");
     }
 }
@@ -75,13 +79,21 @@ fn counter_policy_shrinks_maps_after_migrations() {
     sim.run(&mut wl, 10_000);
     let a = VcpuId::new(VmId::new(0), 0);
     let b = VcpuId::new(VmId::new(1), 0);
-    sim.swap_vcpus(a, b);
+    sim.swap_vcpus(a, b).unwrap();
     assert_eq!(sim.vcpu_map(VmId::new(0)).len(), 5);
     assert_eq!(sim.vcpu_map(VmId::new(1)).len(), 5);
     // Ocean's streaming heap churns the caches; both old cores drain.
     sim.run(&mut wl, 250_000);
-    assert_eq!(sim.vcpu_map(VmId::new(0)).len(), 4, "VM0 map must shrink back");
-    assert_eq!(sim.vcpu_map(VmId::new(1)).len(), 4, "VM1 map must shrink back");
+    assert_eq!(
+        sim.vcpu_map(VmId::new(0)).len(),
+        4,
+        "VM0 map must shrink back"
+    );
+    assert_eq!(
+        sim.vcpu_map(VmId::new(1)).len(),
+        4,
+        "VM1 map must shrink back"
+    );
     assert!(sim.stats().map_removes >= 2);
     assert!(sim
         .removal_log()

@@ -13,13 +13,9 @@ fn address_constants_agree_across_crates() {
     assert_eq!(PAGE_BYTES, 4096);
     assert_eq!(BLOCKS_PER_PAGE, 64);
 
-    let mut wl = Workload::homogeneous(
-        profile("radix").unwrap(),
-        2,
-        WorkloadConfig::default(),
-    );
+    let mut wl = Workload::homogeneous(profile("radix").unwrap(), 2, WorkloadConfig::default());
     for i in 0..1000u16 {
-        let a = wl.next_access(VcpuId::new(VmId::new((i % 2) as u16), i % 4));
+        let a = wl.next_access(VcpuId::new(VmId::new(i % 2), i % 4));
         assert_eq!(a.addr % BLOCK_BYTES, 0, "accesses are block-aligned");
         let block = virtual_snooping::sim_mem::Addr::new(a.addr).block();
         assert_eq!(block.page(), a.addr / PAGE_BYTES, "block/page math agrees");

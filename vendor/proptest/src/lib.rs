@@ -1,0 +1,458 @@
+//! Vendored, offline stand-in for the subset of `proptest` 1.x this
+//! workspace uses. The workspace maps the `proptest` dependency name onto
+//! this package, so the property-test files compile unchanged with **no
+//! network or registry access**.
+//!
+//! Scope (deliberate simplifications versus upstream):
+//!
+//! * **Generation only, no shrinking.** A failing case panics with the case
+//!   index and the generated inputs are reproducible from the (deterministic)
+//!   per-test seed, which is derived from the test name — there is no
+//!   persistence file and `*.proptest-regressions` files are ignored.
+//! * Strategies implemented: integer/float [`core::ops::Range`]s, [`Just`],
+//!   tuples up to arity 8, [`Strategy::prop_map`], [`prop_oneof!`] unions,
+//!   [`collection::vec`], and [`arbitrary::any`] for the primitive types.
+//! * [`prop_assert!`] / [`prop_assert_eq!`] short-circuit the current case
+//!   with a formatted failure, like upstream.
+
+#![warn(missing_docs)]
+
+/// The generator handed to strategies: the workspace's vendored xoshiro
+/// generator.
+pub type TestRng = rand::rngs::SmallRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u16, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace samples.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use core::marker::PhantomData;
+    use rand::{Rng, Sample};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sample {}
+    impl Arbitrary for bool {}
+    impl Arbitrary for u8 {}
+    impl Arbitrary for u16 {}
+    impl Arbitrary for u32 {}
+    impl Arbitrary for u64 {}
+    impl Arbitrary for usize {}
+    impl Arbitrary for f64 {}
+
+    /// Strategy producing uniformly random values of `T`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with length drawn from a half-open range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with `len` in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "empty size range for collection::vec"
+        );
+        VecStrategy { element, len: size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case iteration, deterministic seeding, and failure plumbing.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the cases of one property test deterministically.
+    pub struct TestRunner {
+        config: Config,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose case seeds derive from the test `name`,
+        /// so every run of the same test replays identical inputs.
+        pub fn new(config: Config, name: &str) -> TestRunner {
+            // FNV-1a over the test name.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+            TestRunner {
+                config,
+                base_seed: h,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The generator for case `case`.
+        pub fn case_rng(&self, case: u32) -> TestRng {
+            TestRng::seed_from_u64(
+                self.base_seed
+                    .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*` for the APIs the
+    //! workspace uses.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current case (early-returning `Err`) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}` ({} == {})",
+            __l,
+            __r,
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over freshly
+/// generated inputs. Mirrors the upstream macro's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($p:pat in $s:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __strategies = ($($s,)+);
+            let __runner = $crate::test_runner::TestRunner::new(__config, stringify!($name));
+            for __case in 0..__runner.cases() {
+                let mut __rng = __runner.case_rng(__case);
+                let ($($p,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    ::std::panic!(
+                        "proptest '{}' case {}/{} failed: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __runner.cases(),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(0u64),
+            (10u64..20).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0 || (20..40).contains(&v));
+        }
+
+        #[test]
+        fn vec_respects_size(items in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(8),
+            "determinism",
+        );
+        let strat = 0u64..1_000_000;
+        let first: Vec<u64> = (0..8)
+            .map(|c| strat.generate(&mut runner.case_rng(c)))
+            .collect();
+        let second: Vec<u64> = (0..8)
+            .map(|c| strat.generate(&mut runner.case_rng(c)))
+            .collect();
+        assert_eq!(first, second);
+    }
+}
