@@ -9,7 +9,7 @@
 use vsnoop::experiments::RunScale;
 use vsnoop::{ContentPolicy, FilterPolicy, Simulator, SystemConfig};
 use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
-use workloads::{profile, Workload, WorkloadConfig};
+use workloads::{try_profile, Workload, WorkloadConfig};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -19,7 +19,7 @@ fn run(policy: FilterPolicy, scale: RunScale) -> (f64, u64, u64) {
     let cfg = SystemConfig::paper_default();
     let mut sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
     let mut wl = Workload::homogeneous(
-        profile("ocean").expect("registered"),
+        try_profile("ocean").unwrap_or_else(|e| panic!("{e}")),
         cfg.n_vms,
         WorkloadConfig {
             vcpus_per_vm: cfg.vcpus_per_vm,

@@ -1,39 +1,192 @@
-//! Runs every experiment in paper order (the output of this binary is the
-//! source of EXPERIMENTS.md's measured columns).
+//! The supervised experiment campaign: every paper artifact as a named,
+//! seeded job with panic isolation, per-job deadlines, retries,
+//! checkpoint/resume, and crash reproducers.
+//!
+//! Fault-free, stdout is byte-identical to running the fifteen figure/
+//! table binaries serially in paper order (the historical `all`
+//! behaviour); progress and the degraded-mode summary go to stderr.
+//!
+//! ```text
+//! all [--jobs N] [--timeout SECS] [--retries N] [--dir DIR]
+//!     [--resume] [--only NAME]... [--list] [--repro FILE]
+//!     [--inject-panic NAME]... [--inject-hang NAME]... [--inject-flaky NAME]...
+//! ```
+//!
+//! Artifacts land under `--dir` (default `target/campaign/`) with
+//! deterministic names: `journal.jsonl` (append-only checkpoint),
+//! `merged.jsonl` (canonical index-sorted journal), `campaign.txt` (the
+//! merged report text), and `repro-<job>.json` per terminal failure.
+//! The campaign exits 0 even when jobs fail — degraded mode is reported
+//! in the summary and the journal; only usage or IO errors exit
+//! non-zero.
 
-use std::process::Command;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
 
-fn main() {
-    let bins = [
-        "fig1",
-        "fig2",
-        "fig2_validation",
-        "fig3",
-        "table1",
-        "table2",
-        "table3",
-        "table4",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "table5",
-        "fig10",
-        "table6",
-    ];
-    // Prefer in-process execution when built as part of the workspace; the
-    // simplest robust approach is to re-exec sibling binaries living next
-    // to this one.
-    let me = std::env::current_exe().expect("current exe");
-    let dir = me.parent().expect("exe dir");
-    for bin in bins {
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
+use vsnoop::runner::{run_campaign, CrashReproducer, Journal, RunnerConfig};
+use vsnoop_bench::campaign::{artifact_names, campaign_jobs, job_from_repro, CampaignOptions};
+use vsnoop_bench::scale_from_env;
+
+struct Cli {
+    jobs: usize,
+    timeout_secs: u64,
+    retries: u32,
+    dir: PathBuf,
+    resume: bool,
+    list: bool,
+    repro: Option<PathBuf>,
+    opts: CampaignOptions,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        jobs: 1,
+        timeout_secs: 0,
+        retries: 1,
+        dir: PathBuf::from("target/campaign"),
+        resume: false,
+        list: false,
+        repro: None,
+        opts: CampaignOptions::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                cli.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--timeout" => {
+                cli.timeout_secs = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+            }
+            "--retries" => {
+                cli.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--dir" => cli.dir = PathBuf::from(value("--dir")?),
+            "--resume" => cli.resume = true,
+            "--list" => cli.list = true,
+            "--repro" => cli.repro = Some(PathBuf::from(value("--repro")?)),
+            "--only" => cli.opts.only.push(value("--only")?),
+            "--inject-panic" => cli.opts.inject_panic.push(value("--inject-panic")?),
+            "--inject-hang" => cli.opts.inject_hang.push(value("--inject-hang")?),
+            "--inject-flaky" => cli.opts.inject_flaky.push(value("--inject-flaky")?),
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: all [--jobs N] [--timeout SECS] [--retries N] [--dir DIR]\n\
+                     \u{20}          [--resume] [--only NAME]... [--list] [--repro FILE]\n\
+                     \u{20}          [--inject-panic NAME]... [--inject-hang NAME]... \
+                     [--inject-flaky NAME]...\n\
+                     artifacts: {}",
+                    artifact_names().join(", ")
+                ));
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
         }
     }
+    Ok(cli)
+}
+
+/// Replays a crash reproducer in-process, unsupervised, so panics keep
+/// their native backtrace for debugging.
+fn replay(path: &Path) -> ExitCode {
+    let repro = match CrashReproducer::load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "replaying {} (seed {:#x}, recorded failure: {})",
+        repro.spec.name, repro.spec.seed, repro.error
+    );
+    let job = match job_from_repro(&repro, scale_from_env()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ctx = vsnoop::runner::JobCtx {
+        token: vsnoop::runner::CancelToken::new(),
+        attempt: 1,
+    };
+    match (job.run)(&ctx) {
+        Ok(text) => {
+            print!("{text}");
+            eprintln!("replay of {} completed without failing", repro.spec.name);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay of {} failed: {e}", repro.spec.name);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for name in artifact_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &cli.repro {
+        return replay(path);
+    }
+
+    let scale = scale_from_env();
+    let jobs = match campaign_jobs(scale, &cli.opts) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = RunnerConfig {
+        workers: cli.jobs.max(1),
+        timeout: (cli.timeout_secs > 0).then(|| Duration::from_secs(cli.timeout_secs)),
+        retries: cli.retries,
+        journal_path: Some(cli.dir.join("journal.jsonl")),
+        repro_dir: Some(cli.dir.clone()),
+        resume: cli.resume,
+        ..RunnerConfig::default()
+    };
+    let report = match run_campaign(&jobs, &cfg, &mut |msg| eprintln!("[campaign] {msg}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let merged = report.merged_output();
+    print!("{merged}");
+    if let Err(e) = std::fs::write(cli.dir.join("campaign.txt"), &merged) {
+        eprintln!("campaign: writing campaign.txt: {e}");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = Journal::write_merged(&cli.dir.join("merged.jsonl"), &report.entries()) {
+        eprintln!("campaign: writing merged.jsonl: {e}");
+        return ExitCode::from(2);
+    }
+    eprint!("\n{}", report.summary());
+    ExitCode::SUCCESS
 }

@@ -1,33 +1,13 @@
 //! Fig. 1 — L2 miss decomposition: Xen / dom0 / guest VMs.
 
-use vsnoop::experiments::fig1;
-use vsnoop_bench::{f1, heading, opt, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 1: L2 miss decomposition (hypervisor / dom0 / guest)",
-        "Two VMs (4 vCPUs each) per application, host activity enabled.\n\
-         Paper: <5% host share for most PARSEC apps (dedup 11%, freqmine 8%,\n\
-         raytrace 7%), OLTP 15%, SPECweb 19%.",
-    );
-    let mut t = TextTable::new([
-        "workload",
-        "guest %",
-        "dom0 %",
-        "xen %",
-        "host total %",
-        "paper host %",
-    ]);
-    for r in fig1(scale_from_env()) {
-        t.row([
-            r.name.to_string(),
-            f1(r.guest_pct),
-            f1(r.dom0_pct),
-            f1(r.hyp_pct),
-            f1(r.host_pct()),
-            opt(r.paper_host_pct),
-        ]);
+    match reports::fig1(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig1: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("fig1").expect("csv dump");
-    println!("{t}");
 }

@@ -1,41 +1,13 @@
 //! Fig. 10 — snoops under the content-sharing optimizations.
 
-use vsnoop::experiments::fig10;
-use vsnoop::ContentPolicy;
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
-use workloads::content_apps;
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 10: snoops by content-page routing, normalized to TokenB",
-        "Measured (the paper estimates these). Paper shape: memory-direct\n\
-         has the fewest snoops (often below the 25% ideal), then intra-VM,\n\
-         then friend-VM; all beat vsnoop-broadcast on the four apps with\n\
-         heavy content sharing (fft, blackscholes, canneal, specjbb).",
-    );
-    let rows = fig10(scale_from_env());
-    let mut t = TextTable::new([
-        "workload",
-        "vsnoop-broadcast %",
-        "memory-direct %",
-        "intra-VM %",
-        "friend-VM %",
-    ]);
-    for app in content_apps() {
-        let get = |p: ContentPolicy| {
-            rows.iter()
-                .find(|r| r.name == app.name && r.policy == p)
-                .map(|r| r.norm_snoops_pct)
-                .expect("row present")
-        };
-        t.row([
-            app.name.to_string(),
-            f1(get(ContentPolicy::Broadcast)),
-            f1(get(ContentPolicy::MemoryDirect)),
-            f1(get(ContentPolicy::IntraVm)),
-            f1(get(ContentPolicy::FriendVm)),
-        ]);
+    match reports::fig10(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig10: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("fig10").expect("csv dump");
-    println!("{t}");
 }

@@ -1,25 +1,14 @@
 //! Fig. 2 — potential snoop reductions vs. number of VMs and hypervisor
 //! transaction ratio.
 
-use vsnoop::fig2_sweep;
-use vsnoop_bench::{f1, heading, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 2: potential snoop reduction (analytic model)",
-        "VMs of 4 vCPUs on 4*V cores; curves are hypervisor transaction\n\
-         ratios. Paper: >93% ideal at 16 VMs; 84-89% at 5-10%.",
-    );
-    let pts = fig2_sweep();
-    let mut t = TextTable::new(["VMs", "cores", "ideal", "5%", "10%", "20%", "30%", "40%"]);
-    for &n_vms in &[2usize, 4, 8, 16] {
-        let row_pts: Vec<_> = pts.iter().filter(|p| p.n_vms == n_vms).collect();
-        let mut cells = vec![n_vms.to_string(), (4 * n_vms).to_string()];
-        for p in row_pts {
-            cells.push(f1(p.reduction_pct));
+    match reports::fig2(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig2: {e}");
+            std::process::exit(1);
         }
-        t.row(cells);
     }
-    t.maybe_dump_csv("fig2").expect("csv dump");
-    println!("{t}");
 }

@@ -1,34 +1,14 @@
 //! Fig. 2 cross-validation: the closed-form projection vs. the simulator,
 //! at 8 / 16 / 32 / 64 cores.
 
-use vsnoop::experiments::fig2_validation;
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 2 validation: analytic model vs measured simulation",
-        "Pinned VMs of 4 vCPUs on 8..64 cores (ferret), with and without\n\
-         hypervisor activity. The closed form the paper plots should match\n\
-         what the simulator actually measures.",
-    );
-    let mut t = TextTable::new([
-        "VMs",
-        "cores",
-        "host miss %",
-        "measured reduction %",
-        "analytic %",
-        "gap pp",
-    ]);
-    for r in fig2_validation(scale_from_env()) {
-        t.row([
-            r.n_vms.to_string(),
-            r.cores.to_string(),
-            f1(r.host_miss_pct),
-            f1(r.measured_pct),
-            f1(r.analytic_pct),
-            f1(r.gap_pp()),
-        ]);
+    match reports::fig2_validation(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig2_validation: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("fig2_validation").expect("csv dump");
-    println!("{t}");
 }

@@ -1,28 +1,13 @@
 //! Fig. 3 — the effect of pinning VMs: undercommitted vs. overcommitted.
 
-use vsnoop::experiments::fig3_table1;
-use vsnoop_bench::{f1, heading, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 3: normalized execution time, no-migration vs full-migration",
-        "8 cores; (a) undercommitted: 2 VMs x 4 vCPUs; (b) overcommitted:\n\
-         4 VMs x 4 vCPUs. 100% = the slower policy. Paper: pinning wins\n\
-         undercommitted, full migration wins overcommitted.",
-    );
-    let rows = fig3_table1(7);
-    let mut t = TextTable::new([
-        "workload",
-        "under no-mig %",
-        "under full %",
-        "over no-mig %",
-        "over full %",
-    ]);
-    for r in &rows {
-        let (up, uf) = r.under_normalized();
-        let (op, of) = r.over_normalized();
-        t.row([r.name.to_string(), f1(up), f1(uf), f1(op), f1(of)]);
+    match reports::fig3(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig3: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("fig3").expect("csv dump");
-    println!("{t}");
 }

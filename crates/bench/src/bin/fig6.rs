@@ -1,31 +1,13 @@
 //! Fig. 6 — execution times of virtual snooping with ideally pinned VMs.
 
-use vsnoop::experiments::table4_fig6;
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 6: execution time normalized to TokenB (pinned VMs)",
-        "Paper: virtual snooping improves runtime by 0.2-9.1% (avg 3.8%) —\n\
-         modest, because network bandwidth is not saturated; the main win\n\
-         is snoop power/bandwidth.",
-    );
-    let rows = table4_fig6(scale_from_env());
-    let mut t = TextTable::new(["workload", "vsnoop runtime %", "improvement %"]);
-    let mut sum = 0.0;
-    for r in &rows {
-        sum += 100.0 - r.norm_runtime_pct;
-        t.row([
-            r.name.to_string(),
-            f1(r.norm_runtime_pct),
-            f1(100.0 - r.norm_runtime_pct),
-        ]);
+    match reports::fig6(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            std::process::exit(1);
+        }
     }
-    t.row([
-        "Average".to_string(),
-        String::new(),
-        f1(sum / rows.len() as f64),
-    ]);
-    t.maybe_dump_csv("fig6").expect("csv dump");
-    println!("{t}");
 }

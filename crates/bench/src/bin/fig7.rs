@@ -1,41 +1,13 @@
 //! Fig. 7 — total snoops under VM relocation every 5 / 2.5 (scaled) ms.
 
-use vsnoop::experiments::{migration_policies, migration_sweep};
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
-use workloads::simulation_apps;
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 7: normalized total snoops, vCPU relocated every 5 / 2.5 ms",
-        "Percent of the TokenB baseline (ideal = 25%). Paper: the counter\n\
-         mechanism stays close to ideal at these periods; vsnoop-base\n\
-         degrades as maps only grow.",
-    );
-    let points = migration_sweep(&[5.0, 2.5], scale_from_env().for_migration());
-    let mut t = TextTable::new([
-        "workload",
-        "period ms",
-        "vsnoop-base %",
-        "counter %",
-        "counter-thr %",
-    ]);
-    for app in simulation_apps() {
-        for period in [5.0f64, 2.5] {
-            let mut cells = vec![app.name.to_string(), format!("{period}")];
-            for policy in migration_policies() {
-                let p = points
-                    .iter()
-                    .find(|p| {
-                        p.name == app.name
-                            && (p.period_ms - period).abs() < 1e-9
-                            && p.policy == policy
-                    })
-                    .expect("point present");
-                cells.push(f1(p.norm_snoops_pct));
-            }
-            t.row(cells);
+    match reports::fig7(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            std::process::exit(1);
         }
     }
-    t.maybe_dump_csv("fig7").expect("csv dump");
-    println!("{t}");
 }

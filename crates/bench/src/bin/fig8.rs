@@ -1,41 +1,13 @@
 //! Fig. 8 — total snoops under VM relocation every 0.5 / 0.1 (scaled) ms.
 
-use vsnoop::experiments::{migration_policies, migration_sweep};
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
-use workloads::simulation_apps;
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 8: normalized total snoops, vCPU relocated every 0.5 / 0.1 ms",
-        "Percent of the TokenB baseline (ideal = 25%). Paper: at 0.1 ms\n\
-         vsnoop-base only reduces ~4% of snoops; the counter mechanism\n\
-         still reduces ~45%; counter-threshold adds a small increment.",
-    );
-    let points = migration_sweep(&[0.5, 0.1], scale_from_env().for_migration());
-    let mut t = TextTable::new([
-        "workload",
-        "period ms",
-        "vsnoop-base %",
-        "counter %",
-        "counter-thr %",
-    ]);
-    for app in simulation_apps() {
-        for period in [0.5f64, 0.1] {
-            let mut cells = vec![app.name.to_string(), format!("{period}")];
-            for policy in migration_policies() {
-                let p = points
-                    .iter()
-                    .find(|p| {
-                        p.name == app.name
-                            && (p.period_ms - period).abs() < 1e-9
-                            && p.policy == policy
-                    })
-                    .expect("point present");
-                cells.push(f1(p.norm_snoops_pct));
-            }
-            t.row(cells);
+    match reports::fig8(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            std::process::exit(1);
         }
     }
-    t.maybe_dump_csv("fig8").expect("csv dump");
-    println!("{t}");
 }

@@ -1,55 +1,14 @@
 //! Fig. 9 — cumulative distribution of the core-removal period after a
 //! vCPU relocation (counter mechanism, 5 ms migration period).
 
-use vsnoop::experiments::{cdf, removal_periods};
-use vsnoop::SystemConfig;
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Figure 9: CDF of core-removal periods (counter, 5 ms migrations)",
-        "Time from a vCPU's departure until its old core is removed from\n\
-         the VM's map. Paper: most removals complete within ~10 ms;\n\
-         blackscholes' counters never reach zero (small L2 working set).",
-    );
-    let cfg = SystemConfig::paper_default();
-    let samples = removal_periods(scale_from_env().for_migration());
-    println!("{} removal events collected\n", samples.len());
-
-    // Aggregate CDF over all applications, reported at decile points.
-    let mut all: Vec<u64> = samples.iter().map(|s| s.period_cycles).collect();
-    if all.is_empty() {
-        println!("no removal events (run with a larger scale)");
-        return;
-    }
-    let curve = cdf(&mut all);
-    let mut t = TextTable::new(["fraction of removals", "within (scaled ms)"]);
-    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0] {
-        let idx = ((curve.len() as f64 * q).ceil() as usize).clamp(1, curve.len()) - 1;
-        let ms = curve[idx].0 as f64 / cfg.cycles_per_ms as f64;
-        t.row([format!("{:.0}%", q * 100.0), f1(ms)]);
-    }
-    t.maybe_dump_csv("fig9").expect("csv dump");
-    println!("{t}");
-
-    // Per-application medians, to expose the slow outliers the paper
-    // highlights (radix, ferret) and blackscholes' absence.
-    let mut t2 = TextTable::new(["workload", "removals", "median ms", "p90 ms"]);
-    for app in workloads::simulation_apps() {
-        let mut xs: Vec<u64> = samples
-            .iter()
-            .filter(|s| s.name == app.name)
-            .map(|s| s.period_cycles)
-            .collect();
-        if xs.is_empty() {
-            t2.row([app.name.to_string(), "0".into(), "-".into(), "-".into()]);
-            continue;
+    match reports::fig9(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("fig9: {e}");
+            std::process::exit(1);
         }
-        xs.sort_unstable();
-        let med = xs[xs.len() / 2] as f64 / cfg.cycles_per_ms as f64;
-        let p90 = xs[(xs.len() * 9 / 10).min(xs.len() - 1)] as f64 / cfg.cycles_per_ms as f64;
-        t2.row([app.name.to_string(), xs.len().to_string(), f1(med), f1(p90)]);
     }
-    t2.maybe_dump_csv("fig9_t2").expect("csv dump");
-    println!("{t2}");
 }

@@ -1,7 +1,9 @@
 //! Robustness soak: a migration storm with *every* fault class enabled,
 //! driven for millions of access steps with the runtime invariant checker
 //! on, followed by fault-free shape checks against the paper's headline
-//! numbers.
+//! numbers. Both phases run as supervised campaign jobs — a panic or hang
+//! in one phase is isolated, journaled, and leaves a crash reproducer
+//! under `target/campaign/soak/` instead of taking down the soak.
 //!
 //! The run fails (non-zero exit) if
 //!
@@ -24,9 +26,10 @@ use std::process::ExitCode;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_vm::{VcpuId, VmId};
+use vsnoop::runner::{json::Value, run_campaign, Job, Journal, RunnerConfig};
 use vsnoop::{CheckerConfig, ContentPolicy, FaultPlan, FilterPolicy, Simulator, SystemConfig};
-use vsnoop_bench::{f1, heading};
-use workloads::{profile, Workload, WorkloadConfig};
+use vsnoop_bench::{f1, heading_string};
+use workloads::{try_profile, Workload, WorkloadConfig};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -35,16 +38,16 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn storm_workload(cfg: &SystemConfig, seed: u64) -> Workload {
-    Workload::homogeneous(
-        profile("ocean").expect("registered"),
+fn storm_workload(cfg: &SystemConfig, seed: u64) -> Result<Workload, String> {
+    Ok(Workload::homogeneous(
+        try_profile("ocean").map_err(|e| e.to_string())?,
         cfg.n_vms,
         WorkloadConfig {
             vcpus_per_vm: cfg.vcpus_per_vm,
             seed,
             ..Default::default()
         },
-    )
+    ))
 }
 
 fn picker(cfg: SystemConfig, seed: u64) -> impl FnMut(u64) -> (VcpuId, VcpuId) {
@@ -67,48 +70,98 @@ fn norm_snoops(sim: &Simulator, cfg: &SystemConfig) -> f64 {
     s.snoops as f64 / (s.l2_misses.max(1) * cfg.n_cores() as u64) as f64
 }
 
-/// Phase 1: the all-faults migration storm. Returns failure strings.
-fn storm(rounds: u64, seed: u64, period_cycles: u64, failures: &mut Vec<String>) {
+/// Phase 1: the all-faults migration storm. Returns the phase report, or
+/// the joined list of invariant/coverage failures.
+fn storm(rounds: u64, seed: u64, period_cycles: u64) -> Result<String, String> {
     let cfg = SystemConfig::paper_default();
-    let mut sim = Simulator::new(cfg, FilterPolicy::Counter, ContentPolicy::Broadcast);
+    let mut sim = Simulator::try_new(cfg, FilterPolicy::Counter, ContentPolicy::Broadcast)
+        .map_err(|e| e.to_string())?;
     sim.set_fault_plan(FaultPlan::all(seed));
     sim.enable_checker(CheckerConfig::default());
-    let mut wl = storm_workload(&cfg, seed ^ 0xD15EA5E);
+    let mut wl = storm_workload(&cfg, seed ^ 0xD15EA5E)?;
     sim.run_with_migration(&mut wl, rounds, period_cycles, picker(cfg, seed ^ 0x51A9));
     sim.run_checker_sweep();
 
     let s = sim.stats().clone();
-    let ch = sim.checker().expect("checker enabled");
-    let inj = *sim.fault_injections().expect("plan installed");
+    let ch = sim.checker().ok_or("checker enabled")?;
+    let inj = *sim.fault_injections().ok_or("plan installed")?;
     let (drops, delays) = sim
         .link_faults()
         .map(|lf| (lf.drops(), lf.delays()))
         .unwrap_or((0, 0));
 
-    println!("  access steps            {:>12}", s.accesses);
-    println!("  coherence transactions  {:>12}", s.l2_misses);
-    println!(
-        "  snoops (norm. to bcast) {:>11.1}%",
-        100.0 * norm_snoops(&sim, &cfg)
+    let mut out = heading_string(
+        "Soak 1/2: migration storm, every fault class enabled",
+        "FaultPlan::all — snoop drops, bounded delays, vCPU-map corruption\n\
+         (bit off / bit on / garbage), delayed post-migration map sync,\n\
+         spurious token bounces; invariant checker on throughout.",
     );
-    println!("  retries                 {:>12}", s.retries);
-    println!("  broadcast fallbacks     {:>12}", s.broadcast_fallbacks);
-    println!("  persistent requests     {:>12}", s.persistent_requests);
-    println!("  degraded broadcasts     {:>12}", s.degraded_broadcasts);
-    println!("  map repairs (audit)     {:>12}", s.map_repairs);
-    println!("  injected: snoop drops   {:>12}", drops);
-    println!("  injected: delays        {:>12}", delays);
-    println!("  injected: map bits off  {:>12}", inj.maps_bit_cleared);
-    println!("  injected: map bits on   {:>12}", inj.maps_bit_set);
-    println!("  injected: map garbage   {:>12}", inj.maps_garbaged);
-    println!("  injected: late syncs    {:>12}", inj.delayed_syncs);
-    println!("  injected: token bounces {:>12}", inj.spurious_bounces);
-    println!("  checker: block checks   {:>12}", ch.block_checks());
-    println!("  checker: full sweeps    {:>12}", ch.sweeps());
-    println!("  checker: map checks     {:>12}", ch.map_checks());
-    println!("  checker: VIOLATIONS     {:>12}", ch.total_violations());
-    println!("  diagnostics             {:>12}", sim.diagnostics_total());
+    let lines: Vec<(&str, String)> = vec![
+        ("access steps           ", format!("{:>12}", s.accesses)),
+        ("coherence transactions ", format!("{:>12}", s.l2_misses)),
+        (
+            "snoops (norm. to bcast)",
+            format!("{:>11.1}%", 100.0 * norm_snoops(&sim, &cfg)),
+        ),
+        ("retries                ", format!("{:>12}", s.retries)),
+        (
+            "broadcast fallbacks    ",
+            format!("{:>12}", s.broadcast_fallbacks),
+        ),
+        (
+            "persistent requests    ",
+            format!("{:>12}", s.persistent_requests),
+        ),
+        (
+            "degraded broadcasts    ",
+            format!("{:>12}", s.degraded_broadcasts),
+        ),
+        ("map repairs (audit)    ", format!("{:>12}", s.map_repairs)),
+        ("injected: snoop drops  ", format!("{:>12}", drops)),
+        ("injected: delays       ", format!("{:>12}", delays)),
+        (
+            "injected: map bits off ",
+            format!("{:>12}", inj.maps_bit_cleared),
+        ),
+        (
+            "injected: map bits on  ",
+            format!("{:>12}", inj.maps_bit_set),
+        ),
+        (
+            "injected: map garbage  ",
+            format!("{:>12}", inj.maps_garbaged),
+        ),
+        (
+            "injected: late syncs   ",
+            format!("{:>12}", inj.delayed_syncs),
+        ),
+        (
+            "injected: token bounces",
+            format!("{:>12}", inj.spurious_bounces),
+        ),
+        (
+            "checker: block checks  ",
+            format!("{:>12}", ch.block_checks()),
+        ),
+        ("checker: full sweeps   ", format!("{:>12}", ch.sweeps())),
+        (
+            "checker: map checks    ",
+            format!("{:>12}", ch.map_checks()),
+        ),
+        (
+            "checker: VIOLATIONS    ",
+            format!("{:>12}", ch.total_violations()),
+        ),
+        (
+            "diagnostics            ",
+            format!("{:>12}", sim.diagnostics_total()),
+        ),
+    ];
+    for (label, value) in lines {
+        out.push_str(&format!("  {label} {value}\n"));
+    }
 
+    let mut failures = Vec::new();
     if ch.total_violations() != 0 {
         failures.push(format!(
             "{} invariant violations; first recorded: {:#?}",
@@ -134,26 +187,39 @@ fn storm(rounds: u64, seed: u64, period_cycles: u64, failures: &mut Vec<String>)
     if drops == 0 || delays == 0 {
         failures.push("link faults never fired".into());
     }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// Phase 2: fault-free shape checks (Table IV / Fig. 8 headline numbers).
-fn shapes(rounds: u64, seed: u64, failures: &mut Vec<String>) {
+fn shapes(rounds: u64, seed: u64) -> Result<String, String> {
     let cfg = SystemConfig::paper_default();
     let warmup = (rounds / 16).max(1_000);
+    let mut out = heading_string(
+        "Soak 2/2: fault-free snoop-reduction shapes",
+        "With faults disabled the headline reductions must match the paper:\n\
+         ~75% of snoops filtered for pinned VMs (Table IV), ~45% of baseline\n\
+         under 0.1 ms migration storms with the counter scheme (Fig. 8).",
+    );
+    let mut failures = Vec::new();
 
     // Pinned vCPUs, vsnoop-base: ~75% of snoops filtered (Table IV).
     let pinned = {
-        let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
-        let mut wl = storm_workload(&cfg, seed);
+        let mut sim = Simulator::try_new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast)
+            .map_err(|e| e.to_string())?;
+        let mut wl = storm_workload(&cfg, seed)?;
         sim.run(&mut wl, warmup);
         sim.reset_measurement();
         sim.run(&mut wl, rounds);
         norm_snoops(&sim, &cfg)
     };
-    println!(
-        "  pinned vsnoop-base      {:>11}% of baseline snoops (paper: ~25%)",
+    out.push_str(&format!(
+        "  pinned vsnoop-base      {:>11}% of baseline snoops (paper: ~25%)\n",
         f1(100.0 * pinned)
-    );
+    ));
     if !(0.20..=0.32).contains(&pinned) {
         failures.push(format!(
             "pinned vsnoop-base snoop shape off: {:.1}% (expected ~25%)",
@@ -163,23 +229,29 @@ fn shapes(rounds: u64, seed: u64, failures: &mut Vec<String>) {
 
     // Counter scheme under 0.1 ms migrations: ~45% (Fig. 8).
     let migr = {
-        let mut sim = Simulator::new(cfg, FilterPolicy::Counter, ContentPolicy::Broadcast);
-        let mut wl = storm_workload(&cfg, seed);
+        let mut sim = Simulator::try_new(cfg, FilterPolicy::Counter, ContentPolicy::Broadcast)
+            .map_err(|e| e.to_string())?;
+        let mut wl = storm_workload(&cfg, seed)?;
         sim.run(&mut wl, warmup);
         sim.reset_measurement();
         let period = cfg.cycles_per_ms / 10; // 0.1 scaled ms
         sim.run_with_migration(&mut wl, rounds, period, picker(cfg, seed ^ 0x51A9));
         norm_snoops(&sim, &cfg)
     };
-    println!(
-        "  counter @ 0.1ms storms  {:>11}% of baseline snoops (paper: ~45%)",
+    out.push_str(&format!(
+        "  counter @ 0.1ms storms  {:>11}% of baseline snoops (paper: ~45%)\n",
         f1(100.0 * migr)
-    );
+    ));
     if !(0.30..=0.60).contains(&migr) {
         failures.push(format!(
             "counter@0.1ms snoop shape off: {:.1}% (expected ~45%)",
             100.0 * migr
         ));
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(failures.join("; "))
     }
 }
 
@@ -191,31 +263,49 @@ fn main() -> ExitCode {
     let cfg = SystemConfig::paper_default();
     let period_cycles = (cfg.cycles_per_ms * period_ms_x100 / 100).max(1);
 
-    let mut failures = Vec::new();
-
-    heading(
-        "Soak 1/2: migration storm, every fault class enabled",
-        "FaultPlan::all — snoop drops, bounded delays, vCPU-map corruption\n\
-         (bit off / bit on / garbage), delayed post-migration map sync,\n\
-         spurious token bounces; invariant checker on throughout.",
-    );
-    storm(rounds, seed, period_cycles, &mut failures);
-
-    heading(
-        "Soak 2/2: fault-free snoop-reduction shapes",
-        "With faults disabled the headline reductions must match the paper:\n\
-         ~75% of snoops filtered for pinned VMs (Table IV), ~45% of baseline\n\
-         under 0.1 ms migration storms with the counter scheme (Fig. 8).",
-    );
-    shapes(shape_rounds, seed, &mut failures);
+    let params = Value::obj([
+        ("rounds", Value::UInt(rounds)),
+        ("shape_rounds", Value::UInt(shape_rounds)),
+        ("period_cycles", Value::UInt(period_cycles)),
+    ]);
+    let jobs = vec![
+        Job::new("storm", seed, params.clone(), move |_ctx| {
+            storm(rounds, seed, period_cycles)
+        })
+        .with_step_window(0, rounds),
+        Job::new("shapes", seed, params, move |_ctx| {
+            shapes(shape_rounds, seed)
+        })
+        .with_step_window(0, shape_rounds),
+    ];
+    let dir = std::path::PathBuf::from("target/campaign/soak");
+    let runner_cfg = RunnerConfig {
+        workers: 2,
+        journal_path: Some(dir.join("journal.jsonl")),
+        repro_dir: Some(dir.clone()),
+        ..RunnerConfig::default()
+    };
+    let report = match run_campaign(&jobs, &runner_cfg, &mut |msg| eprintln!("[soak] {msg}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.merged_output());
+    if let Err(e) = Journal::write_merged(&dir.join("merged.jsonl"), &report.entries()) {
+        eprintln!("soak: writing merged.jsonl: {e}");
+    }
 
     println!();
-    if failures.is_empty() {
+    if report.all_ok() {
         println!("SOAK PASS: zero invariant violations, all fault classes exercised.");
         ExitCode::SUCCESS
     } else {
-        for f in &failures {
-            println!("SOAK FAIL: {f}");
+        for r in &report.records {
+            if let Err(e) = &r.outcome {
+                println!("SOAK FAIL [{}]: {e}", r.spec.name);
+            }
         }
         ExitCode::FAILURE
     }

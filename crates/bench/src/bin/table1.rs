@@ -1,33 +1,13 @@
 //! Table I — average VM relocation periods (milliseconds).
 
-use vsnoop::experiments::fig3_table1;
-use vsnoop_bench::{heading, opt, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table I: average vCPU relocation periods (ms), full migration",
-        "Measured under the credit-scheduler model; paper values from the\n\
-         real Xen 4.0 testbed. Shape to preserve: overcommitted periods are\n\
-         much shorter; CPU-bound apps (blackscholes, swaptions, freqmine)\n\
-         migrate rarely; I/O-heavy apps (dedup, vips) migrate constantly.",
-    );
-    let rows = fig3_table1(7);
-    let mut t = TextTable::new([
-        "workload",
-        "undercommit ms",
-        "paper",
-        "overcommit ms",
-        "paper",
-    ]);
-    for r in &rows {
-        t.row([
-            r.name.to_string(),
-            opt(r.reloc_under_ms),
-            opt(r.paper_under_ms),
-            opt(r.reloc_over_ms),
-            opt(r.paper_over_ms),
-        ]);
+    match reports::table1(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table1: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("table1").expect("csv dump");
-    println!("{t}");
 }

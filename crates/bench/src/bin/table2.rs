@@ -1,51 +1,13 @@
 //! Table II — simulated system configuration.
 
-use vsnoop::SystemConfig;
-use vsnoop_bench::{heading, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table II: simulated system configuration",
-        "The machine every simulation experiment runs on.",
-    );
-    let c = SystemConfig::paper_default();
-    let mut t = TextTable::new(["parameter", "value"]);
-    t.row(["Processors", &format!("{} in-order cores", c.n_cores())]);
-    t.row([
-        "L1 I/D cache",
-        &format!(
-            "{}KB, {}-way, 64B block, {} cycle latency",
-            c.l1_bytes / 1024,
-            c.l1_ways,
-            c.l1_latency
-        ),
-    ]);
-    t.row([
-        "L2 cache",
-        &format!(
-            "{}KB, {}-way, 64B block, {} cycle latency",
-            c.l2_bytes / 1024,
-            c.l2_ways,
-            c.l2_latency
-        ),
-    ]);
-    t.row(["Coherence", "Token Coherence (TokenB), MOESI"]);
-    t.row([
-        "On-chip network",
-        &format!(
-            "{}x{} 2D mesh, {}B links, {}-cycle routers",
-            c.mesh_width, c.mesh_height, c.network.link_bytes, c.network.router_cycles
-        ),
-    ]);
-    t.row(["Memory latency", &format!("{} cycles", c.memory_latency)]);
-    t.row([
-        "VMs",
-        &format!("{} VMs x {} vCPUs", c.n_vms, c.vcpus_per_vm),
-    ]);
-    t.row([
-        "Clock scaling",
-        &format!("{} cycles per scaled ms", c.cycles_per_ms),
-    ]);
-    t.maybe_dump_csv("table2").expect("csv dump");
-    println!("{t}");
+    match reports::table2(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table2: {e}");
+            std::process::exit(1);
+        }
+    }
 }

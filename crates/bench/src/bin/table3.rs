@@ -1,37 +1,14 @@
 //! Table III — application profiles (the synthetic stand-ins for the
 //! paper's input sets).
 
-use vsnoop_bench::{f2, heading, TextTable};
-use workloads::simulation_apps;
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table III: simulated applications and their synthetic parameters",
-        "The paper lists the real input sets (e.g. fft: 4M points); this\n\
-         reproduction lists the calibrated trace-generator parameters that\n\
-         stand in for them (per VM).",
-    );
-    let mut t = TextTable::new([
-        "application",
-        "suite",
-        "private pages",
-        "zipf",
-        "write frac",
-        "content frac",
-        "content pages",
-    ]);
-    for app in simulation_apps() {
-        let p = app.trace;
-        t.row([
-            app.name.to_string(),
-            format!("{:?}", app.suite),
-            p.private_pages.to_string(),
-            f2(p.zipf_s),
-            f2(p.write_frac),
-            f2(p.content_frac),
-            p.content_pages.to_string(),
-        ]);
+    match reports::table3(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table3: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("table3").expect("csv dump");
-    println!("{t}");
 }

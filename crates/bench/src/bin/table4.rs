@@ -1,38 +1,13 @@
 //! Table IV — network traffic reduction with ideally pinned VMs.
 
-use vsnoop::experiments::table4_fig6;
-use vsnoop_bench::{f1, heading, opt, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table IV: network traffic reduction of virtual snooping (pinned VMs)",
-        "4 VMs x 4 vCPUs pinned on 16 cores, no host activity (as in\n\
-         Virtual-GEMS). Paper: 62-64% across all applications; snoop\n\
-         reduction is exactly 75%.",
-    );
-    let rows = table4_fig6(scale_from_env());
-    let mut t = TextTable::new([
-        "workload",
-        "traffic reduction %",
-        "paper %",
-        "snoops vs tokenB %",
-    ]);
-    let mut sum = 0.0;
-    for r in &rows {
-        sum += r.traffic_reduction_pct;
-        t.row([
-            r.name.to_string(),
-            f1(r.traffic_reduction_pct),
-            opt(r.paper_traffic_reduction_pct),
-            f1(r.norm_snoops_pct),
-        ]);
+    match reports::table4(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table4: {e}");
+            std::process::exit(1);
+        }
     }
-    t.row([
-        "Average".to_string(),
-        f1(sum / rows.len() as f64),
-        "63.7".to_string(),
-        String::new(),
-    ]);
-    t.maybe_dump_csv("table4").expect("csv dump");
-    println!("{t}");
 }

@@ -1,38 +1,14 @@
 //! Table V — percentages of L1 accesses and L2 misses on content-shared
 //! pages.
 
-use vsnoop::experiments::table5;
-use vsnoop_bench::{f1, heading, opt, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table V: L1 accesses and L2 misses to content-shared pages",
-        "4 VMs of the same application, ideal dedup scan. Paper: only\n\
-         fft / blackscholes / canneal / specjbb exceed 30% of L2 misses;\n\
-         radix accesses content heavily but almost never misses on it.",
-    );
-    let rows = table5(scale_from_env());
-    let mut t = TextTable::new(["workload", "access %", "paper", "L2 miss %", "paper"]);
-    let (mut sa, mut sm) = (0.0, 0.0);
-    for r in &rows {
-        sa += r.access_pct;
-        sm += r.miss_pct;
-        t.row([
-            r.name.to_string(),
-            f1(r.access_pct),
-            opt(r.paper_access_pct),
-            f1(r.miss_pct),
-            opt(r.paper_miss_pct),
-        ]);
+    match reports::table5(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table5: {e}");
+            std::process::exit(1);
+        }
     }
-    let n = rows.len() as f64;
-    t.row([
-        "Average".to_string(),
-        f1(sa / n),
-        "12.5".to_string(),
-        f1(sm / n),
-        "19.9".to_string(),
-    ]);
-    t.maybe_dump_csv("table5").expect("csv dump");
-    println!("{t}");
 }

@@ -1,32 +1,13 @@
 //! Table VI — potential data holders for content-shared misses.
 
-use vsnoop::experiments::table6;
-use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
+use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
-    heading(
-        "Table VI: potential data holders for content-shared L2 misses",
-        "Who could supply each content-shared read miss. Paper (fft /\n\
-         blacksch. / canneal / specjbb): some cache 47-64%, intra-VM\n\
-         0.1-27%, friend-VM +21-28%, memory-only 37-53%.",
-    );
-    let rows = table6(scale_from_env());
-    let mut t = TextTable::new([
-        "workload",
-        "cache: all %",
-        "cache: intra-VM %",
-        "cache: friend-VM %",
-        "memory %",
-    ]);
-    for r in &rows {
-        t.row([
-            r.name.to_string(),
-            f1(r.cache_all_pct),
-            f1(r.cache_intra_pct),
-            f1(r.cache_friend_pct),
-            f1(r.memory_pct),
-        ]);
+    match reports::table6(scale_from_env()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("table6: {e}");
+            std::process::exit(1);
+        }
     }
-    t.maybe_dump_csv("table6").expect("csv dump");
-    println!("{t}");
 }

@@ -2,7 +2,12 @@
 //!
 //! Every binary in this crate regenerates one table or figure of the
 //! paper and prints it as an aligned text table with paper-reported values
-//! side by side where available.
+//! side by side where available. The text itself is produced by the
+//! [`reports`] module; [`campaign`] wraps those reports as supervised
+//! jobs for the `all` campaign runner.
+
+pub mod campaign;
+pub mod reports;
 
 /// A simple aligned text table.
 ///
@@ -138,8 +143,13 @@ pub fn opt(x: Option<f64>) -> String {
 
 /// Prints a banner heading for an experiment.
 pub fn heading(title: &str, context: &str) {
-    println!("\n=== {title} ===");
-    println!("{context}\n");
+    print!("{}", heading_string(title, context));
+}
+
+/// The banner heading as a string — exactly the bytes [`heading`]
+/// prints, so report text built from it matches binary stdout.
+pub fn heading_string(title: &str, context: &str) -> String {
+    format!("\n=== {title} ===\n{context}\n\n")
 }
 
 /// Chooses the experiment scale from `VSNOOP_SCALE` (`quick` for smoke

@@ -11,9 +11,25 @@
 use sim_mem::BlockAddr;
 use sim_vm::VcpuId;
 
+use crate::config::ConfigError;
+
 /// A recoverable internal inconsistency observed by the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
+    /// The system configuration failed validation; construction was
+    /// refused (see [`crate::Simulator::try_new`]).
+    InvalidConfig(
+        /// The violated constraint.
+        ConfigError,
+    ),
+    /// A workload profile name is not in the registry; carries every
+    /// registered name so the message says what would have worked.
+    UnknownProfile {
+        /// The name that was requested.
+        requested: String,
+        /// Every registered profile name, in registry order.
+        available: Vec<&'static str>,
+    },
     /// A vCPU named in a migration request is not placed on any core; the
     /// relocation was skipped.
     VcpuNotPlaced {
@@ -35,6 +51,17 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::InvalidConfig(e) => write!(f, "{e}"),
+            SimError::UnknownProfile {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "unknown workload profile \"{requested}\" (available: {})",
+                    available.join(", ")
+                )
+            }
             SimError::VcpuNotPlaced { vcpu, context } => {
                 write!(f, "vCPU {vcpu} not placed during {context}; skipped")
             }
@@ -49,6 +76,21 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::InvalidConfig(e)
+    }
+}
+
+impl From<workloads::ProfileError> for SimError {
+    fn from(e: workloads::ProfileError) -> Self {
+        SimError::UnknownProfile {
+            requested: e.requested,
+            available: e.available,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

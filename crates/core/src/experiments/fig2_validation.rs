@@ -9,10 +9,11 @@
 //! simulator's filtering arithmetic and the model describe the same
 //! machine.
 
-use workloads::{profile, AppProfile, Workload, WorkloadConfig};
+use workloads::{try_profile, AppProfile, Workload, WorkloadConfig};
 
 use crate::analytic::snoop_reduction;
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::experiments::common::RunScale;
 use crate::policy::{ContentPolicy, FilterPolicy};
 use crate::simulator::Simulator;
@@ -67,14 +68,21 @@ fn with_host_fraction(base: &AppProfile, frac: f64) -> &'static AppProfile {
 
 /// Runs the validation sweep: VM counts 2/4/8/16 at two host-activity
 /// levels (none, and roughly 10% of misses).
-pub fn fig2_validation(scale: RunScale) -> Vec<Fig2Validation> {
-    let base = profile("ferret").expect("registered");
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownProfile`] if the reference profile is
+/// missing from the registry and [`SimError::InvalidConfig`] if a swept
+/// machine shape fails validation.
+pub fn fig2_validation(scale: RunScale) -> Result<Vec<Fig2Validation>, SimError> {
+    let base = try_profile("ferret")?;
     let mut out = Vec::new();
     for &n_vms in &[2usize, 4, 8, 16] {
         let cfg = machine(n_vms);
         for &host_frac in &[0.0, 0.02] {
             let app = with_host_fraction(base, host_frac);
-            let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+            let mut sim =
+                Simulator::try_new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast)?;
             let mut wl = Workload::homogeneous(
                 app,
                 cfg.n_vms,
@@ -102,7 +110,7 @@ pub fn fig2_validation(scale: RunScale) -> Vec<Fig2Validation> {
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -116,7 +124,7 @@ mod tests {
             measure_rounds: 10_000,
             seed: 0xC0FFEE,
         };
-        let rows = fig2_validation(scale);
+        let rows = fig2_validation(scale).expect("registered profile, valid machines");
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(

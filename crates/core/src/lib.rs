@@ -51,6 +51,7 @@ pub mod experiments;
 pub mod fault;
 mod policy;
 mod region_filter;
+pub mod runner;
 mod simulator;
 mod stats;
 mod vcpu_map;

@@ -1,0 +1,196 @@
+//! Jobs: named, seeded units of supervised work.
+
+use std::sync::Arc;
+
+use super::cancel::CancelToken;
+use super::json::Value;
+
+/// Context handed to a running job attempt.
+pub struct JobCtx {
+    /// The attempt's cancellation token; poll at step boundaries (the
+    /// simulator's round loops already do via
+    /// [`crate::runner::poll_current`]).
+    pub token: CancelToken,
+    /// 1-based attempt number (2 means first retry).
+    pub attempt: u32,
+}
+
+impl JobCtx {
+    /// Polls the cancellation token, unwinding if the watchdog fired.
+    pub fn checkpoint(&self) {
+        self.token.checkpoint();
+    }
+}
+
+/// The callable payload of a job. Must be re-runnable (retries call it
+/// again) and produce the job's canonical output text on success.
+pub type JobFn = Arc<dyn Fn(&JobCtx) -> Result<String, String> + Send + Sync>;
+
+/// What a job *is*, independent of any particular run: enough to name it
+/// in the journal and to rebuild it from a crash reproducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Unique job name within the campaign (also the journal key).
+    pub name: String,
+    /// The seed the job derives all randomness from.
+    pub seed: u64,
+    /// Campaign-defined parameters (e.g. the run scale); stored verbatim
+    /// in journal entries and crash reproducers.
+    pub params: Value,
+    /// The deterministic step window `[start, end)` the job executes
+    /// (e.g. warm-up rounds to warm-up + measured rounds), recorded in
+    /// crash reproducers for triage; `None` when not meaningful.
+    pub step_window: Option<(u64, u64)>,
+}
+
+/// A schedulable job: spec plus payload.
+#[derive(Clone)]
+pub struct Job {
+    /// Identity and parameters.
+    pub spec: JobSpec,
+    /// The work itself.
+    pub run: JobFn,
+}
+
+impl Job {
+    /// Builds a job from its parts.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        params: Value,
+        run: impl Fn(&JobCtx) -> Result<String, String> + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            spec: JobSpec {
+                name: name.into(),
+                seed,
+                params,
+                step_window: None,
+            },
+            run: Arc::new(run),
+        }
+    }
+
+    /// Attaches a step window to the spec (builder style).
+    #[must_use]
+    pub fn with_step_window(mut self, start: u64, end: u64) -> Self {
+        self.spec.step_window = Some((start, end));
+        self
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("spec", &self.spec).finish()
+    }
+}
+
+/// Why a job attempt (or the whole job) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload's message, when extractable.
+    Panicked {
+        /// Panic message (`"<non-string panic payload>"` otherwise).
+        message: String,
+    },
+    /// The watchdog cancelled the job past its deadline.
+    TimedOut {
+        /// The configured per-job deadline, in milliseconds (the
+        /// *configured* limit, not the measured wall time, so journal
+        /// entries stay deterministic).
+        limit_ms: u64,
+    },
+    /// The job returned an error of its own.
+    Failed {
+        /// The job's error message.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Stable machine-readable kind, used in journals and reproducers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panicked { .. } => "panic",
+            JobError::TimedOut { .. } => "timeout",
+            JobError::Failed { .. } => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { message } => write!(f, "panicked: {message}"),
+            JobError::TimedOut { limit_ms } => {
+                write!(f, "timed out (deadline {limit_ms} ms)")
+            }
+            JobError::Failed { message } => write!(f, "failed: {message}"),
+        }
+    }
+}
+
+/// Final, post-supervision record of one job: what ran, how many
+/// attempts it took, and how it ended.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Position in the campaign's job list (merged output order).
+    pub index: usize,
+    /// The job's spec.
+    pub spec: JobSpec,
+    /// Total attempts consumed (1 = succeeded or failed first try).
+    pub attempts: u32,
+    /// The job's output on success, or the last error.
+    pub outcome: Result<String, JobError>,
+    /// Whether this record was restored from the journal by `--resume`
+    /// rather than executed in this run.
+    pub resumed: bool,
+}
+
+impl JobRecord {
+    /// Whether the job ultimately succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Whether the job needed at least one retry.
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_error_kinds_and_display() {
+        let p = JobError::Panicked {
+            message: "boom".into(),
+        };
+        assert_eq!(p.kind(), "panic");
+        assert!(p.to_string().contains("boom"));
+        let t = JobError::TimedOut { limit_ms: 500 };
+        assert_eq!(t.kind(), "timeout");
+        assert!(t.to_string().contains("500"));
+        let f = JobError::Failed {
+            message: "shape off".into(),
+        };
+        assert_eq!(f.kind(), "failed");
+        assert!(f.to_string().contains("shape off"));
+    }
+
+    #[test]
+    fn job_builder_carries_spec() {
+        let j =
+            Job::new("fig1", 7, Value::Null, |_ctx| Ok("out".into())).with_step_window(100, 300);
+        assert_eq!(j.spec.name, "fig1");
+        assert_eq!(j.spec.seed, 7);
+        assert_eq!(j.spec.step_window, Some((100, 300)));
+        let ctx = JobCtx {
+            token: CancelToken::new(),
+            attempt: 1,
+        };
+        assert_eq!((j.run)(&ctx).unwrap(), "out");
+    }
+}

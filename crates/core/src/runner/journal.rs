@@ -1,0 +1,301 @@
+//! The JSON-lines checkpoint journal.
+//!
+//! Every *terminal* job result (success, or failure after the retry
+//! budget) is appended to `journal.jsonl` and flushed immediately, so a
+//! killed campaign loses at most the jobs that were still in flight.
+//! `--resume` reads the journal back and re-runs only jobs without a
+//! terminal entry. Entries carry no wall-clock quantities — everything
+//! in them is a deterministic function of the job and its configuration
+//! — so the *merged* journal of an interrupted-and-resumed campaign is
+//! byte-identical to that of an uninterrupted one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use super::job::{JobError, JobRecord};
+use super::json::Value;
+
+/// One journal line: the terminal outcome of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Position in the campaign's job list.
+    pub index: usize,
+    /// Job name (the resume key, together with `seed`).
+    pub job: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// `Ok(output)` or the final error.
+    pub outcome: Result<String, JobError>,
+}
+
+impl JournalEntry {
+    /// Builds the entry for a finished job record.
+    pub fn from_record(r: &JobRecord) -> Self {
+        JournalEntry {
+            index: r.index,
+            job: r.spec.name.clone(),
+            seed: r.spec.seed,
+            attempts: r.attempts,
+            outcome: r.outcome.clone(),
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut pairs = vec![
+            ("index", Value::UInt(self.index as u64)),
+            ("job", Value::Str(self.job.clone())),
+            ("seed", Value::UInt(self.seed)),
+            ("attempts", Value::UInt(u64::from(self.attempts))),
+        ];
+        match &self.outcome {
+            Ok(output) => {
+                pairs.push(("status", Value::Str("ok".into())));
+                pairs.push(("output", Value::Str(output.clone())));
+            }
+            Err(e) => {
+                pairs.push(("status", Value::Str("failed".into())));
+                pairs.push(("error_kind", Value::Str(e.kind().into())));
+                pairs.push(("error", Value::Str(e.to_string())));
+                if let JobError::TimedOut { limit_ms } = e {
+                    pairs.push(("limit_ms", Value::UInt(*limit_ms)));
+                }
+            }
+        }
+        Value::obj(pairs).to_json()
+    }
+
+    /// Parses one journal line.
+    pub fn from_json_line(line: &str) -> Option<JournalEntry> {
+        let v = Value::parse(line).ok()?;
+        let index = v.get("index")?.as_u64()? as usize;
+        let job = v.get("job")?.as_str()?.to_string();
+        let seed = v.get("seed")?.as_u64()?;
+        let attempts = v.get("attempts")?.as_u64()? as u32;
+        let status = v.get("status")?.as_str()?;
+        let outcome = match status {
+            "ok" => Ok(v.get("output")?.as_str()?.to_string()),
+            "failed" => {
+                let message = v.get("error")?.as_str()?.to_string();
+                Err(match v.get("error_kind")?.as_str()? {
+                    "timeout" => JobError::TimedOut {
+                        limit_ms: v.get("limit_ms")?.as_u64()?,
+                    },
+                    "panic" => JobError::Panicked {
+                        message: message
+                            .strip_prefix("panicked: ")
+                            .unwrap_or(&message)
+                            .to_string(),
+                    },
+                    _ => JobError::Failed {
+                        message: message
+                            .strip_prefix("failed: ")
+                            .unwrap_or(&message)
+                            .to_string(),
+                    },
+                })
+            }
+            _ => return None,
+        };
+        Some(JournalEntry {
+            index,
+            job,
+            seed,
+            attempts,
+            outcome,
+        })
+    }
+}
+
+/// An append-only JSONL journal on disk.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Opens the journal for appending, creating it (and its parent
+    /// directories) as needed. With `fresh`, any existing journal is
+    /// truncated first — a non-resume campaign must not inherit stale
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path, fresh: bool) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!fresh)
+            .write(true)
+            .truncate(fresh)
+            .open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry and flushes it to the OS, so a SIGKILL
+    /// immediately afterwards cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        self.writer.write_all(entry.to_json_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Loads all parseable entries from a journal file. A half-written
+    /// final line (the process died mid-append) is skipped rather than
+    /// failing the whole resume; a missing file is an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than `NotFound`.
+    pub fn load(path: &Path) -> std::io::Result<Vec<JournalEntry>> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        }
+        Ok(text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(JournalEntry::from_json_line)
+            .collect())
+    }
+
+    /// Writes the canonical merged journal: one line per job, sorted by
+    /// campaign index. Because entries are deterministic, this file is
+    /// byte-identical whether the campaign ran straight through or was
+    /// killed and resumed any number of times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_merged(path: &Path, entries: &[JournalEntry]) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut sorted: Vec<&JournalEntry> = entries.iter().collect();
+        sorted.sort_by_key(|e| e.index);
+        let mut out = String::new();
+        for e in sorted {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: usize, name: &str, outcome: Result<String, JobError>) -> JournalEntry {
+        JournalEntry {
+            index,
+            job: name.into(),
+            seed: 0xC0FFEE,
+            attempts: if outcome.is_ok() { 1 } else { 3 },
+            outcome,
+        }
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        for e in [
+            entry(0, "fig1", Ok("\n=== Figure 1 ===\ntable\n".into())),
+            entry(
+                3,
+                "fig7",
+                Err(JobError::Panicked {
+                    message: "index out of bounds".into(),
+                }),
+            ),
+            entry(5, "fig8", Err(JobError::TimedOut { limit_ms: 60_000 })),
+            entry(
+                7,
+                "soak",
+                Err(JobError::Failed {
+                    message: "2 invariant violations".into(),
+                }),
+            ),
+        ] {
+            let line = e.to_json_line();
+            assert!(!line.contains('\n'), "one line per entry: {line}");
+            let back = JournalEntry::from_json_line(&line).expect("parses");
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn append_load_and_merge() {
+        let dir = std::env::temp_dir().join(format!("vsnoop-journal-{}", std::process::id()));
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut j = Journal::open(&path, true).unwrap();
+            j.append(&entry(1, "b", Ok("B".into()))).unwrap();
+            j.append(&entry(0, "a", Ok("A".into()))).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated trailing line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"index\":2,\"job\":\"c\",\"se").unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2, "truncated line skipped");
+        assert_eq!(loaded[0].job, "b");
+
+        let merged = dir.join("merged.jsonl");
+        Journal::write_merged(&merged, &loaded).unwrap();
+        let text = std::fs::read_to_string(&merged).unwrap();
+        let names: Vec<String> = text
+            .lines()
+            .map(|l| JournalEntry::from_json_line(l).unwrap().job)
+            .collect();
+        assert_eq!(names, ["a", "b"], "merged journal is index-sorted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let loaded = Journal::load(Path::new("/nonexistent/definitely/missing.jsonl")).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn fresh_open_truncates() {
+        let dir = std::env::temp_dir().join(format!("vsnoop-journal-fresh-{}", std::process::id()));
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut j = Journal::open(&path, true).unwrap();
+            j.append(&entry(0, "a", Ok("A".into()))).unwrap();
+        }
+        {
+            let _j = Journal::open(&path, true).unwrap();
+        }
+        assert!(Journal::load(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,184 @@
+//! Self-contained crash reproducers.
+//!
+//! When a job fails terminally — panic, watchdog timeout, or a checker
+//! violation the job reports as an error — the supervisor writes a
+//! `repro-<job>.json` file holding everything needed to replay that one
+//! job in isolation: name, seed, campaign parameters (run scale, fault
+//! plan, …) and the deterministic step window. `--repro <file>` feeds it
+//! back through the same job registry, closing the loop between the
+//! campaign and a debugger-friendly single-job run.
+
+use std::path::{Path, PathBuf};
+
+use super::job::{JobError, JobSpec};
+use super::json::Value;
+
+/// A serialized crash reproducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashReproducer {
+    /// The failed job's spec (name, seed, params, step window).
+    pub spec: JobSpec,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Stable error kind (`panic` / `timeout` / `failed`).
+    pub error_kind: String,
+    /// Human-readable error.
+    pub error: String,
+}
+
+impl CrashReproducer {
+    /// Builds a reproducer for a terminally failed job.
+    pub fn new(spec: &JobSpec, attempts: u32, error: &JobError) -> Self {
+        CrashReproducer {
+            spec: spec.clone(),
+            attempts,
+            error_kind: error.kind().to_string(),
+            error: error.to_string(),
+        }
+    }
+
+    /// The deterministic file name for this reproducer:
+    /// `repro-<job>.json`.
+    pub fn file_name(job: &str) -> String {
+        // Job names are short identifiers; keep the mapping trivial but
+        // strip anything path-hostile just in case.
+        let safe: String = job
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("repro-{safe}.json")
+    }
+
+    /// Serializes to pretty-enough JSON (one object, deterministic).
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![
+            ("job", Value::Str(self.spec.name.clone())),
+            ("seed", Value::UInt(self.spec.seed)),
+            ("params", self.spec.params.clone()),
+        ];
+        if let Some((start, end)) = self.spec.step_window {
+            pairs.push((
+                "step_window",
+                Value::Arr(vec![Value::UInt(start), Value::UInt(end)]),
+            ));
+        }
+        pairs.push(("attempts", Value::UInt(u64::from(self.attempts))));
+        pairs.push(("error_kind", Value::Str(self.error_kind.clone())));
+        pairs.push(("error", Value::Str(self.error.clone())));
+        Value::obj(pairs).to_json()
+    }
+
+    /// Parses a reproducer file's contents.
+    pub fn from_json(text: &str) -> Option<CrashReproducer> {
+        let v = Value::parse(text).ok()?;
+        let step_window = v.get("step_window").and_then(|w| {
+            let arr = w.as_arr()?;
+            Some((arr.first()?.as_u64()?, arr.get(1)?.as_u64()?))
+        });
+        Some(CrashReproducer {
+            spec: JobSpec {
+                name: v.get("job")?.as_str()?.to_string(),
+                seed: v.get("seed")?.as_u64()?,
+                params: v.get("params")?.clone(),
+                step_window,
+            },
+            attempts: v.get("attempts")?.as_u64()? as u32,
+            error_kind: v.get("error_kind")?.as_str()?.to_string(),
+            error: v.get("error")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Writes the reproducer into `dir` under its deterministic name,
+    /// returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(Self::file_name(&self.spec.name));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Loads a reproducer from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error for unreadable files and `InvalidData` for
+    /// unparseable ones.
+    pub fn load(path: &Path) -> std::io::Result<CrashReproducer> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("not a crash reproducer: {}", path.display()),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = JobSpec {
+            name: "fig7".into(),
+            seed: 0xC0FFEE,
+            params: Value::obj([(
+                "scale",
+                Value::obj([
+                    ("warmup", Value::UInt(60_000)),
+                    ("measure", Value::UInt(1_920_000)),
+                ]),
+            )]),
+            step_window: Some((60_000, 1_980_000)),
+        };
+        let r = CrashReproducer::new(
+            &spec,
+            3,
+            &JobError::Panicked {
+                message: "point present".into(),
+            },
+        );
+        let back = CrashReproducer::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.spec.step_window, Some((60_000, 1_980_000)));
+        assert_eq!(back.error_kind, "panic");
+    }
+
+    #[test]
+    fn file_names_are_deterministic_and_safe() {
+        assert_eq!(CrashReproducer::file_name("fig1"), "repro-fig1.json");
+        assert_eq!(
+            CrashReproducer::file_name("weird/name x"),
+            "repro-weird_name_x.json"
+        );
+    }
+
+    #[test]
+    fn writes_and_loads() {
+        let dir = std::env::temp_dir().join(format!("vsnoop-repro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = JobSpec {
+            name: "table5".into(),
+            seed: 9,
+            params: Value::Null,
+            step_window: None,
+        };
+        let r = CrashReproducer::new(&spec, 1, &JobError::TimedOut { limit_ms: 1000 });
+        let path = r.write_to(&dir).unwrap();
+        assert!(path.ends_with("repro-table5.json"));
+        let back = CrashReproducer::load(&path).unwrap();
+        assert_eq!(back, r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

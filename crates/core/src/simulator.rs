@@ -190,9 +190,30 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`SystemConfig::validate`].
+    /// Panics if the configuration fails [`SystemConfig::validate`];
+    /// use [`Simulator::try_new`] to handle that as a typed error.
     pub fn new(cfg: SystemConfig, policy: FilterPolicy, content_policy: ContentPolicy) -> Self {
-        cfg.validate().expect("invalid system configuration");
+        match Self::try_new(cfg, policy, content_policy) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a simulator like [`Simulator::new`], but surfaces an
+    /// invalid configuration as [`SimError::InvalidConfig`] instead of
+    /// panicking — campaign runners and other supervised callers report
+    /// the violated constraint rather than unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// [`SystemConfig::validate`].
+    pub fn try_new(
+        cfg: SystemConfig,
+        policy: FilterPolicy,
+        content_policy: ContentPolicy,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
         let n = cfg.n_cores();
         let specs: Vec<VmSpec> = (0..cfg.n_vms)
             .map(|i| VmSpec::new(VmId::new(i as u16), cfg.vcpus_per_vm, 0))
@@ -214,7 +235,7 @@ impl Simulator {
             _ => None,
         };
 
-        Simulator {
+        Ok(Simulator {
             region_filter,
             l1: vec![Cache::new(CacheGeometry::new(cfg.l1_bytes, cfg.l1_ways), cfg.n_vms); n],
             l2: vec![Cache::new(CacheGeometry::new(cfg.l2_bytes, cfg.l2_ways), cfg.n_vms); n],
@@ -239,7 +260,7 @@ impl Simulator {
             cfg,
             policy,
             content_policy,
-        }
+        })
     }
 
     /// Installs a fault-injection plan. Link faults (drops/delays) are
@@ -367,6 +388,45 @@ impl Simulator {
         self.net.traffic()
     }
 
+    /// A canonical digest of the architectural state: every valid cache
+    /// line (block, tokens, owner, dirty, VM tag) per core and level,
+    /// plus the memory-side token ledger, each sorted by block address.
+    ///
+    /// Deliberately excludes micro-architectural bookkeeping — LRU
+    /// timestamps, statistics, vCPU maps, filter state — so two
+    /// simulations agree iff they cached the same data with the same
+    /// coherence permissions. The differential oracle uses this to check
+    /// that snoop *filtering* never changes what the machine computes.
+    pub fn arch_state(&self) -> String {
+        use std::fmt::Write as _;
+
+        fn dump(out: &mut String, label: &str, cache: &sim_mem::Cache) {
+            let mut lines: Vec<_> = cache
+                .lines()
+                .map(|l| (l.block, l.state.tokens, l.state.owner, l.state.dirty, l.tag))
+                .collect();
+            lines.sort_unstable_by_key(|&(block, ..)| block);
+            for (block, tokens, owner, dirty, tag) in lines {
+                let _ = writeln!(
+                    out,
+                    "{label} {block:?} t={tokens} o={owner} d={dirty} {tag:?}"
+                );
+            }
+        }
+
+        let mut out = String::new();
+        for (core, (l1, l2)) in self.l1.iter().zip(&self.l2).enumerate() {
+            dump(&mut out, &format!("core{core} L1"), l1);
+            dump(&mut out, &format!("core{core} L2"), l2);
+        }
+        let mut mem: Vec<_> = self.protocol.memory_entries().collect();
+        mem.sort_unstable_by_key(|&(block, ..)| block);
+        for (block, tokens, owner) in mem {
+            let _ = writeln!(&mut out, "mem {block:?} t={tokens} o={owner}");
+        }
+        out
+    }
+
     /// Core-removal events (Fig. 9).
     pub fn removal_log(&self) -> &[RemovalEvent] {
         &self.removal_log
@@ -405,6 +465,9 @@ impl Simulator {
     pub fn run<W: SystemWorkload>(&mut self, workload: &mut W, rounds: u64) {
         self.refresh_friends(workload);
         for _ in 0..rounds {
+            // Deadline checkpoint for supervised campaign jobs; a plain
+            // thread-local read outside of them.
+            crate::runner::poll_current();
             self.cycle += self.cfg.cycles_per_access;
             self.stats.rounds += 1;
             self.on_round_start();
@@ -434,6 +497,7 @@ impl Simulator {
         let mut next_migration = self.cycle + period_cycles;
         let mut migration_no = 0u64;
         for _ in 0..rounds {
+            crate::runner::poll_current();
             self.cycle += self.cfg.cycles_per_access;
             self.stats.rounds += 1;
             self.on_round_start();

@@ -1,0 +1,302 @@
+//! Integration tests for the campaign supervisor: panic isolation,
+//! retry/backoff, watchdog deadlines (both the cooperative and the
+//! abandonment path), and checkpoint/resume determinism.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vsnoop::runner::{
+    json::Value, run_campaign, CrashReproducer, Job, JobError, Journal, RunnerConfig,
+};
+
+/// A scratch directory unique to one test, cleaned before use.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vsnoop-runner-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A job that always succeeds with a deterministic output, counting its
+/// executions.
+fn ok_job(name: &str, runs: &Arc<AtomicU32>) -> Job {
+    let runs = Arc::clone(runs);
+    let output = format!("output of {name}\n");
+    Job::new(name, 7, Value::obj(vec![]), move |_ctx| {
+        runs.fetch_add(1, Ordering::SeqCst);
+        Ok(output.clone())
+    })
+}
+
+fn quiet() -> impl FnMut(&str) {
+    |_line: &str| {}
+}
+
+#[test]
+fn flaky_job_succeeds_after_retries() {
+    let runs = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&runs);
+    let job = Job::new("flaky", 7, Value::obj(vec![]), move |ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        if ctx.attempt < 3 {
+            Err(format!("transient fault on attempt {}", ctx.attempt))
+        } else {
+            Ok("flaky output\n".into())
+        }
+    });
+    let cfg = RunnerConfig {
+        retries: 2,
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let report = run_campaign(&[job], &cfg, &mut quiet()).unwrap();
+    assert!(report.all_ok());
+    assert_eq!(report.records[0].attempts, 3);
+    assert_eq!(runs.load(Ordering::SeqCst), 3);
+    assert!(
+        report.summary().contains("(1 after retries)"),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn retry_budget_is_bounded() {
+    let runs = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&runs);
+    let job = Job::new("hopeless", 7, Value::obj(vec![]), move |_ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Err("always broken".into())
+    });
+    let cfg = RunnerConfig {
+        retries: 2,
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let report = run_campaign(&[job], &cfg, &mut quiet()).unwrap();
+    assert_eq!(report.failed(), 1);
+    assert_eq!(runs.load(Ordering::SeqCst), 3, "1 try + 2 retries, no more");
+    assert_eq!(
+        report.records[0].outcome,
+        Err(JobError::Failed {
+            message: "always broken".into()
+        })
+    );
+}
+
+#[test]
+fn panic_is_isolated_and_reproducer_written() {
+    let dir = scratch("panic");
+    let runs = Arc::new(AtomicU32::new(0));
+    let jobs = vec![
+        ok_job("before", &runs),
+        Job::new("boom", 7, Value::obj(vec![]), |_ctx| {
+            panic!("deliberate test panic");
+        }),
+        ok_job("after", &runs),
+    ];
+    let cfg = RunnerConfig {
+        repro_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let report = run_campaign(&jobs, &cfg, &mut quiet()).unwrap();
+
+    // The panic neither tore down the campaign nor poisoned neighbours.
+    assert_eq!(report.succeeded(), 2);
+    assert_eq!(report.failed(), 1);
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+    assert_eq!(
+        report.records[1].outcome,
+        Err(JobError::Panicked {
+            message: "deliberate test panic".into()
+        })
+    );
+
+    // A self-contained reproducer identifies the failing job.
+    assert_eq!(report.repro_paths.len(), 1);
+    let repro = CrashReproducer::load(&report.repro_paths[0]).unwrap();
+    assert_eq!(repro.spec.name, "boom");
+    assert_eq!(repro.error_kind, "panic");
+
+    // Degraded mode: the merged output flags the hole instead of
+    // silently omitting it.
+    let merged = report.merged_output();
+    assert!(merged.contains("output of before\n"));
+    assert!(merged.contains("=== boom — FAILED ==="));
+    assert!(merged.contains("output of after\n"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn polling_hang_is_cancelled_retried_and_failed() {
+    let runs = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&runs);
+    let job = Job::new("spinner", 7, Value::obj(vec![]), move |ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        loop {
+            // Cooperative: polls its token like the simulator's round
+            // loop does, so the watchdog's cancel unwinds it promptly.
+            ctx.checkpoint();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let cfg = RunnerConfig {
+        timeout: Some(Duration::from_millis(60)),
+        retries: 1,
+        backoff_base: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let report = run_campaign(&[job], &cfg, &mut quiet()).unwrap();
+    assert_eq!(report.failed(), 1);
+    assert_eq!(
+        report.records[0].attempts, 2,
+        "timed-out attempt was retried"
+    );
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+    // The journaled limit is the *configured* deadline, not wall time,
+    // keeping resume output deterministic.
+    assert_eq!(
+        report.records[0].outcome,
+        Err(JobError::TimedOut { limit_ms: 60 })
+    );
+}
+
+#[test]
+fn unresponsive_hang_is_abandoned_without_stalling_the_campaign() {
+    let runs = Arc::new(AtomicU32::new(0));
+    let jobs = vec![
+        Job::new("stuck", 7, Value::obj(vec![]), |_ctx| {
+            // Never polls its token: simulates a job wedged somewhere the
+            // cancellation checkpoint cannot reach.
+            std::thread::sleep(Duration::from_secs(600));
+            Ok("unreachable".into())
+        }),
+        ok_job("next", &runs),
+    ];
+    let cfg = RunnerConfig {
+        workers: 1,
+        timeout: Some(Duration::from_millis(50)),
+        grace: Duration::from_millis(100),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let report = run_campaign(&jobs, &cfg, &mut quiet()).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "abandonment must reclaim the only worker slot promptly"
+    );
+    assert_eq!(
+        report.records[0].outcome,
+        Err(JobError::TimedOut { limit_ms: 50 })
+    );
+    assert!(
+        report.records[1].succeeded(),
+        "slot was reclaimed for the next job"
+    );
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn resume_reruns_only_unfinished_jobs_with_byte_identical_merged_journal() {
+    let dir = scratch("resume");
+    let journal = dir.join("journal.jsonl");
+    let names = ["fig_a", "fig_b", "fig_c", "fig_d"];
+    let counters: Vec<Arc<AtomicU32>> = names.iter().map(|_| Arc::new(AtomicU32::new(0))).collect();
+    let jobs: Vec<Job> = names
+        .iter()
+        .zip(&counters)
+        .map(|(n, c)| ok_job(n, c))
+        .collect();
+
+    // "Killed" campaign: only the first two jobs reached the journal
+    // before the simulated SIGKILL.
+    let first = RunnerConfig {
+        journal_path: Some(journal.clone()),
+        ..Default::default()
+    };
+    run_campaign(&jobs[..2], &first, &mut quiet()).unwrap();
+    assert!(counters[..2].iter().all(|c| c.load(Ordering::SeqCst) == 1));
+
+    // Resume with the full job list: only the unfinished half runs.
+    let second = RunnerConfig {
+        journal_path: Some(journal.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let resumed = run_campaign(&jobs, &second, &mut quiet()).unwrap();
+    assert!(resumed.all_ok());
+    assert!(resumed.records[0].resumed && resumed.records[1].resumed);
+    assert!(!resumed.records[2].resumed && !resumed.records[3].resumed);
+    for c in &counters {
+        assert_eq!(
+            c.load(Ordering::SeqCst),
+            1,
+            "every job ran exactly once overall"
+        );
+    }
+
+    // The merged journal of killed+resumed equals an uninterrupted run's.
+    let merged_resumed = dir.join("merged-resumed.jsonl");
+    Journal::write_merged(&merged_resumed, &resumed.entries()).unwrap();
+
+    let clean_dir = scratch("resume-clean");
+    let clean_cfg = RunnerConfig {
+        journal_path: Some(clean_dir.join("journal.jsonl")),
+        ..Default::default()
+    };
+    let clean = run_campaign(&jobs, &clean_cfg, &mut quiet()).unwrap();
+    let merged_clean = clean_dir.join("merged.jsonl");
+    Journal::write_merged(&merged_clean, &clean.entries()).unwrap();
+
+    let a = std::fs::read(&merged_resumed).unwrap();
+    let b = std::fs::read(&merged_clean).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "merged journals must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn resume_treats_journaled_failures_as_terminal() {
+    let dir = scratch("resume-fail");
+    let journal = dir.join("journal.jsonl");
+    let runs = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&runs);
+    let jobs = vec![Job::new("broken", 7, Value::obj(vec![]), move |_ctx| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Err("still broken".into())
+    })];
+
+    let cfg = RunnerConfig {
+        journal_path: Some(journal.clone()),
+        ..Default::default()
+    };
+    run_campaign(&jobs, &cfg, &mut quiet()).unwrap();
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+    let resume = RunnerConfig {
+        journal_path: Some(journal),
+        resume: true,
+        ..Default::default()
+    };
+    let report = run_campaign(&jobs, &resume, &mut quiet()).unwrap();
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "failure is terminal; not re-run"
+    );
+    assert!(report.records[0].resumed);
+    assert_eq!(report.failed(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_job_names_are_rejected() {
+    let runs = Arc::new(AtomicU32::new(0));
+    let jobs = vec![ok_job("twin", &runs), ok_job("twin", &runs)];
+    let err = run_campaign(&jobs, &RunnerConfig::default(), &mut quiet()).unwrap_err();
+    assert!(err.to_string().contains("twin"));
+    assert_eq!(runs.load(Ordering::SeqCst), 0);
+}

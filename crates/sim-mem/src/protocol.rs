@@ -79,6 +79,19 @@ impl TokenMemory {
         self.entry(block).owner
     }
 
+    /// Iterates over every block whose memory-side holdings differ from
+    /// the reset state (all tokens plus owner at memory), yielding
+    /// `(block, tokens, owner)`. Blocks whose tokens have all returned
+    /// home are skipped even if they were touched, so two ledgers that
+    /// agree on every block compare equal regardless of access history.
+    /// Iteration order is unspecified; sort before comparing.
+    pub fn entries(&self) -> impl Iterator<Item = (BlockAddr, u32, bool)> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| !(e.tokens == self.total && e.owner))
+            .map(|(&b, e)| (b, e.tokens, e.owner))
+    }
+
     /// Takes up to `n` tokens from memory; returns `(taken, owner_taken)`.
     /// The owner token is handed out last: it transfers only when the take
     /// empties memory's holdings.
@@ -232,6 +245,12 @@ impl TokenProtocol {
     /// protocol's internals.
     pub fn memory_has_owner(&self, block: BlockAddr) -> bool {
         self.memory.has_owner(block)
+    }
+
+    /// The memory-side token ledger: every block not in the reset state,
+    /// as `(block, tokens, owner)`. See [`TokenMemory::entries`].
+    pub fn memory_entries(&self) -> impl Iterator<Item = (BlockAddr, u32, bool)> + '_ {
+        self.memory.entries()
     }
 
     /// Executes a read-miss (GETS) attempt by `requester` over the snoop

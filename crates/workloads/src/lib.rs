@@ -31,8 +31,8 @@ mod workload;
 mod zipf;
 
 pub use profiles::{
-    content_apps, fig1_apps, parsec_apps, profile, simulation_apps, AppProfile, PaperTargets,
-    SchedParams, Suite, TraceParams, PROFILES,
+    content_apps, fig1_apps, parsec_apps, profile, simulation_apps, try_profile, AppProfile,
+    PaperTargets, ProfileError, SchedParams, Suite, TraceParams, PROFILES,
 };
 pub use replay::{RecordedTrace, TraceRecorder, TraceReplayer};
 pub use trace::{AccessStream, TraceAccess};

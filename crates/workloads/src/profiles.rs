@@ -322,6 +322,45 @@ pub fn profile(name: &str) -> Option<&'static AppProfile> {
     PROFILES.iter().find(|p| p.name == name)
 }
 
+/// Error returned by [`try_profile`] for names not in the registry.
+///
+/// Carries the full list of registered names so the message an operator
+/// sees (for example from a mistyped `--only` or a hand-edited crash
+/// reproducer) says what *would* have worked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileError {
+    /// The name that was requested.
+    pub requested: String,
+    /// Every registered profile name, in registry order.
+    pub available: Vec<&'static str>,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload profile \"{}\" (available: {})",
+            self.requested,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Looks up a profile by name, returning a [`ProfileError`] that lists
+/// the registered names when the lookup fails.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] if `name` is not registered.
+pub fn try_profile(name: &str) -> Result<&'static AppProfile, ProfileError> {
+    profile(name).ok_or_else(|| ProfileError {
+        requested: name.to_string(),
+        available: PROFILES.iter().map(|p| p.name).collect(),
+    })
+}
+
 /// The ten applications of the simulation sections (Tables III-IV,
 /// Figs. 6-8): five SPLASH-2 kernels, four PARSEC applications, SPECjbb.
 pub fn simulation_apps() -> Vec<&'static AppProfile> {

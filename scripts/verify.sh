@@ -26,4 +26,40 @@ cargo clippy --workspace --all-targets --features proptest -- -D warnings
 echo "==> robustness soak (fault injection + invariant checker)"
 ./target/release/soak
 
+echo "==> campaign runner smoke (panic isolation + degraded mode)"
+# A 3-job sub-campaign with one injected panic must complete, exit 0 in
+# degraded mode, flag the failure, and write a crash reproducer.
+SMOKE_DIR=target/campaign/verify-smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p target/campaign
+VSNOOP_SCALE=quick ./target/release/all \
+  --only fig2 --only table2 --only table3 \
+  --inject-panic table2 --jobs 2 --dir "$SMOKE_DIR" > "$SMOKE_DIR.out" 2> "$SMOKE_DIR.err"
+grep -q "table2 — FAILED" "$SMOKE_DIR.out"
+grep -q "DEGRADED" "$SMOKE_DIR.err"
+test -s "$SMOKE_DIR/repro-table2.json"
+
+echo "==> campaign runner smoke (kill + --resume determinism)"
+# Kill a campaign mid-flight, resume it, and require the merged journal
+# and report to be byte-identical to an uninterrupted run's.
+RESUME_DIR=target/campaign/verify-resume
+CLEAN_DIR=target/campaign/verify-clean
+rm -rf "$RESUME_DIR" "$CLEAN_DIR"
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --dir "$RESUME_DIR" \
+  > /dev/null 2>&1 &
+CAMPAIGN_PID=$!
+for _ in $(seq 1 600); do
+  [ -s "$RESUME_DIR/journal.jsonl" ] && break
+  sleep 0.1
+done
+[ -s "$RESUME_DIR/journal.jsonl" ] # at least one checkpoint before the kill
+kill -9 "$CAMPAIGN_PID" 2>/dev/null || true
+wait "$CAMPAIGN_PID" 2>/dev/null || true
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --dir "$RESUME_DIR" --resume \
+  > /dev/null 2>&1
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --dir "$CLEAN_DIR" \
+  > /dev/null 2>&1
+cmp "$RESUME_DIR/merged.jsonl" "$CLEAN_DIR/merged.jsonl"
+cmp "$RESUME_DIR/campaign.txt" "$CLEAN_DIR/campaign.txt"
+
 echo "verify.sh: ALL CHECKS PASSED"
