@@ -1,0 +1,534 @@
+//! Steady-state throughput harness: how fast does the simulator simulate?
+//!
+//! Every paper metric is produced by the same serial per-round transaction
+//! loop, so simulator throughput bounds how much of the design space a
+//! campaign can explore. This binary measures it directly: each *bin* is a
+//! fixed machine profile driven for a warm-up phase and then `--reps`
+//! timed measurement windows of `--rounds` rounds each; the best window's
+//! access-steps/second and rounds/second are reported, along with the
+//! process peak RSS. Bins run as supervised campaign jobs (one worker, so
+//! timings never contend with each other).
+//!
+//! Bins:
+//!
+//! * `storm` — the soak storm profile: paper machine, counter policy,
+//!   every fault class enabled, invariant checker on, 0.1 ms migration
+//!   storm. The acceptance profile for hot-path optimisation work.
+//! * `storm_unchecked` — the storm without the invariant checker,
+//!   isolating checker overhead from protocol/network cost.
+//! * `pinned` — fault-free vsnoop-base with pinned vCPUs: the filtered
+//!   fast path (small destination sets).
+//! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
+//!   all cores, stressing destination iteration and snoop accounting.
+//!
+//! ```text
+//! perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]
+//!      [--warmup N] [--reps N] [--only NAME]... [--list]
+//! ```
+//!
+//! `--out` writes the machine-readable `BENCH_throughput.json`; `--check`
+//! compares the run against a committed baseline and fails (exit 1) if any
+//! bin's steps/sec regressed by more than `--tolerance` percent (default
+//! 20, env `PERF_REGRESSION_PCT`). Timed values vary run to run; the JSON
+//! is *not* byte-deterministic, unlike the campaign artifacts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_vm::{VcpuId, VmId};
+use vsnoop::runner::{json::Value, run_campaign, Job, RunnerConfig};
+use vsnoop::{
+    CheckerConfig, ContentPolicy, FaultPlan, FilterPolicy, Simulator, SystemConfig, SystemWorkload,
+};
+use workloads::{try_profile, Workload, WorkloadConfig};
+
+const SCHEMA: &str = "vsnoop-perf/v1";
+const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+struct Cli {
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    tolerance_pct: f64,
+    rounds: u64,
+    warmup: u64,
+    reps: u32,
+    only: Vec<String>,
+    list: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        out: None,
+        check: None,
+        tolerance_pct: std::env::var("PERF_REGRESSION_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_TOLERANCE_PCT),
+        rounds: env_u64("PERF_ROUNDS", 20_000),
+        warmup: env_u64("PERF_WARMUP", 5_000),
+        reps: 3,
+        only: Vec::new(),
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--check" => cli.check = Some(PathBuf::from(value("--check")?)),
+            "--tolerance" => {
+                cli.tolerance_pct = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--rounds" => {
+                cli.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--warmup" => {
+                cli.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--reps" => {
+                cli.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+            }
+            "--only" => cli.only.push(value("--only")?),
+            "--list" => cli.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]\n\
+                     \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list]\n\
+                     bins: storm, storm_unchecked, pinned, broadcast"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    if cli.rounds == 0 || cli.reps == 0 {
+        return Err("--rounds and --reps must be positive".into());
+    }
+    Ok(cli)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured bin: the best (highest-throughput) measurement window.
+#[derive(Clone, Debug)]
+struct BinResult {
+    name: &'static str,
+    rounds: u64,
+    reps: u32,
+    steps: u64,
+    best_elapsed_s: f64,
+    steps_per_sec: f64,
+    rounds_per_sec: f64,
+}
+
+impl BinResult {
+    fn to_value(&self) -> Value {
+        Value::obj([
+            ("name", Value::Str(self.name.into())),
+            ("rounds", Value::UInt(self.rounds)),
+            ("reps", Value::UInt(u64::from(self.reps))),
+            ("steps", Value::UInt(self.steps)),
+            ("best_elapsed_s", Value::Float(self.best_elapsed_s)),
+            ("steps_per_sec", Value::Float(self.steps_per_sec)),
+            ("rounds_per_sec", Value::Float(self.rounds_per_sec)),
+        ])
+    }
+}
+
+/// The storm profile's workload (the soak's "ocean" homogeneous mix).
+fn storm_workload(cfg: &SystemConfig, seed: u64) -> Result<Workload, String> {
+    Ok(Workload::homogeneous(
+        try_profile("ocean").map_err(|e| e.to_string())?,
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            seed,
+            ..Default::default()
+        },
+    ))
+}
+
+fn picker(cfg: SystemConfig, seed: u64) -> impl FnMut(u64) -> (VcpuId, VcpuId) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    move |_| {
+        let a = rng.gen_range(0..cfg.n_vms) as u16;
+        let mut b = rng.gen_range(0..cfg.n_vms - 1) as u16;
+        if b >= a {
+            b += 1;
+        }
+        (
+            VcpuId::new(VmId::new(a), rng.gen_range(0..cfg.vcpus_per_vm)),
+            VcpuId::new(VmId::new(b), rng.gen_range(0..cfg.vcpus_per_vm)),
+        )
+    }
+}
+
+/// How a bin drives its simulator for one window of `rounds`.
+enum Drive {
+    Plain,
+    Migration { period_cycles: u64, seed: u64 },
+}
+
+struct BinSpec {
+    name: &'static str,
+    policy: FilterPolicy,
+    faults: bool,
+    checker: bool,
+    drive: Drive,
+}
+
+fn bins() -> Vec<BinSpec> {
+    let cfg = SystemConfig::paper_default();
+    let storm_period = (cfg.cycles_per_ms / 10).max(1); // 0.1 scaled ms
+    vec![
+        BinSpec {
+            name: "storm",
+            policy: FilterPolicy::Counter,
+            faults: true,
+            checker: true,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_unchecked",
+            policy: FilterPolicy::Counter,
+            faults: true,
+            checker: false,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "pinned",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            drive: Drive::Plain,
+        },
+        BinSpec {
+            name: "broadcast",
+            policy: FilterPolicy::TokenBroadcast,
+            faults: false,
+            checker: false,
+            drive: Drive::Plain,
+        },
+    ]
+}
+
+/// Runs one bin: builds the machine, warms it up, then times `reps`
+/// measurement windows and keeps the fastest.
+fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -> BinResult {
+    let cfg = SystemConfig::paper_default();
+    let mut sim = Simulator::new(cfg, spec.policy, ContentPolicy::Broadcast);
+    if spec.faults {
+        sim.set_fault_plan(FaultPlan::all(seed));
+    }
+    if spec.checker {
+        sim.enable_checker(CheckerConfig::default());
+    }
+    let mut wl = storm_workload(&cfg, seed ^ 0xD15EA5E).expect("ocean profile registered");
+    let drive = |sim: &mut Simulator, wl: &mut dyn DriveWorkload, rounds: u64| match spec.drive {
+        Drive::Plain => wl.run_plain(sim, rounds),
+        Drive::Migration { period_cycles, .. } => wl.run_migration(sim, rounds, period_cycles),
+    };
+    // The migration picker must live across windows so the storm keeps
+    // shuffling new pairs instead of replaying the first ones.
+    let picker_seed = match spec.drive {
+        Drive::Migration { seed: s, .. } => seed ^ s,
+        Drive::Plain => 0,
+    };
+    let mut wl = DrivenWorkload {
+        wl: &mut wl,
+        pick: Box::new(picker(cfg, picker_seed)),
+    };
+
+    drive(&mut sim, &mut wl, warmup);
+    let mut best_elapsed = f64::INFINITY;
+    for _ in 0..reps {
+        let steps_before = sim.stats().accesses;
+        let t0 = Instant::now();
+        drive(&mut sim, &mut wl, cli_rounds);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let steps = sim.stats().accesses - steps_before;
+        debug_assert_eq!(steps, cli_rounds * cfg.n_cores() as u64);
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+        }
+    }
+    let steps_per_window = cli_rounds * cfg.n_cores() as u64;
+    BinResult {
+        name: spec.name,
+        rounds: cli_rounds,
+        reps,
+        steps: steps_per_window,
+        best_elapsed_s: best_elapsed,
+        steps_per_sec: steps_per_window as f64 / best_elapsed,
+        rounds_per_sec: cli_rounds as f64 / best_elapsed,
+    }
+}
+
+/// Object-safe bridge so one closure can drive both run modes while the
+/// migration picker keeps its state across measurement windows.
+trait DriveWorkload {
+    fn run_plain(&mut self, sim: &mut Simulator, rounds: u64);
+    fn run_migration(&mut self, sim: &mut Simulator, rounds: u64, period_cycles: u64);
+}
+
+struct DrivenWorkload<'a, W: SystemWorkload> {
+    wl: &'a mut W,
+    pick: Box<dyn FnMut(u64) -> (VcpuId, VcpuId)>,
+}
+
+impl<W: SystemWorkload> DriveWorkload for DrivenWorkload<'_, W> {
+    fn run_plain(&mut self, sim: &mut Simulator, rounds: u64) {
+        sim.run(self.wl, rounds);
+    }
+    fn run_migration(&mut self, sim: &mut Simulator, rounds: u64, period_cycles: u64) {
+        sim.run_with_migration(self.wl, rounds, period_cycles, &mut self.pick);
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or 0 when
+/// the platform does not expose it.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
+    Value::obj([
+        ("schema", Value::Str(SCHEMA.into())),
+        ("rounds_per_window", Value::UInt(rounds)),
+        ("reps", Value::UInt(u64::from(reps))),
+        (
+            "bins",
+            Value::Arr(results.iter().map(BinResult::to_value).collect()),
+        ),
+        ("peak_rss_bytes", Value::UInt(peak_rss_bytes())),
+    ])
+}
+
+/// Compares `current` against a baseline file; returns the list of bins
+/// whose steps/sec regressed beyond `tolerance_pct`.
+fn check_regressions(
+    current: &[BinResult],
+    baseline_path: &PathBuf,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let baseline =
+        Value::parse(&text).map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+    let bins = baseline
+        .get("bins")
+        .ok_or("baseline has no \"bins\" array")?;
+    let Value::Arr(bins) = bins else {
+        return Err("baseline \"bins\" is not an array".into());
+    };
+    let mut failures = Vec::new();
+    for r in current {
+        let Some(base) = bins
+            .iter()
+            .find(|b| b.get("name").and_then(Value::as_str) == Some(r.name))
+        else {
+            continue; // a new bin has no baseline yet
+        };
+        let Some(base_sps) = base.get("steps_per_sec").and_then(Value::as_f64) else {
+            continue;
+        };
+        let floor = base_sps * (1.0 - tolerance_pct / 100.0);
+        if r.steps_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} steps/s < {:.0} (baseline {:.0} - {tolerance_pct}%)",
+                r.name, r.steps_per_sec, floor, base_sps
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs: Vec<BinSpec> = bins()
+        .into_iter()
+        .filter(|b| cli.only.is_empty() || cli.only.iter().any(|o| o == b.name))
+        .collect();
+    if cli.list {
+        for s in &specs {
+            println!("{}", s.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if specs.is_empty() {
+        eprintln!("no bins match --only filters");
+        return ExitCode::from(2);
+    }
+
+    let seed = env_u64("PERF_SEED", 0x50AC);
+    let results: Arc<Mutex<Vec<BinResult>>> = Arc::new(Mutex::new(Vec::new()));
+    let jobs: Vec<Job> = specs
+        .iter()
+        .map(|spec| {
+            let params = Value::obj([
+                ("rounds", Value::UInt(cli.rounds)),
+                ("warmup", Value::UInt(cli.warmup)),
+                ("reps", Value::UInt(u64::from(cli.reps))),
+            ]);
+            let name = spec.name;
+            let policy = spec.policy;
+            let faults = spec.faults;
+            let checker = spec.checker;
+            let drive = match spec.drive {
+                Drive::Plain => Drive::Plain,
+                Drive::Migration {
+                    period_cycles,
+                    seed,
+                } => Drive::Migration {
+                    period_cycles,
+                    seed,
+                },
+            };
+            let (rounds, warmup, reps) = (cli.rounds, cli.warmup, cli.reps);
+            let sink = Arc::clone(&results);
+            Job::new(name, seed, params, move |_ctx| {
+                let spec = BinSpec {
+                    name,
+                    policy,
+                    faults,
+                    checker,
+                    drive: match drive {
+                        Drive::Plain => Drive::Plain,
+                        Drive::Migration {
+                            period_cycles,
+                            seed,
+                        } => Drive::Migration {
+                            period_cycles,
+                            seed,
+                        },
+                    },
+                };
+                let r = run_bin(&spec, rounds, warmup, reps, seed);
+                let line = format!(
+                    "{:<16} {:>12.0} steps/s  {:>9.0} rounds/s  ({} rounds x {} reps)\n",
+                    r.name, r.steps_per_sec, r.rounds_per_sec, r.rounds, r.reps
+                );
+                sink.lock().expect("results lock").push(r);
+                Ok(line)
+            })
+            .with_step_window(0, warmup + u64::from(reps) * rounds)
+        })
+        .collect();
+
+    // One worker: timing windows must not contend for cores.
+    let runner_cfg = RunnerConfig {
+        workers: 1,
+        ..RunnerConfig::default()
+    };
+    let report = match run_campaign(&jobs, &runner_cfg, &mut |msg| eprintln!("[perf] {msg}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.merged_output());
+    if !report.all_ok() {
+        for r in &report.records {
+            if let Err(e) = &r.outcome {
+                eprintln!("PERF FAIL [{}]: {e}", r.spec.name);
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Job order == spec order (one worker), but sort defensively so the
+    // JSON bin order is stable regardless of scheduling.
+    let mut results = Arc::try_unwrap(results)
+        .map(|m| m.into_inner().expect("results lock"))
+        .unwrap_or_else(|arc| arc.lock().expect("results lock").clone());
+    let order: Vec<&str> = specs.iter().map(|s| s.name).collect();
+    results.sort_by_key(|r| order.iter().position(|n| *n == r.name));
+
+    let json = report_json(&results, cli.rounds, cli.reps);
+    println!("peak RSS: {} MiB", peak_rss_bytes() / (1024 * 1024));
+    if let Some(out) = &cli.out {
+        if let Some(dir) = out.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("perf: creating {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(out, json.to_json() + "\n") {
+            eprintln!("perf: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[perf] wrote {}", out.display());
+    }
+
+    if let Some(baseline) = &cli.check {
+        match check_regressions(&results, baseline, cli.tolerance_pct) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!(
+                    "[perf] no regression vs {} (tolerance {}%)",
+                    baseline.display(),
+                    cli.tolerance_pct
+                );
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("PERF REGRESSION: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

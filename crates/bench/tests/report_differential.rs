@@ -1,0 +1,66 @@
+//! Differential guard over the paper artifacts: every one of the 15
+//! figure/table reports must be byte-identical whether the simulators
+//! inside it run on the optimized engine or on the frozen pre-optimization
+//! reference engine.
+//!
+//! One `#[test]` on purpose: the engine toggle is process-global, so the
+//! two passes of each artifact must not interleave with other tests
+//! building simulators.
+
+use vsnoop::experiments::RunScale;
+use vsnoop_bench::campaign::artifact_names;
+use vsnoop_bench::reports;
+
+type ReportFn = fn(RunScale) -> Result<String, String>;
+
+/// Campaign order (checked against `artifact_names` below).
+const BINS: &[(&str, ReportFn)] = &[
+    ("fig1", reports::fig1),
+    ("fig2", reports::fig2),
+    ("fig2_validation", reports::fig2_validation),
+    ("fig3", reports::fig3),
+    ("table1", reports::table1),
+    ("table2", reports::table2),
+    ("table3", reports::table3),
+    ("table4", reports::table4),
+    ("fig6", reports::fig6),
+    ("fig7", reports::fig7),
+    ("fig8", reports::fig8),
+    ("fig9", reports::fig9),
+    ("table5", reports::table5),
+    ("fig10", reports::fig10),
+    ("table6", reports::table6),
+];
+
+#[test]
+fn all_reports_identical_under_both_engines() {
+    let names: Vec<&str> = BINS.iter().map(|b| b.0).collect();
+    assert_eq!(
+        names,
+        artifact_names(),
+        "guard must cover exactly the campaign artifacts"
+    );
+
+    let scale = RunScale {
+        warmup_rounds: 20,
+        measure_rounds: 30,
+        seed: 7,
+    };
+    for (name, run) in BINS {
+        vsnoop::testing::set_reference_engine(false);
+        let fast = run(scale);
+        vsnoop::testing::set_reference_engine(true);
+        let reference = run(scale);
+        vsnoop::testing::set_reference_engine(false);
+        match (fast, reference) {
+            (Ok(f), Ok(r)) => {
+                assert!(
+                    f == r,
+                    "report {name} diverged between engines:\n--- fast ---\n{f}\n--- reference ---\n{r}"
+                );
+                assert!(!f.is_empty(), "report {name} must produce output");
+            }
+            (f, r) => panic!("report {name} failed: fast={f:?} reference={r:?}"),
+        }
+    }
+}

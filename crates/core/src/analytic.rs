@@ -13,6 +13,8 @@
 //! The paper's Fig. 2 sweeps v in {2, 4, 8, 16} and h in
 //! {0, 5, 10, 20, 30, 40}%.
 
+use crate::error::SimError;
+
 /// Expected fraction of snoops removed by virtual snooping (ideal pinning).
 ///
 /// `hypervisor_fraction` is the share of coherence transactions issued by
@@ -21,8 +23,10 @@
 ///
 /// # Panics
 ///
-/// Panics if `hypervisor_fraction` is outside `[0, 1]`, if
-/// `domain_cores` is zero, or if `domain_cores > total_cores`.
+/// Panics if `hypervisor_fraction` is outside `[0, 1]` (or not finite),
+/// if `domain_cores` is zero, or if `domain_cores > total_cores`. Code
+/// whose arguments come from measurements or user configuration rather
+/// than literals should use [`try_snoop_reduction`] and handle the error.
 ///
 /// # Examples
 ///
@@ -34,19 +38,56 @@
 /// assert!((r - 0.9375).abs() < 1e-12); // "more than 93%"
 /// ```
 pub fn snoop_reduction(hypervisor_fraction: f64, domain_cores: usize, total_cores: usize) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&hypervisor_fraction),
-        "hypervisor fraction must be in [0, 1]"
-    );
-    assert!(domain_cores > 0, "domain must contain at least one core");
-    assert!(
-        domain_cores <= total_cores,
-        "domain cannot exceed the machine"
-    );
+    match try_snoop_reduction(hypervisor_fraction, domain_cores, total_cores) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`snoop_reduction`] for arguments that originate in
+/// measurements or configuration instead of literals.
+///
+/// # Errors
+///
+/// Returns [`SimError::AnalyticOutOfRange`] naming the offending
+/// argument when `hypervisor_fraction` is outside `[0, 1]` (including
+/// NaN), `domain_cores` is zero, or the domain exceeds the machine.
+///
+/// # Examples
+///
+/// ```
+/// use vsnoop::try_snoop_reduction;
+///
+/// assert!(try_snoop_reduction(0.1, 4, 64).is_ok());
+/// assert!(try_snoop_reduction(1.5, 4, 64).is_err()); // bad fraction
+/// assert!(try_snoop_reduction(0.0, 8, 4).is_err()); // domain > machine
+/// ```
+pub fn try_snoop_reduction(
+    hypervisor_fraction: f64,
+    domain_cores: usize,
+    total_cores: usize,
+) -> Result<f64, SimError> {
+    if !(0.0..=1.0).contains(&hypervisor_fraction) {
+        return Err(SimError::AnalyticOutOfRange {
+            detail: format!("hypervisor fraction must be in [0, 1] (got {hypervisor_fraction})"),
+        });
+    }
+    if domain_cores == 0 {
+        return Err(SimError::AnalyticOutOfRange {
+            detail: format!("domain must contain at least one core (machine has {total_cores})"),
+        });
+    }
+    if domain_cores > total_cores {
+        return Err(SimError::AnalyticOutOfRange {
+            detail: format!(
+                "domain cannot exceed the machine ({domain_cores} domain cores > {total_cores} total)"
+            ),
+        });
+    }
     let n = total_cores as f64;
     let d = domain_cores as f64;
     let h = hypervisor_fraction;
-    1.0 - (h * n + (1.0 - h) * d) / n
+    Ok(1.0 - (h * n + (1.0 - h) * d) / n)
 }
 
 /// One row of the Fig. 2 sweep.
@@ -132,5 +173,33 @@ mod tests {
     #[should_panic(expected = "domain cannot exceed")]
     fn oversized_domain_rejected() {
         let _ = snoop_reduction(0.0, 8, 4);
+    }
+
+    #[test]
+    fn try_variant_returns_typed_errors() {
+        for (h, d, n) in [
+            (-0.1, 4, 16),
+            (1.5, 4, 16),
+            (f64::NAN, 4, 16),
+            (0.0, 0, 16),
+            (0.0, 8, 4),
+        ] {
+            match try_snoop_reduction(h, d, n) {
+                Err(SimError::AnalyticOutOfRange { detail }) => {
+                    assert!(!detail.is_empty(), "detail must name the violation")
+                }
+                other => panic!("expected AnalyticOutOfRange for ({h}, {d}, {n}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_form_in_domain() {
+        for (h, d, n) in [(0.0, 4, 64), (0.05, 4, 64), (1.0, 4, 16), (0.3, 4, 8)] {
+            assert_eq!(
+                try_snoop_reduction(h, d, n).unwrap(),
+                snoop_reduction(h, d, n)
+            );
+        }
     }
 }

@@ -28,9 +28,7 @@
 //!   marks the registers trusted (fault-free runs, or right after an
 //!   audit repaired them).
 
-use std::collections::BTreeSet;
-
-use sim_mem::{BlockAddr, Cache, LineTag, TokenProtocol};
+use sim_mem::{BlockAddr, BlockMap, Cache, LineTag, TokenLedger};
 use sim_vm::{Hypervisor, VmId};
 
 use crate::vcpu_map::VcpuMapFile;
@@ -96,8 +94,9 @@ pub struct CheckerCtx<'a> {
     pub l1: &'a [Cache],
     /// Per-core L2 caches (the token-holding level).
     pub l2: &'a [Cache],
-    /// The token protocol engine (memory-side token ledger).
-    pub protocol: &'a TokenProtocol,
+    /// The token ledger (either engine exposes the memory-side holdings
+    /// through [`TokenLedger`]).
+    pub protocol: &'a dyn TokenLedger,
     /// The vCPU-map register file.
     pub maps: &'a VcpuMapFile,
     /// The hypervisor's placement (ground truth for map coverage).
@@ -107,12 +106,39 @@ pub struct CheckerCtx<'a> {
     pub maps_trusted: bool,
 }
 
+/// Per-block accumulator for the sweep's line-major pass: what the caches
+/// collectively hold for one block, gathered by visiting every cached
+/// line exactly once instead of probing every cache for every block.
+#[derive(Clone, Copy, Debug, Default)]
+struct SweepAcc {
+    /// Tokens held across all L2 caches.
+    tokens: u32,
+    /// Owner tokens held across all L2 caches.
+    owners: u32,
+    /// Cores whose L2 holds a valid-but-tokenless line for the block.
+    tokenless: u64,
+    /// Cores whose L2 holds a dirty line without the owner token.
+    dirty_no_owner: u64,
+}
+
 /// The runtime invariant checker. See the module docs for the invariant
 /// classes.
 #[derive(Clone, Debug)]
 pub struct InvariantChecker {
     cfg: CheckerConfig,
-    touched: BTreeSet<BlockAddr>,
+    /// Membership test for observed blocks; the open-addressed set keeps
+    /// the per-transaction insert off the BTree's pointer-chasing path.
+    touched: BlockMap<()>,
+    /// Insertion-ordered list of observed blocks (sorted incrementally
+    /// into `sorted_blocks` when a sweep needs deterministic order).
+    touched_list: Vec<BlockAddr>,
+    /// Sorted copy of the first `sorted_upto` entries of `touched_list`,
+    /// refreshed by merging the unsorted tail at each sweep — cheaper
+    /// than re-sorting the whole (append-only) list every time.
+    sorted_blocks: Vec<BlockAddr>,
+    sorted_upto: usize,
+    /// Reusable scratch for the sweep's line-major accumulation pass.
+    sweep_acc: BlockMap<SweepAcc>,
     violations: Vec<Violation>,
     total_violations: u64,
     block_checks: u64,
@@ -126,7 +152,11 @@ impl InvariantChecker {
     pub fn new(cfg: CheckerConfig) -> Self {
         InvariantChecker {
             cfg,
-            touched: BTreeSet::new(),
+            touched: BlockMap::new(),
+            touched_list: Vec::new(),
+            sorted_blocks: Vec::new(),
+            sorted_upto: 0,
+            sweep_acc: BlockMap::new(),
             violations: Vec::new(),
             total_violations: 0,
             block_checks: 0,
@@ -163,7 +193,7 @@ impl InvariantChecker {
 
     /// Distinct blocks observed so far.
     pub fn touched_blocks(&self) -> usize {
-        self.touched.len()
+        self.touched_list.len()
     }
 
     fn record(&mut self, cycle: u64, kind: InvariantKind, detail: String) {
@@ -181,7 +211,11 @@ impl InvariantChecker {
     /// invariants on `block` and, when the periodic sweep is due, the
     /// whole machine.
     pub fn on_transaction(&mut self, cycle: u64, block: BlockAddr, ctx: &CheckerCtx<'_>) {
-        self.touched.insert(block);
+        let before = self.touched.len();
+        self.touched.entry_mut(block.index(), ());
+        if self.touched.len() > before {
+            self.touched_list.push(block);
+        }
         self.check_block(cycle, block, ctx);
         self.since_sweep += 1;
         if self.cfg.sweep_every > 0 && self.since_sweep >= self.cfg.sweep_every {
@@ -233,14 +267,110 @@ impl InvariantChecker {
         }
     }
 
+    /// Merges blocks touched since the last sweep into the persistent
+    /// sorted list. `touched_list` is append-only, so only the new tail
+    /// needs sorting; the merge is linear in the list length.
+    fn refresh_sorted_blocks(&mut self) {
+        if self.sorted_upto == self.touched_list.len() {
+            return;
+        }
+        let mut tail: Vec<BlockAddr> = self.touched_list[self.sorted_upto..].to_vec();
+        tail.sort_unstable();
+        let mut merged = Vec::with_capacity(self.sorted_blocks.len() + tail.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted_blocks.len() && j < tail.len() {
+            if self.sorted_blocks[i] <= tail[j] {
+                merged.push(self.sorted_blocks[i]);
+                i += 1;
+            } else {
+                merged.push(tail[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted_blocks[i..]);
+        merged.extend_from_slice(&tail[j..]);
+        self.sorted_blocks = merged;
+        self.sorted_upto = self.touched_list.len();
+    }
+
     /// Sweeps the whole machine: every touched block, residence counters,
     /// L1 inclusion, and (when `ctx.maps_trusted`) the map registers.
+    ///
+    /// The per-block invariants are checked from a single line-major pass
+    /// over the caches: every cached line is visited once and folded into
+    /// a per-block accumulator, instead of probing every cache for every
+    /// touched block. The violations produced — classes, details, and
+    /// order — are identical to calling [`check_block`](Self::check_block)
+    /// on each touched block in sorted order, which stays the behavioural
+    /// spec (and is pinned by a test).
     pub fn full_sweep(&mut self, cycle: u64, ctx: &CheckerCtx<'_>) {
         self.sweeps += 1;
         self.since_sweep = 0;
-        let blocks: Vec<BlockAddr> = self.touched.iter().copied().collect();
-        for block in blocks {
-            self.check_block(cycle, block, ctx);
+        self.refresh_sorted_blocks();
+        self.sweep_acc.clear();
+        for (core, cache) in ctx.l2.iter().enumerate() {
+            debug_assert!(core < 64, "core index exceeds the bitmask width");
+            for line in cache.lines() {
+                let acc = self
+                    .sweep_acc
+                    .entry_mut(line.block.index(), SweepAcc::default());
+                acc.tokens += line.state.tokens;
+                acc.owners += u32::from(line.state.owner);
+                if line.state.tokens == 0 {
+                    acc.tokenless |= 1 << core;
+                }
+                if line.state.dirty && !line.state.owner {
+                    acc.dirty_no_owner |= 1 << core;
+                }
+            }
+        }
+        let total = ctx.protocol.total_tokens();
+        for idx in 0..self.sorted_blocks.len() {
+            let block = self.sorted_blocks[idx];
+            self.block_checks += 1;
+            let acc = self
+                .sweep_acc
+                .get(block.index())
+                .copied()
+                .unwrap_or_default();
+            // Per-core line violations first, in ascending core order with
+            // tokenless before dirty-without-owner on the same core —
+            // exactly the order `check_block`'s probe loop records them.
+            let mut cores = acc.tokenless | acc.dirty_no_owner;
+            while cores != 0 {
+                let core = cores.trailing_zeros() as u64;
+                if acc.tokenless & (1 << core) != 0 {
+                    self.record(
+                        cycle,
+                        InvariantKind::TokenlessLine,
+                        format!("core {core}: valid line {block:?} holds 0 tokens"),
+                    );
+                }
+                if acc.dirty_no_owner & (1 << core) != 0 {
+                    self.record(
+                        cycle,
+                        InvariantKind::DirtyWithoutOwner,
+                        format!("core {core}: dirty line {block:?} without owner token"),
+                    );
+                }
+                cores &= cores - 1;
+            }
+            let tokens = acc.tokens + ctx.protocol.memory_tokens(block);
+            let owners = acc.owners + u32::from(ctx.protocol.memory_has_owner(block));
+            if tokens != total {
+                self.record(
+                    cycle,
+                    InvariantKind::TokenConservation,
+                    format!("block {block:?}: {tokens} tokens in system, expected {total}"),
+                );
+            }
+            if owners != 1 {
+                self.record(
+                    cycle,
+                    InvariantKind::OwnerUniqueness,
+                    format!("block {block:?}: {owners} owner tokens, expected exactly 1"),
+                );
+            }
         }
         self.check_residence(cycle, ctx);
         self.check_inclusion(cycle, ctx);
@@ -350,7 +480,7 @@ pub fn valid_core_mask(n_cores: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_mem::{CacheGeometry, CacheLine, LineTag, ReadMode, TokenState};
+    use sim_mem::{CacheGeometry, CacheLine, LineTag, ReadMode, TokenProtocol, TokenState};
     use sim_vm::{homogeneous_vms, Hypervisor};
 
     const N: usize = 4;
@@ -526,6 +656,100 @@ mod tests {
         assert!(kinds.contains(&InvariantKind::MapValidity), "{kinds:?}");
         assert!(kinds.contains(&InvariantKind::MapCoverage), "{kinds:?}");
         assert!(!kinds.contains(&InvariantKind::ResidenceCounter));
+    }
+
+    #[test]
+    fn sweep_matches_per_block_checks_in_sorted_order() {
+        // The line-major sweep must produce exactly the violations that
+        // per-block `check_block` calls over the sorted touched set
+        // would: same classes, same details, same order. Plant a messy
+        // machine to exercise every per-block class on several cores.
+        let (mut l1, mut l2, protocol, maps, hv) = machine();
+        let dirty_no_owner = TokenState {
+            tokens: 1,
+            owner: false,
+            dirty: true,
+        };
+        let tokenless = TokenState {
+            tokens: 0,
+            owner: false,
+            dirty: false,
+        };
+        let double_owner = TokenState {
+            tokens: 2,
+            owner: true,
+            dirty: false,
+        };
+        // Touched blocks, inserted out of order to exercise the sort.
+        l2[3].insert(CacheLine::new(
+            BlockAddr::new(9),
+            dirty_no_owner,
+            LineTag::Host,
+        ));
+        l2[1].insert(CacheLine::new(BlockAddr::new(9), tokenless, LineTag::Host));
+        l2[0].insert(CacheLine::new(
+            BlockAddr::new(2),
+            double_owner,
+            LineTag::Host,
+        ));
+        l2[2].insert(CacheLine::new(
+            BlockAddr::new(2),
+            double_owner,
+            LineTag::Host,
+        ));
+        l2[1].insert(CacheLine::new(BlockAddr::new(5), tokenless, LineTag::Host));
+        // A cached block the checker never saw: ignored by both forms.
+        l2[0].insert(CacheLine::new(
+            BlockAddr::new(77),
+            double_owner,
+            LineTag::Host,
+        ));
+        // An L1 orphan so the sweep's non-block phases fire too.
+        l1[2].insert(CacheLine::new(
+            BlockAddr::new(9),
+            TokenState::shared_one(),
+            LineTag::Host,
+        ));
+
+        let cfg = CheckerConfig {
+            sweep_every: 0,
+            max_recorded: 1000,
+        };
+        let c = ctx(&l1, &l2, &protocol, &maps, &hv);
+
+        // Register the touched set through the transaction path, then
+        // sweep; the sweep's output is everything recorded after that.
+        let mut swept = InvariantChecker::new(cfg);
+        for b in [9u64, 2, 5] {
+            swept.on_transaction(1, BlockAddr::new(b), &c);
+        }
+        let before = swept.violations().len();
+        swept.full_sweep(2, &c);
+        let got: Vec<_> = swept.violations()[before..]
+            .iter()
+            .map(|v| (v.cycle, v.kind, v.detail.clone()))
+            .collect();
+
+        // Reference: per-block checks over the sorted touched set, then
+        // the same non-block phases.
+        let mut reference = InvariantChecker::new(cfg);
+        for b in [2u64, 5, 9] {
+            reference.check_block(2, BlockAddr::new(b), &c);
+        }
+        reference.check_residence(2, &c);
+        reference.check_inclusion(2, &c);
+        let want: Vec<_> = reference
+            .violations()
+            .iter()
+            .map(|v| (v.cycle, v.kind, v.detail.clone()))
+            .collect();
+
+        assert!(!want.is_empty(), "the planted state must violate something");
+        assert_eq!(got, want);
+        assert_eq!(
+            swept.total_violations() - before as u64,
+            reference.total_violations()
+        );
     }
 
     #[test]

@@ -105,22 +105,33 @@ impl SystemConfig {
     ///
     /// Returns a [`ConfigError`] naming the offending constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.n_cores() == 0 || self.n_cores() > 64 {
-            return Err(ConfigError("core count must be in 1..=64"));
+        if self.mesh_width == 0 || self.mesh_height == 0 {
+            return Err(ConfigError::new(format!(
+                "mesh dimensions must be positive (got {}x{})",
+                self.mesh_width, self.mesh_height
+            )));
+        }
+        if self.n_cores() > 64 {
+            return Err(ConfigError::new(format!(
+                "core count must be in 1..=64 (got {}x{} = {} cores)",
+                self.mesh_width,
+                self.mesh_height,
+                self.n_cores()
+            )));
         }
         if self.n_vcpus() > self.n_cores() {
-            return Err(ConfigError(
+            return Err(ConfigError::new(
                 "overcommitted configurations are not supported by the trace simulator",
             ));
         }
         if self.n_vms == 0 {
-            return Err(ConfigError("need at least one VM"));
+            return Err(ConfigError::new("need at least one VM"));
         }
         if self.cycles_per_access == 0 || self.cycles_per_ms == 0 {
-            return Err(ConfigError("clock rates must be positive"));
+            return Err(ConfigError::new("clock rates must be positive"));
         }
         if self.l1_bytes >= self.l2_bytes {
-            return Err(ConfigError("L1 must be smaller than L2"));
+            return Err(ConfigError::new("L1 must be smaller than L2"));
         }
         Ok(())
     }
@@ -133,8 +144,20 @@ impl Default for SystemConfig {
 }
 
 /// A configuration constraint violation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct ConfigError(&'static str);
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError(std::borrow::Cow<'static, str>);
+
+impl ConfigError {
+    /// Creates a violation from a static or formatted description.
+    pub fn new(msg: impl Into<std::borrow::Cow<'static, str>>) -> Self {
+        ConfigError(msg.into())
+    }
+
+    /// The violated constraint, human-readable.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -185,5 +208,33 @@ mod tests {
             ..SystemConfig::paper_default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_names_zero_mesh_dimensions() {
+        let c = SystemConfig {
+            mesh_width: 0,
+            mesh_height: 4,
+            ..SystemConfig::paper_default()
+        };
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("0x4"),
+            "message must name the dimensions: {msg}"
+        );
+    }
+
+    #[test]
+    fn validation_names_oversized_mesh() {
+        let c = SystemConfig {
+            mesh_width: 9,
+            mesh_height: 8,
+            ..SystemConfig::paper_default()
+        };
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("9x8 = 72"),
+            "message must name the shape: {msg}"
+        );
     }
 }

@@ -38,6 +38,13 @@ pub enum SimError {
         /// The operation that needed it (static description).
         context: &'static str,
     },
+    /// A closed-form analytic query (the Fig. 2 model) was asked about a
+    /// machine outside the model's domain; carries the offending
+    /// argument so sweep drivers can report which point was rejected.
+    AnalyticOutOfRange {
+        /// The violated constraint, with the offending values.
+        detail: String,
+    },
     /// An L1 hit pointed at a block the core's L2 no longer holds
     /// (inclusion violated); the access was treated as a miss.
     CacheDesync {
@@ -65,6 +72,9 @@ impl std::fmt::Display for SimError {
             SimError::VcpuNotPlaced { vcpu, context } => {
                 write!(f, "vCPU {vcpu} not placed during {context}; skipped")
             }
+            SimError::AnalyticOutOfRange { detail } => {
+                write!(f, "analytic model out of range: {detail}")
+            }
             SimError::CacheDesync { core, block } => {
                 write!(
                     f,
@@ -80,6 +90,12 @@ impl std::error::Error for SimError {}
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::InvalidConfig(e)
+    }
+}
+
+impl From<sim_net::NetConfigError> for SimError {
+    fn from(e: sim_net::NetConfigError) -> Self {
+        SimError::InvalidConfig(ConfigError::new(e.to_string()))
     }
 }
 

@@ -11,7 +11,7 @@
 
 use workloads::{try_profile, AppProfile, Workload, WorkloadConfig};
 
-use crate::analytic::snoop_reduction;
+use crate::analytic::try_snoop_reduction;
 use crate::config::SystemConfig;
 use crate::error::SimError;
 use crate::experiments::common::RunScale;
@@ -72,8 +72,9 @@ fn with_host_fraction(base: &AppProfile, frac: f64) -> &'static AppProfile {
 /// # Errors
 ///
 /// Returns [`SimError::UnknownProfile`] if the reference profile is
-/// missing from the registry and [`SimError::InvalidConfig`] if a swept
-/// machine shape fails validation.
+/// missing from the registry, [`SimError::InvalidConfig`] if a swept
+/// machine shape fails validation, and [`SimError::AnalyticOutOfRange`]
+/// if a run produces a host-miss share the closed form cannot accept.
 pub fn fig2_validation(scale: RunScale) -> Result<Vec<Fig2Validation>, SimError> {
     let base = try_profile("ferret")?;
     let mut out = Vec::new();
@@ -100,13 +101,16 @@ pub fn fig2_validation(scale: RunScale) -> Result<Vec<Fig2Validation>, SimError>
             let baseline = (s.l2_misses.max(1) * cfg.n_cores() as u64) as f64;
             let measured = 100.0 * (1.0 - s.snoops as f64 / baseline);
             let host = s.host_miss_fraction();
+            // The host share is a measurement; feed it through the
+            // fallible model so a pathological run surfaces as a typed
+            // error instead of a panic inside the sweep.
+            let analytic = try_snoop_reduction(host, cfg.vcpus_per_vm as usize, cfg.n_cores())?;
             out.push(Fig2Validation {
                 n_vms,
                 cores: cfg.n_cores(),
                 host_miss_pct: 100.0 * host,
                 measured_pct: measured,
-                analytic_pct: 100.0
-                    * snoop_reduction(host, cfg.vcpus_per_vm as usize, cfg.n_cores()),
+                analytic_pct: 100.0 * analytic,
             });
         }
     }

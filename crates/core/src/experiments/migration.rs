@@ -91,9 +91,14 @@ fn run_migrating(
     // The run stands in for one finite application execution: it must
     // cover at least eight migration periods, and callers pass a
     // migration-sized window (see `RunScale::for_migration`) so the maps
-    // experience many removal timescales.
+    // experience many removal timescales. The floor is capped at 16x the
+    // requested window so deliberately tiny scales (differential guards,
+    // smoke tests) stay tiny; at the quick and full campaign scales the
+    // cap is far above the floor and the run length is unchanged.
     let min_rounds = 8 * period_cycles / cfg.cycles_per_access;
-    let rounds = scale.measure_rounds.max(min_rounds);
+    let rounds = scale
+        .measure_rounds
+        .max(min_rounds.min(scale.measure_rounds.saturating_mul(16)));
     let picker = make_picker(cfg, scale.seed ^ 0x51A9);
     sim.run_with_migration(&mut wl, rounds, period_cycles, picker);
     sim

@@ -54,9 +54,10 @@ mod region_filter;
 pub mod runner;
 mod simulator;
 mod stats;
+pub mod testing;
 mod vcpu_map;
 
-pub use analytic::{fig2_sweep, snoop_reduction, Fig2Point};
+pub use analytic::{fig2_sweep, snoop_reduction, try_snoop_reduction, Fig2Point};
 pub use checker::{CheckerConfig, CheckerCtx, InvariantChecker, InvariantKind, Violation};
 pub use config::{ConfigError, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};

@@ -22,8 +22,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_mem::{
-    BlockAddr, Cache, CacheGeometry, CacheLine, DataSource, LineTag, ReadMode, TokenProtocol,
-    TokenState, PAGE_BYTES,
+    mask_cores, BlockAddr, Cache, CacheGeometry, CacheLine, DataSource, LineTag, ReadMode,
+    ReferenceProtocol, TokenLedger, TokenProtocol, TokenState, PAGE_BYTES,
 };
 use sim_net::{LinkFaults, Mesh, MessageKind, Network, NodeId};
 use sim_vm::{
@@ -40,6 +40,66 @@ use crate::policy::{ContentPolicy, FilterPolicy};
 use crate::region_filter::RegionFilter;
 use crate::stats::{RemovalEvent, SimStats};
 use crate::vcpu_map::{VcpuMap, VcpuMapFile};
+
+/// The frozen pre-optimization transaction path, kept verbatim as the
+/// differential oracle for the allocation-free fast path. A child module
+/// of `simulator` so it can reach the `Simulator` internals directly.
+#[path = "reference_path.rs"]
+mod reference_path;
+
+/// The coherence engine behind a [`Simulator`]: the optimized
+/// allocation-free [`TokenProtocol`], or the frozen pre-optimization
+/// [`ReferenceProtocol`] (selected via
+/// [`crate::testing::set_reference_engine`]) that the differential guard
+/// runs against.
+#[derive(Debug)]
+enum Engine {
+    Fast(TokenProtocol),
+    Reference(ReferenceProtocol),
+}
+
+impl Engine {
+    fn is_reference(&self) -> bool {
+        matches!(self, Engine::Reference(_))
+    }
+
+    /// The memory-side token ledger view shared by both engines (what the
+    /// invariant checker and the architectural-state digest consume).
+    fn ledger(&self) -> &dyn TokenLedger {
+        match self {
+            Engine::Fast(p) => p,
+            Engine::Reference(p) => p,
+        }
+    }
+
+    fn fast_mut(&mut self) -> &mut TokenProtocol {
+        match self {
+            Engine::Fast(p) => p,
+            Engine::Reference(_) => unreachable!("fast path entered on reference engine"),
+        }
+    }
+
+    fn reference_mut(&mut self) -> &mut ReferenceProtocol {
+        match self {
+            Engine::Reference(p) => p,
+            Engine::Fast(_) => unreachable!("reference path entered on fast engine"),
+        }
+    }
+
+    fn writeback(&mut self, line: &CacheLine) -> bool {
+        match self {
+            Engine::Fast(p) => p.writeback(line),
+            Engine::Reference(p) => p.writeback(line),
+        }
+    }
+
+    fn check_invariant(&self, caches: &[Cache], block: BlockAddr) -> bool {
+        match self {
+            Engine::Fast(p) => p.check_invariant(caches, block),
+            Engine::Reference(p) => p.check_invariant(caches, block),
+        }
+    }
+}
 
 /// A workload the simulator can drive end to end: an access stream plus
 /// the hypervisor-owned page metadata the filter consults.
@@ -133,7 +193,7 @@ pub struct Simulator {
     content_policy: ContentPolicy,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
-    protocol: TokenProtocol,
+    protocol: Engine,
     net: Network,
     hv: Hypervisor,
     maps: VcpuMapFile,
@@ -239,12 +299,15 @@ impl Simulator {
             region_filter,
             l1: vec![Cache::new(CacheGeometry::new(cfg.l1_bytes, cfg.l1_ways), cfg.n_vms); n],
             l2: vec![Cache::new(CacheGeometry::new(cfg.l2_bytes, cfg.l2_ways), cfg.n_vms); n],
-            protocol: TokenProtocol::new(n as u32),
-            net: Network::with_config(
-                Mesh::new(cfg.mesh_width, cfg.mesh_height),
-                cfg.network,
-                Mesh::new(cfg.mesh_width, cfg.mesh_height).corner_ports(),
-            ),
+            protocol: if crate::testing::reference_engine() {
+                Engine::Reference(ReferenceProtocol::new(n as u32))
+            } else {
+                Engine::Fast(TokenProtocol::new(n as u32))
+            },
+            net: {
+                let mesh = Mesh::try_new(cfg.mesh_width, cfg.mesh_height)?;
+                Network::try_with_config(mesh, cfg.network, mesh.corner_ports())?
+            },
             hv,
             maps,
             tlbs: vec![TypeTlb::new(cfg.tlb_slots); n],
@@ -333,7 +396,7 @@ impl Simulator {
             &CheckerCtx {
                 l1: &self.l1,
                 l2: &self.l2,
-                protocol: &self.protocol,
+                protocol: self.protocol.ledger(),
                 maps: &self.maps,
                 hv: &self.hv,
                 maps_trusted: trusted,
@@ -419,9 +482,7 @@ impl Simulator {
             dump(&mut out, &format!("core{core} L1"), l1);
             dump(&mut out, &format!("core{core} L2"), l2);
         }
-        let mut mem: Vec<_> = self.protocol.memory_entries().collect();
-        mem.sort_unstable_by_key(|&(block, ..)| block);
-        for (block, tokens, owner) in mem {
+        for (block, tokens, owner) in self.protocol.ledger().memory_entries_sorted() {
             let _ = writeln!(&mut out, "mem {block:?} t={tokens} o={owner}");
         }
         out
@@ -691,7 +752,7 @@ impl Simulator {
             &CheckerCtx {
                 l1: &self.l1,
                 l2: &self.l2,
-                protocol: &self.protocol,
+                protocol: self.protocol.ledger(),
                 maps: &self.maps,
                 hv: &self.hv,
                 maps_trusted: true,
@@ -790,7 +851,7 @@ impl Simulator {
             &CheckerCtx {
                 l1: &self.l1,
                 l2: &self.l2,
-                protocol: &self.protocol,
+                protocol: self.protocol.ledger(),
                 maps: &self.maps,
                 hv: &self.hv,
                 maps_trusted: trusted,
@@ -807,6 +868,13 @@ impl Simulator {
     /// reliable virtual channel). Fault-free, the first broadcast attempt
     /// always succeeds, so the extra rungs are never exercised and the
     /// ladder is exactly the original three attempts.
+    ///
+    /// This is the allocation-free fast path: destination sets, delivered
+    /// sets, and invalidation sets are `u64` core bitmasks end to end, and
+    /// fault-free request fan-out and token replies are accounted as
+    /// batched multicasts. [`reference_path::transaction`] keeps the
+    /// original `Vec`-collecting implementation verbatim; the differential
+    /// guard pins the two to bit-identical statistics and state.
     fn transaction(
         &mut self,
         core: CoreId,
@@ -814,6 +882,9 @@ impl Simulator {
         block: BlockAddr,
         sharing: SharingType,
     ) {
+        if self.protocol.is_reference() {
+            return reference_path::transaction(self, core, access, block, sharing);
+        }
         let c = core.index();
         let tag = LineTag::from(access.agent);
         let mode = self.read_mode(access.agent, sharing);
@@ -825,9 +896,9 @@ impl Simulator {
         for attempt in 0..=transient_attempts {
             let persistent = attempt == transient_attempts;
             let filtered = attempt < 2;
-            let (dests, include_memory, degraded) = if persistent {
-                let n = self.cfg.n_cores();
-                ((0..n).filter(|&d| d != c).collect(), true, false)
+            let (dest_mask, include_memory, degraded) = if persistent {
+                let all = valid_core_mask(self.cfg.n_cores()) & !(1u64 << c);
+                (all, true, false)
             } else {
                 self.destinations(c, access.agent, sharing, filtered, block)
             };
@@ -851,23 +922,36 @@ impl Simulator {
             // *worst* leg only matters for failed attempts (the requester
             // must conclude nobody will answer); successful transactions
             // are gated by the leg to the actual responder, computed below.
-            // Under link faults a request may be dropped (traffic is still
-            // accounted — the message was sent) or delayed; persistent
-            // requests ride the reliable channel and cannot be dropped.
+            // Fault-free, every request is delivered at its base latency,
+            // so the whole fan-out is one batched multicast (same traffic,
+            // and the multicast's worst leg equals the per-send maximum
+            // because latency is monotone in hops). Under link faults each
+            // request must be judged individually — and in ascending
+            // destination order, to preserve the fault RNG stream.
             let req_kind = if persistent {
                 MessageKind::Persistent
             } else {
                 MessageKind::Request
             };
             let src = NodeId::new(c as u16);
-            let mut delivered: Vec<usize> = Vec::with_capacity(dests.len());
-            let mut worst_req_lat = 0u64;
-            for &d in &dests {
-                let out = self.net.send(src, NodeId::new(d as u16), req_kind);
-                worst_req_lat = worst_req_lat.max(out.latency);
-                if out.delivered {
-                    delivered.push(d);
+            let mut delivered: u64 = dest_mask;
+            let mut worst_req_lat;
+            if self.net.link_faults().is_some() {
+                delivered = 0;
+                worst_req_lat = 0;
+                for d in mask_cores(dest_mask) {
+                    let out = self.net.send(src, NodeId::new(d as u16), req_kind);
+                    worst_req_lat = worst_req_lat.max(out.latency);
+                    if out.delivered {
+                        delivered |= 1u64 << d;
+                    }
                 }
+            } else {
+                worst_req_lat = self.net.multicast(
+                    src,
+                    mask_cores(dest_mask).map(|d| NodeId::new(d as u16)),
+                    req_kind,
+                );
             }
             let mut memory_heard = include_memory;
             if include_memory {
@@ -880,16 +964,27 @@ impl Simulator {
             // filtering on 16 cores -> 25% of baseline snoops). A dropped
             // request never reaches a tag array, so only delivered ones
             // count.
-            self.stats.snoops += delivered.len() as u64 + 1;
+            self.stats.snoops += u64::from(delivered.count_ones()) + 1;
 
             let outcome = if access.write {
-                let w =
-                    self.protocol
-                        .write_miss(&mut self.l2, c, &delivered, block, memory_heard, tag);
-                // Token-only replies.
-                for &r in &w.token_repliers {
-                    self.net
-                        .unicast(NodeId::new(r as u16), src, MessageKind::TokenReply);
+                let w = self.protocol.fast_mut().write_miss_masked(
+                    &mut self.l2,
+                    c,
+                    delivered,
+                    block,
+                    memory_heard,
+                    tag,
+                );
+                // Token-only replies, all converging on the requester.
+                // Mesh hops are symmetric, so accounting them as one
+                // multicast *from* the requester moves exactly the same
+                // byte-links (the per-reply latency was never used).
+                if w.token_repliers != 0 {
+                    self.net.multicast(
+                        src,
+                        mask_cores(w.token_repliers).map(|r| NodeId::new(r as u16)),
+                        MessageKind::TokenReply,
+                    );
                 }
                 TxOutcome {
                     success: w.success,
@@ -899,10 +994,10 @@ impl Simulator {
                     evicted_dirty: w.evicted_dirty,
                 }
             } else {
-                let r = self.protocol.read_miss(
+                let r = self.protocol.fast_mut().read_miss_masked(
                     &mut self.l2,
                     c,
-                    &delivered,
+                    delivered,
                     block,
                     memory_heard,
                     tag,
@@ -961,10 +1056,10 @@ impl Simulator {
             // remote caches or were displaced locally.
             if let Some(rf) = &mut self.region_filter {
                 let region = rf.region_of(block);
-                if filtered && dests.is_empty() {
+                if filtered && dest_mask == 0 {
                     rf.record_hit();
                 }
-                for &j in &outcome.invalidated {
+                for j in mask_cores(outcome.invalidated) {
                     rf.on_remove(j, region);
                 }
                 if let Some(v) = &outcome.evicted {
@@ -974,7 +1069,7 @@ impl Simulator {
             }
 
             // Post-transaction bookkeeping.
-            self.apply_invalidations(&outcome.invalidated, block);
+            self.apply_invalidations_mask(outcome.invalidated, block);
             if let Some(victim) = outcome.evicted {
                 self.handle_eviction(c, victim, outcome.evicted_dirty);
             }
@@ -991,7 +1086,8 @@ impl Simulator {
                     // A broadcast that reached every other core and found
                     // no holder of the region verifies it as not-shared
                     // (a dropped request verifies nothing).
-                    if delivered.len() + 1 == self.cfg.n_cores() && !rf.shared_elsewhere(c, region)
+                    if delivered.count_ones() as usize + 1 == self.cfg.n_cores()
+                        && !rf.shared_elsewhere(c, region)
                     {
                         rf.learn(c, region);
                     }
@@ -1001,7 +1097,7 @@ impl Simulator {
             } else if let Some(rf) = &mut self.region_filter {
                 // A failed memory-direct attempt means the NSRT entry was
                 // stale; drop it so the broadcast retry re-verifies.
-                if dests.is_empty() {
+                if dest_mask == 0 {
                     rf.forget(c, rf.region_of(block));
                 }
             }
@@ -1022,10 +1118,10 @@ impl Simulator {
         unreachable!("the persistent attempt either succeeds or asserts");
     }
 
-    /// Computes the snoop destination set, whether memory participates,
-    /// and whether the filter had to *degrade* to broadcast because the
-    /// requester's vCPU-map register failed validation (see
-    /// [`Simulator::map_usable`]).
+    /// Computes the snoop destination set (as a core bitmask), whether
+    /// memory participates, and whether the filter had to *degrade* to
+    /// broadcast because the requester's vCPU-map register failed
+    /// validation (see [`Simulator::map_usable`]).
     fn destinations(
         &self,
         requester: usize,
@@ -1033,11 +1129,10 @@ impl Simulator {
         sharing: SharingType,
         filtered: bool,
         block: BlockAddr,
-    ) -> (Vec<usize>, bool, bool) {
-        let n = self.cfg.n_cores();
-        let broadcast = || (0..n).filter(|&d| d != requester).collect::<Vec<_>>();
+    ) -> (u64, bool, bool) {
+        let broadcast = valid_core_mask(self.cfg.n_cores()) & !(1u64 << requester);
         if !filtered || !self.policy.filters() {
-            return (broadcast(), true, false);
+            return (broadcast, true, false);
         }
         if let Some(rf) = &self.region_filter {
             // Region filtering is address-based, not VM-based: a miss to a
@@ -1045,35 +1140,35 @@ impl Simulator {
             // everything else broadcasts (RegionScout has no multicast).
             let region = rf.region_of(block);
             return if rf.nsrt_contains(requester, region) {
-                (Vec::new(), true, false)
+                (0, true, false)
             } else {
-                (broadcast(), true, false)
+                (broadcast, true, false)
             };
         }
         let Some(vm) = agent.guest_vm() else {
             // Hypervisor and dom0 requests must always be broadcast.
-            return (broadcast(), true, false);
+            return (broadcast, true, false);
         };
         // Validate the register(s) the filter is about to trust; a failed
         // check falls back to full broadcast (correct by construction —
         // broadcast is what an unfiltered protocol would do) and is
         // counted as a degraded-mode transaction.
-        let usable = |ok: bool, dests: Vec<usize>| {
+        let usable = |ok: bool, dests: u64| {
             if ok {
                 (dests, true, false)
             } else {
-                (broadcast(), true, true)
+                (broadcast, true, true)
             }
         };
         match sharing {
-            SharingType::RwShared => (broadcast(), true, false),
+            SharingType::RwShared => (broadcast, true, false),
             SharingType::VmPrivate => usable(
                 self.map_usable(vm, None, requester),
                 self.map_dests(vm, None, requester),
             ),
             SharingType::RoShared => match self.content_policy {
-                ContentPolicy::Broadcast => (broadcast(), true, false),
-                ContentPolicy::MemoryDirect => (Vec::new(), true, false),
+                ContentPolicy::Broadcast => (broadcast, true, false),
+                ContentPolicy::MemoryDirect => (0, true, false),
                 ContentPolicy::IntraVm => usable(
                     self.map_usable(vm, None, requester),
                     self.map_dests(vm, None, requester),
@@ -1114,15 +1209,14 @@ impl Simulator {
         }
     }
 
-    fn map_dests(&self, vm: VmId, friend: Option<VmId>, requester: usize) -> Vec<usize> {
-        let mut map = self.maps.map(vm.index());
+    /// Snoop destinations from the VM's (and optionally a friend's) vCPU
+    /// map: the union mask clipped to physical cores, minus the requester.
+    fn map_dests(&self, vm: VmId, friend: Option<VmId>, requester: usize) -> u64 {
+        let mut mask = self.maps.map(vm.index()).mask();
         if let Some(f) = friend {
-            map = map.union(self.maps.map(f.index()));
+            mask |= self.maps.map(f.index()).mask();
         }
-        map.cores()
-            .map(|c| c.index())
-            .filter(|&d| d != requester && d < self.cfg.n_cores())
-            .collect()
+        mask & valid_core_mask(self.cfg.n_cores()) & !(1u64 << requester)
     }
 
     fn read_mode(&self, agent: Agent, sharing: SharingType) -> ReadMode {
@@ -1152,14 +1246,26 @@ impl Simulator {
     /// the protocol removed from remote caches.
     fn apply_invalidations(&mut self, invalidated: &[usize], block: BlockAddr) {
         for &j in invalidated {
-            if let Some(line) = self.l1[j].remove(block) {
-                debug_assert_eq!(line.block, block);
-            }
-            // The removed L2 line's tag determined which VM's counter
-            // dropped; rather than thread the tag through, check every VM
-            // with a pending removal on that cache.
-            self.check_pending_removals(j);
+            self.apply_invalidation(j, block);
         }
+    }
+
+    /// Mask form of [`Simulator::apply_invalidations`] for the
+    /// allocation-free path (cores visited in the same ascending order).
+    fn apply_invalidations_mask(&mut self, invalidated: u64, block: BlockAddr) {
+        for j in mask_cores(invalidated) {
+            self.apply_invalidation(j, block);
+        }
+    }
+
+    fn apply_invalidation(&mut self, j: usize, block: BlockAddr) {
+        if let Some(line) = self.l1[j].remove(block) {
+            debug_assert_eq!(line.block, block);
+        }
+        // The removed L2 line's tag determined which VM's counter
+        // dropped; rather than thread the tag through, check every VM
+        // with a pending removal on that cache.
+        self.check_pending_removals(j);
     }
 
     fn handle_eviction(&mut self, c: usize, victim: CacheLine, dirty: bool) {
@@ -1227,22 +1333,24 @@ impl Simulator {
     /// Charges the vCPU-map synchronization messages: the hypervisor sends
     /// the new value to every core in the (updated) map.
     fn account_map_sync(&mut self, vm: VmId) {
+        if self.protocol.is_reference() {
+            return reference_path::account_map_sync(self, vm);
+        }
         // Mask to physical cores: a corrupted register can hold bits
         // beyond the mesh, but the hypervisor's update broadcast only ever
         // targets real cores.
-        let map = VcpuMap::from_mask(
-            self.maps.map(vm.index()).mask() & valid_core_mask(self.cfg.n_cores()),
-        );
-        let Some(first) = map.cores().next() else {
+        let mask = self.maps.map(vm.index()).mask() & valid_core_mask(self.cfg.n_cores());
+        if mask == 0 {
             return;
-        };
-        let src = NodeId::new(first.index() as u16);
-        let dests: Vec<NodeId> = map
-            .cores()
-            .skip(1)
-            .map(|c| NodeId::new(c.index() as u16))
-            .collect();
-        self.net.multicast(src, dests, MessageKind::MapUpdate);
+        }
+        let first = mask.trailing_zeros();
+        let src = NodeId::new(first as u16);
+        let rest = mask & (mask - 1);
+        self.net.multicast(
+            src,
+            mask_cores(rest).map(|c| NodeId::new(c as u16)),
+            MessageKind::MapUpdate,
+        );
     }
 
     fn count_data_source(&mut self, holder: usize, vm: Option<VmId>) {
@@ -1261,21 +1369,25 @@ impl Simulator {
 
     /// Table VI: who *could* supply a content-shared read miss.
     fn classify_holders(&mut self, block: BlockAddr, vm: Option<VmId>) {
-        let holders: Vec<usize> = (0..self.cfg.n_cores())
-            .filter(|&j| self.l2[j].probe(block).is_some())
-            .collect();
-        if holders.is_empty() {
+        if self.protocol.is_reference() {
+            return reference_path::classify_holders(self, block, vm);
+        }
+        let mut holders = 0u64;
+        for j in 0..self.cfg.n_cores() {
+            if self.l2[j].probe(block).is_some() {
+                holders |= 1u64 << j;
+            }
+        }
+        if holders == 0 {
             self.stats.holders_memory += 1;
             return;
         }
         self.stats.holders_any_cache += 1;
         let Some(vm) = vm else { return };
-        let own = self.maps.map(vm.index());
-        if holders.iter().any(|&j| own.contains(CoreId::new(j as u16))) {
+        if holders & self.maps.map(vm.index()).mask() != 0 {
             self.stats.holders_intra_vm += 1;
         } else if let Some(f) = self.friends[vm.index()] {
-            let fm = self.maps.map(f.index());
-            if holders.iter().any(|&j| fm.contains(CoreId::new(j as u16))) {
+            if holders & self.maps.map(f.index()).mask() != 0 {
                 self.stats.holders_friend_vm += 1;
             }
         }
@@ -1306,15 +1418,24 @@ impl Simulator {
     }
 }
 
+/// Engine-agnostic view of one protocol attempt, with the invalidated
+/// remote cores as a bitmask (the fast path never materializes the set).
 struct TxOutcome {
     success: bool,
     source: Option<DataSource>,
-    invalidated: Vec<usize>,
+    invalidated: u64,
     evicted: Option<CacheLine>,
     evicted_dirty: bool,
 }
 
 impl Simulator {
+    /// Test/diagnostic hook: whether this simulator runs on the frozen
+    /// reference engine (see [`crate::testing::set_reference_engine`]).
+    #[doc(hidden)]
+    pub fn debug_is_reference_engine(&self) -> bool {
+        self.protocol.is_reference()
+    }
+
     /// Test/diagnostic hook: residence counter of `vm` on cache `core`.
     pub fn debug_residence(&self, core: usize, vm: sim_vm::VmId) -> u64 {
         self.l2[core].residence(vm)
@@ -1383,6 +1504,60 @@ mod tests {
         );
         assert!(filt_sim.stats().snoops * 2 <= base_sim.stats().snoops);
         assert!(filt_sim.traffic().byte_links() < base_sim.traffic().byte_links());
+    }
+
+    /// Regression test for the empty-register corner: `ClearBit`
+    /// corruption can strip a VM's vCPU map bit by bit, and `Garbage` can
+    /// zero it outright. The requester-side validation must then degrade
+    /// the snoop to a full broadcast — a *zero-destination* filtered
+    /// snoop would skip every remote copy and silently break coherence.
+    #[test]
+    fn emptied_vcpu_map_degrades_to_broadcast_not_zero_destinations() {
+        let (mut sim, mut wl) = small_sim(FilterPolicy::VsnoopBase);
+        sim.enable_checker(CheckerConfig::default());
+        sim.run(&mut wl, 300);
+
+        // Empty VM 0's register the way the fault injector would.
+        sim.maps.corrupt(0, VcpuMap::from_mask(0));
+        assert_eq!(sim.vcpu_map(VmId::new(0)).len(), 0);
+
+        // Direct pin on the destination computation: with the requester's
+        // own bit gone (vacuously true of an empty register), validation
+        // fails and the filter falls back to all remote cores + memory.
+        let agent = Agent::Guest(VcpuId::new(VmId::new(0), 0));
+        let (dests, memory, degraded) =
+            sim.destinations(0, agent, SharingType::VmPrivate, true, BlockAddr::new(0));
+        assert!(degraded, "empty map must fail use-time validation");
+        assert!(memory, "degraded broadcast still includes memory");
+        assert_eq!(
+            dests,
+            valid_core_mask(sim.cfg.n_cores()) & !1,
+            "fallback must be a full broadcast, never an empty snoop set"
+        );
+
+        // End-to-end: keep running on the emptied register (no fault plan
+        // is installed, so no audit repairs it). Every VM-0 private miss
+        // degrades to broadcast; the checker proves coherence held.
+        let degraded_before = sim.stats().degraded_broadcasts;
+        sim.run(&mut wl, 300);
+        assert!(
+            sim.stats().degraded_broadcasts > degraded_before,
+            "runs on an emptied register must be counted as degraded"
+        );
+        sim.run_checker_sweep();
+        let checker = sim.checker().expect("checker enabled");
+        // The map audit is *supposed* to flag the corrupted register
+        // (`MapCoverage`); what must not appear is any token/data
+        // violation, which is what a zero-destination snoop would cause.
+        let coherence: Vec<_> = checker
+            .violations()
+            .iter()
+            .filter(|v| v.kind != crate::checker::InvariantKind::MapCoverage)
+            .collect();
+        assert!(
+            coherence.is_empty(),
+            "degraded broadcasts must preserve coherence: {coherence:?}"
+        );
     }
 
     #[test]

@@ -9,7 +9,11 @@
 use sim_vm::{Agent, SharingType};
 
 /// Aggregate counters of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Every field is an exact integer counter, so two runs can be compared
+/// for *bit-identical* behaviour with `==` — the differential oracle and
+/// the optimized-vs-reference engine guard rely on this.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct SimStats {
     /// Rounds executed (one access slot per core per round).
     pub rounds: u64,

@@ -1,0 +1,29 @@
+//! Test-only process-wide toggles.
+//!
+//! The differential guard needs to build two simulators that differ in
+//! *nothing* but the protocol engine. Threading an engine choice through
+//! every constructor signature would force the choice on every caller, so
+//! the guard flips a process-wide flag instead; [`Simulator::try_new`]
+//! reads it once at construction time.
+//!
+//! [`Simulator::try_new`]: crate::Simulator::try_new
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REFERENCE_ENGINE: AtomicBool = AtomicBool::new(false);
+
+/// Makes subsequently constructed [`Simulator`](crate::Simulator)s run on
+/// the frozen pre-optimization reference engine instead of the optimized
+/// one. Affects construction only; existing simulators keep their engine.
+///
+/// Tests that flip this must either run in a single `#[test]` or restore
+/// the flag before other tests construct simulators — the flag is
+/// process-wide.
+#[doc(hidden)]
+pub fn set_reference_engine(on: bool) {
+    REFERENCE_ENGINE.store(on, Ordering::SeqCst);
+}
+
+pub(crate) fn reference_engine() -> bool {
+    REFERENCE_ENGINE.load(Ordering::SeqCst)
+}

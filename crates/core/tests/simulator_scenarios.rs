@@ -19,6 +19,22 @@ fn workload(app: &str, cfg: &SystemConfig, sharing: bool) -> Workload {
 }
 
 #[test]
+fn zero_mesh_config_is_a_typed_error_not_an_abort() {
+    let cfg = SystemConfig {
+        mesh_width: 0,
+        mesh_height: 0,
+        ..SystemConfig::small_test()
+    };
+    match Simulator::try_new(cfg, FilterPolicy::TokenBroadcast, ContentPolicy::Broadcast) {
+        Err(vsnoop::SimError::InvalidConfig(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("0x0"), "error must name the dimensions: {msg}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
 fn undercommitted_machine_leaves_cores_idle() {
     // 2 VMs x 4 vCPUs on 16 cores: half the machine is idle.
     let cfg = SystemConfig {

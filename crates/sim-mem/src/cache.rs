@@ -32,6 +32,10 @@ use crate::line::{CacheLine, LineTag};
 pub struct CacheGeometry {
     bytes: u64,
     ways: usize,
+    /// `sets() - 1`, precomputed: set selection is on the hot path of
+    /// every probe, and the set count is only known at runtime, so the
+    /// modulo would otherwise compile to a hardware divide.
+    set_mask: u64,
 }
 
 impl CacheGeometry {
@@ -51,7 +55,11 @@ impl CacheGeometry {
         );
         let sets = bytes / line_bytes;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheGeometry { bytes, ways }
+        CacheGeometry {
+            bytes,
+            ways,
+            set_mask: sets - 1,
+        }
     }
 
     /// Total capacity in bytes.
@@ -76,7 +84,7 @@ impl CacheGeometry {
 
     /// The set index of `block`.
     pub const fn set_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets()) as usize
+        (block.index() & self.set_mask) as usize
     }
 }
 

@@ -35,8 +35,15 @@ mod addr;
 mod cache;
 mod line;
 mod protocol;
+mod reference;
+mod table;
 
 pub use addr::{Addr, BlockAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
 pub use cache::{Cache, CacheGeometry, CacheStats};
 pub use line::{CacheLine, LineTag, Moesi, TokenState};
-pub use protocol::{DataSource, ReadMode, ReadResult, TokenMemory, TokenProtocol, WriteResult};
+pub use protocol::{
+    mask_cores, DataSource, ReadMode, ReadOutcome, ReadResult, TokenLedger, TokenMemory,
+    TokenProtocol, WriteOutcome, WriteResult,
+};
+pub use reference::ReferenceProtocol;
+pub use table::BlockMap;

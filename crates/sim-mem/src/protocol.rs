@@ -16,11 +16,10 @@
 //! bounce any tokens they collected back to memory, so the global token
 //! count is invariant whether or not filtering was accurate.
 
-use std::collections::HashMap;
-
 use crate::addr::BlockAddr;
 use crate::cache::Cache;
 use crate::line::{CacheLine, LineTag, TokenState};
+use crate::table::BlockMap;
 
 /// Tokens held by the memory controller, per block.
 ///
@@ -33,10 +32,10 @@ use crate::line::{CacheLine, LineTag, TokenState};
 #[derive(Clone, Debug)]
 pub struct TokenMemory {
     total: u32,
-    entries: HashMap<BlockAddr, MemEntry>,
+    entries: BlockMap<MemEntry>,
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct MemEntry {
     tokens: u32,
     owner: bool,
@@ -52,15 +51,26 @@ impl TokenMemory {
         assert!(total > 0, "token count must be positive");
         TokenMemory {
             total,
-            entries: HashMap::new(),
+            entries: BlockMap::new(),
         }
     }
 
     fn entry(&self, block: BlockAddr) -> MemEntry {
-        self.entries.get(&block).copied().unwrap_or(MemEntry {
+        self.entries
+            .get(block.index())
+            .copied()
+            .unwrap_or(MemEntry {
+                tokens: self.total,
+                owner: true,
+            })
+    }
+
+    /// The reset-state entry: all tokens plus the owner token at home.
+    fn reset(&self) -> MemEntry {
+        MemEntry {
             tokens: self.total,
             owner: true,
-        })
+        }
     }
 
     /// Tokens per block in the whole system.
@@ -89,23 +99,19 @@ impl TokenMemory {
         self.entries
             .iter()
             .filter(|(_, e)| !(e.tokens == self.total && e.owner))
-            .map(|(&b, e)| (b, e.tokens, e.owner))
+            .map(|(b, e)| (BlockAddr::new(b), e.tokens, e.owner))
     }
 
     /// Takes up to `n` tokens from memory; returns `(taken, owner_taken)`.
     /// The owner token is handed out last: it transfers only when the take
     /// empties memory's holdings.
     pub fn take(&mut self, block: BlockAddr, n: u32) -> (u32, bool) {
-        let e = self.entry(block);
+        let reset = self.reset();
+        let e = self.entries.entry_mut(block.index(), reset);
         let taken = e.tokens.min(n);
         let owner_taken = e.owner && taken == e.tokens && taken > 0;
-        self.entries.insert(
-            block,
-            MemEntry {
-                tokens: e.tokens - taken,
-                owner: e.owner && !owner_taken,
-            },
-        );
+        e.tokens -= taken;
+        e.owner = e.owner && !owner_taken;
         (taken, owner_taken)
     }
 
@@ -115,16 +121,13 @@ impl TokenMemory {
     ///
     /// Panics (in debug builds) on token overflow or duplicate owner.
     pub fn put(&mut self, block: BlockAddr, n: u32, owner: bool) {
-        let e = self.entry(block);
-        debug_assert!(e.tokens + n <= self.total, "token overflow at memory");
+        let reset = self.reset();
+        let total = self.total;
+        let e = self.entries.entry_mut(block.index(), reset);
+        debug_assert!(e.tokens + n <= total, "token overflow at memory");
         debug_assert!(!(e.owner && owner), "duplicate owner token at memory");
-        self.entries.insert(
-            block,
-            MemEntry {
-                tokens: e.tokens + n,
-                owner: e.owner || owner,
-            },
-        );
+        e.tokens += n;
+        e.owner |= owner;
     }
 }
 
@@ -193,6 +196,96 @@ pub struct WriteResult {
     pub bounced: bool,
 }
 
+/// Outcome of a read (GETS) attempt on the allocation-free mask API.
+///
+/// The mirror of [`ReadResult`] with the core *sets* carried as `u64`
+/// bitmasks (bit `i` = core `i`) instead of heap-allocated vectors. Valid
+/// because the system caps cores at 64 (`SystemConfig::validate`).
+#[derive(Clone, Copy, Debug)]
+pub struct ReadOutcome {
+    /// Whether the attempt collected a token (and data).
+    pub success: bool,
+    /// Data source on success.
+    pub source: Option<DataSource>,
+    /// Mask of cores whose line disappeared (gave up their last token).
+    pub invalidated: u64,
+    /// Victim displaced from the requester's cache by the fill.
+    pub evicted: Option<CacheLine>,
+    /// Whether the eviction required a dirty write-back.
+    pub evicted_dirty: bool,
+    /// Number of remote caches that performed a snoop tag lookup.
+    pub snooped: u32,
+}
+
+/// Outcome of a write (GETX) attempt on the allocation-free mask API.
+///
+/// The mirror of [`WriteResult`] with core sets as `u64` bitmasks.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOutcome {
+    /// Whether all tokens were collected.
+    pub success: bool,
+    /// Data source (None when the requester already had a valid copy, or
+    /// on failure).
+    pub source: Option<DataSource>,
+    /// Mask of cores that surrendered tokens *without* supplying data.
+    pub token_repliers: u64,
+    /// Mask of cores whose line was invalidated.
+    pub invalidated: u64,
+    /// Victim displaced from the requester's cache by the fill.
+    pub evicted: Option<CacheLine>,
+    /// Whether the eviction required a dirty write-back.
+    pub evicted_dirty: bool,
+    /// Number of remote caches that performed a snoop tag lookup.
+    pub snooped: u32,
+    /// Tokens collected by a *failed* attempt were bounced to memory.
+    pub bounced: bool,
+}
+
+/// Iterates the set bits of a core mask in ascending core order.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::mask_cores;
+/// let cores: Vec<usize> = mask_cores(0b1010_0001).collect();
+/// assert_eq!(cores, vec![0, 5, 7]);
+/// ```
+pub fn mask_cores(mut mask: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(c)
+        }
+    })
+}
+
+fn mask_of(dests: &[usize]) -> u64 {
+    let mut mask = 0u64;
+    for &d in dests {
+        assert!(d < 64, "core index {d} exceeds the 64-bit mask width");
+        mask |= 1 << d;
+    }
+    mask
+}
+
+/// Read-only observers over a token ledger, implemented by both the
+/// optimized [`TokenProtocol`] and the frozen
+/// [`crate::ReferenceProtocol`], so invariant checkers and architectural
+/// state dumps can run against either engine.
+pub trait TokenLedger: std::fmt::Debug {
+    /// Tokens per block in the whole system.
+    fn total_tokens(&self) -> u32;
+    /// Tokens currently at memory for `block`.
+    fn memory_tokens(&self, block: BlockAddr) -> u32;
+    /// Whether memory holds the owner token for `block`.
+    fn memory_has_owner(&self, block: BlockAddr) -> bool;
+    /// The non-reset memory-side ledger entries, sorted by block.
+    fn memory_entries_sorted(&self) -> Vec<(BlockAddr, u32, bool)>;
+}
+
 /// The token-coherence engine: token conservation across a cache array and
 /// memory.
 ///
@@ -258,7 +351,13 @@ impl TokenProtocol {
     ///
     /// On success the requester's cache is filled (the token/ownership
     /// transfer and any eviction are handled internally); on failure
-    /// nothing changes. See [`ReadMode`] for the provider rules.
+    /// nothing changes. See [`ReadMode`] for the provider rules. `dests`
+    /// is treated as a *set*: when several caches could supply the data
+    /// (CleanShared), the lowest-indexed one does.
+    ///
+    /// This is a compatibility wrapper over
+    /// [`TokenProtocol::read_miss_masked`], the allocation-free mask API
+    /// the simulator's hot path uses directly.
     ///
     /// # Panics
     ///
@@ -284,26 +383,83 @@ impl TokenProtocol {
             caches[requester].probe(block).is_none(),
             "read_miss on a block the requester already caches"
         );
-        let snooped = dests.len();
-        let mut invalidated = Vec::new();
+        let out = self.read_miss_masked(
+            caches,
+            requester,
+            mask_of(dests),
+            block,
+            include_memory,
+            tag,
+            mode,
+        );
+        ReadResult {
+            success: out.success,
+            source: out.source,
+            invalidated: mask_cores(out.invalidated).collect(),
+            evicted: out.evicted,
+            evicted_dirty: out.evicted_dirty,
+            snooped: dests.len(),
+        }
+    }
+
+    /// Executes a read-miss (GETS) attempt with the destination set as a
+    /// core bitmask (bit `i` = core `i`). Allocation-free: the outcome
+    /// carries invalidations as a mask instead of a vector.
+    ///
+    /// Semantically identical to [`TokenProtocol::read_miss`] over the
+    /// ascending destination list; the self-snoop and already-cached
+    /// preconditions are only `debug_assert`ed here — this is the hot
+    /// path, and the invariant checker plus the differential guard pin
+    /// the behaviour in release builds.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
+    pub fn read_miss_masked(
+        &mut self,
+        caches: &mut [Cache],
+        requester: usize,
+        dests: u64,
+        block: BlockAddr,
+        include_memory: bool,
+        tag: LineTag,
+        mode: ReadMode,
+    ) -> ReadOutcome {
+        debug_assert_eq!(
+            dests & (1 << requester),
+            0,
+            "requester must not snoop itself"
+        );
+        debug_assert!(
+            caches[requester].probe(block).is_none(),
+            "read_miss on a block the requester already caches"
+        );
+        let snooped = dests.count_ones();
+        let mut invalidated = 0u64;
 
         // TokenB provider rule: the holder of the *owner* token responds
         // to a GETS with data — either a cache in the snooped set or
         // memory. Under `CleanShared` (read-only pages), any valid copy
         // may additionally respond, and memory may respond without the
-        // owner token.
-        let owner_at = dests
-            .iter()
-            .copied()
-            .find(|&c| caches[c].probe(block).is_some_and(|l| l.state.owner));
-        let holder_at = owner_at.or_else(|| {
-            if mode != ReadMode::CleanShared {
-                return None;
+        // owner token. One ascending pass finds both the (unique) owner
+        // and the lowest-indexed fallback holder.
+        let mut owner_at = None;
+        let mut first_holder = None;
+        let mut it = dests;
+        while it != 0 {
+            let c = it.trailing_zeros() as usize;
+            it &= it - 1;
+            if let Some(l) = caches[c].probe(block) {
+                if l.state.owner {
+                    owner_at = Some(c);
+                    break;
+                }
+                if first_holder.is_none() && l.state.tokens > 0 {
+                    first_holder = Some(c);
+                }
             }
-            dests
-                .iter()
-                .copied()
-                .find(|&c| caches[c].probe(block).is_some_and(|l| l.state.tokens > 0))
+        }
+        let holder_at = owner_at.or(if mode == ReadMode::CleanShared {
+            first_holder
+        } else {
+            None
         });
 
         let (fill, source) = if let Some(c) = holder_at {
@@ -317,7 +473,7 @@ impl TokenProtocol {
                 // Last token: the whole line (ownership and dirty data, if
                 // held) transfers to the requester.
                 let line = caches[c].remove(block).expect("line present");
-                invalidated.push(c);
+                invalidated |= 1 << c;
                 (line.state, DataSource::Cache(c))
             }
         } else if include_memory && mode == ReadMode::Strict && self.memory.has_owner(block) {
@@ -345,7 +501,7 @@ impl TokenProtocol {
                 DataSource::Memory,
             )
         } else {
-            return ReadResult {
+            return ReadOutcome {
                 success: false,
                 source: None,
                 invalidated,
@@ -357,7 +513,7 @@ impl TokenProtocol {
 
         let (evicted, evicted_dirty) =
             self.fill(caches, requester, CacheLine::new(block, fill, tag));
-        ReadResult {
+        ReadOutcome {
             success: true,
             source: Some(source),
             invalidated,
@@ -376,6 +532,13 @@ impl TokenProtocol {
     /// attempt bounces the tokens it collected back to memory and leaves
     /// the requester's pre-existing holdings untouched.
     ///
+    /// `dests` is treated as a *set*; outcome vectors list cores in
+    /// ascending index order.
+    ///
+    /// This is a compatibility wrapper over
+    /// [`TokenProtocol::write_miss_masked`], the allocation-free mask API
+    /// the simulator's hot path uses directly.
+    ///
     /// # Panics
     ///
     /// Panics if `dests` contains the requester.
@@ -392,8 +555,50 @@ impl TokenProtocol {
             !dests.contains(&requester),
             "requester must not snoop itself"
         );
+        let out = self.write_miss_masked(
+            caches,
+            requester,
+            mask_of(dests),
+            block,
+            include_memory,
+            tag,
+        );
+        WriteResult {
+            success: out.success,
+            source: out.source,
+            token_repliers: mask_cores(out.token_repliers).collect(),
+            invalidated: mask_cores(out.invalidated).collect(),
+            evicted: out.evicted,
+            evicted_dirty: out.evicted_dirty,
+            snooped: dests.len(),
+            bounced: out.bounced,
+        }
+    }
+
+    /// Executes a write-miss / upgrade (GETX) attempt with the
+    /// destination set as a core bitmask. Allocation-free: the outcome
+    /// carries the invalidated and token-replier sets as masks.
+    ///
+    /// Semantically identical to [`TokenProtocol::write_miss`] over the
+    /// ascending destination list; the self-snoop precondition is only
+    /// `debug_assert`ed here (hot path — see
+    /// [`TokenProtocol::read_miss_masked`]).
+    pub fn write_miss_masked(
+        &mut self,
+        caches: &mut [Cache],
+        requester: usize,
+        dests: u64,
+        block: BlockAddr,
+        include_memory: bool,
+        tag: LineTag,
+    ) -> WriteOutcome {
+        debug_assert_eq!(
+            dests & (1 << requester),
+            0,
+            "requester must not snoop itself"
+        );
         let total = self.total_tokens();
-        let snooped = dests.len();
+        let snooped = dests.count_ones();
         let existing = caches[requester].probe(block).map(|l| l.state);
         let have = existing.map_or(0, |s| s.tokens);
         let had_data = existing.is_some();
@@ -401,25 +606,28 @@ impl TokenProtocol {
         let mut gained = 0u32;
         let mut collected_owner = false;
         let mut source: Option<DataSource> = None;
-        let mut token_repliers = Vec::new();
-        let mut invalidated = Vec::new();
+        let mut token_repliers = 0u64;
+        let mut invalidated = 0u64;
 
-        for &c in dests {
+        let mut it = dests;
+        while it != 0 {
+            let c = it.trailing_zeros() as usize;
+            it &= it - 1;
             let Some(line) = caches[c].remove(block) else {
                 continue;
             };
             gained += line.state.tokens;
-            invalidated.push(c);
+            invalidated |= 1 << c;
             if line.state.owner {
                 collected_owner = true;
                 // The owner supplies the data block.
                 if !had_data {
                     source = Some(DataSource::Cache(c));
                 } else {
-                    token_repliers.push(c);
+                    token_repliers |= 1 << c;
                 }
             } else {
-                token_repliers.push(c);
+                token_repliers |= 1 << c;
             }
         }
         if include_memory {
@@ -446,7 +654,7 @@ impl TokenProtocol {
                 requester,
                 CacheLine::new(block, TokenState::modified(total), tag),
             );
-            WriteResult {
+            WriteOutcome {
                 success: true,
                 source,
                 token_repliers,
@@ -461,7 +669,7 @@ impl TokenProtocol {
             // pulled out of the owner was dirty this acts as a write-back,
             // keeping memory's copy clean.
             self.memory.put(block, gained, collected_owner);
-            WriteResult {
+            WriteOutcome {
                 success: false,
                 source: None,
                 token_repliers,
@@ -516,6 +724,26 @@ impl TokenProtocol {
             }
             None => (None, false),
         }
+    }
+}
+
+impl TokenLedger for TokenProtocol {
+    fn total_tokens(&self) -> u32 {
+        TokenProtocol::total_tokens(self)
+    }
+
+    fn memory_tokens(&self, block: BlockAddr) -> u32 {
+        TokenProtocol::memory_tokens(self, block)
+    }
+
+    fn memory_has_owner(&self, block: BlockAddr) -> bool {
+        TokenProtocol::memory_has_owner(self, block)
+    }
+
+    fn memory_entries_sorted(&self) -> Vec<(BlockAddr, u32, bool)> {
+        let mut v: Vec<_> = self.memory_entries().collect();
+        v.sort_unstable_by_key(|&(b, _, _)| b);
+        v
     }
 }
 

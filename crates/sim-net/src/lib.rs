@@ -35,5 +35,5 @@ pub use fault::{Delivery, LinkFaultConfig, LinkFaults};
 pub use latency::LatencyModel;
 pub use message::MessageKind;
 pub use network::{Network, SendOutcome};
-pub use topology::{Mesh, NodeId};
+pub use topology::{Mesh, NetConfigError, NodeId};
 pub use traffic::TrafficStats;

@@ -8,7 +8,7 @@
 use crate::fault::{Delivery, LinkFaults};
 use crate::latency::LatencyModel;
 use crate::message::MessageKind;
-use crate::topology::{Mesh, NodeId};
+use crate::topology::{Mesh, NetConfigError, NodeId};
 use crate::traffic::TrafficStats;
 
 /// Outcome of a fault-aware [`Network::send`].
@@ -62,20 +62,48 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if `ports` is empty or contains a node outside the mesh.
+    /// Panics if `ports` is empty or contains a node outside the mesh;
+    /// use [`Network::try_with_config`] to get a typed error instead.
     pub fn with_config(mesh: Mesh, latency: LatencyModel, ports: Vec<NodeId>) -> Self {
-        assert!(!ports.is_empty(), "need at least one memory port");
-        assert!(
-            ports.iter().all(|p| p.index() < mesh.len()),
-            "memory port outside mesh"
-        );
-        Network {
+        match Self::try_with_config(mesh, latency, ports) {
+            Ok(net) => net,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a network with an explicit latency model and memory ports,
+    /// rejecting port lists that would strand memory traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetConfigError::NoMemoryPorts`] for an empty port list
+    /// and [`NetConfigError::PortOutsideMesh`] for a port the mesh does
+    /// not contain.
+    pub fn try_with_config(
+        mesh: Mesh,
+        latency: LatencyModel,
+        ports: Vec<NodeId>,
+    ) -> Result<Self, NetConfigError> {
+        if ports.is_empty() {
+            return Err(NetConfigError::NoMemoryPorts {
+                width: mesh.width(),
+                height: mesh.height(),
+            });
+        }
+        if let Some(&bad) = ports.iter().find(|p| p.index() >= mesh.len()) {
+            return Err(NetConfigError::PortOutsideMesh {
+                port: bad,
+                width: mesh.width(),
+                height: mesh.height(),
+            });
+        }
+        Ok(Network {
             mesh,
             latency,
             ports,
             traffic: TrafficStats::default(),
             faults: None,
-        }
+        })
     }
 
     /// Installs (or, with `None`, clears) link-fault injection state.
@@ -123,9 +151,14 @@ impl Network {
         self.latency.base_latency(hops, kind.bytes())
     }
 
-    /// Sends the same message to every destination (as repeated unicasts);
-    /// returns the *maximum* base latency over the destinations, or 0 for
-    /// an empty destination set.
+    /// Sends the same message to every destination (modelled as repeated
+    /// unicasts); returns the *maximum* base latency over the
+    /// destinations, or 0 for an empty destination set.
+    ///
+    /// Traffic is accounted once for the whole destination set via
+    /// [`TrafficStats::record_batch`]; because every per-destination
+    /// message has the same size, the batched total is exactly the sum
+    /// the per-unicast loop would have produced.
     pub fn multicast(
         &mut self,
         src: NodeId,
@@ -133,8 +166,18 @@ impl Network {
         kind: MessageKind,
     ) -> u64 {
         let mut worst = 0;
+        let mut total_hops = 0u64;
+        let mut messages = 0u64;
+        let mut worst_hops = 0u32;
         for d in dests {
-            worst = worst.max(self.unicast(src, d, kind));
+            let hops = self.mesh.hops(src, d);
+            total_hops += u64::from(hops);
+            messages += 1;
+            worst_hops = worst_hops.max(hops);
+        }
+        if messages > 0 {
+            self.traffic.record_batch(kind, total_hops, messages);
+            worst = self.latency.base_latency(worst_hops, kind.bytes());
         }
         worst
     }
@@ -188,6 +231,37 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn portless_network_is_refused_with_dimensions() {
+        let mesh = Mesh::new(3, 2);
+        match Network::try_with_config(mesh, LatencyModel::default(), vec![]) {
+            Err(NetConfigError::NoMemoryPorts {
+                width: 3,
+                height: 2,
+            }) => {}
+            other => panic!("expected NoMemoryPorts, got {other:?}"),
+        }
+        match Network::try_with_config(mesh, LatencyModel::default(), vec![NodeId::new(6)]) {
+            Err(NetConfigError::PortOutsideMesh {
+                port,
+                width: 3,
+                height: 2,
+            }) => {
+                assert_eq!(port, NodeId::new(6));
+            }
+            other => panic!("expected PortOutsideMesh, got {other:?}"),
+        }
+        assert!(
+            Network::try_with_config(mesh, LatencyModel::default(), vec![NodeId::new(5)]).is_ok()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory ports")]
+    fn portless_panicking_constructor_names_the_problem() {
+        let _ = Network::with_config(Mesh::new(2, 2), LatencyModel::default(), vec![]);
+    }
 
     #[test]
     fn multicast_accounts_every_destination() {

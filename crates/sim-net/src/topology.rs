@@ -7,6 +7,61 @@
 
 use std::fmt;
 
+/// A structurally invalid network description, rejected at construction.
+///
+/// Carries the offending dimensions so callers (and the simulator's
+/// `SimError::InvalidConfig`) can say exactly which configuration was
+/// refused instead of aborting deep inside hop accounting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetConfigError {
+    /// A mesh dimension was zero.
+    EmptyMesh {
+        /// Requested width (columns).
+        width: usize,
+        /// Requested height (rows).
+        height: usize,
+    },
+    /// A network was configured with no memory-controller ports; every
+    /// memory round-trip would have nowhere to go.
+    NoMemoryPorts {
+        /// Mesh width the ports were declared for.
+        width: usize,
+        /// Mesh height the ports were declared for.
+        height: usize,
+    },
+    /// A declared memory port does not exist on the mesh.
+    PortOutsideMesh {
+        /// The out-of-range port.
+        port: NodeId,
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+}
+
+impl fmt::Display for NetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetConfigError::EmptyMesh { width, height } => {
+                write!(f, "mesh dimensions must be positive (got {width}x{height})")
+            }
+            NetConfigError::NoMemoryPorts { width, height } => {
+                write!(f, "{width}x{height} mesh has no memory ports")
+            }
+            NetConfigError::PortOutsideMesh {
+                port,
+                width,
+                height,
+            } => {
+                write!(f, "memory port {port} outside {width}x{height} mesh")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetConfigError {}
+
 /// A node (router) of the mesh; node *i* hosts core *i* in row-major order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(u16);
@@ -58,10 +113,22 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero; use [`Mesh::try_new`] to get a
+    /// typed error instead.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        Mesh { width, height }
+        Self::try_new(width, height).expect("mesh dimensions must be positive")
+    }
+
+    /// Creates a mesh, rejecting degenerate dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetConfigError::EmptyMesh`] if either dimension is zero.
+    pub fn try_new(width: usize, height: usize) -> Result<Self, NetConfigError> {
+        if width == 0 || height == 0 {
+            return Err(NetConfigError::EmptyMesh { width, height });
+        }
+        Ok(Mesh { width, height })
     }
 
     /// Returns the mesh width (columns).
@@ -150,19 +217,55 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if `ports` is empty.
+    /// Panics if `ports` is empty; a port-less network is refused at
+    /// construction by [`crate::Network::try_with_config`], so reaching
+    /// this with no ports means the caller bypassed validation — use
+    /// [`Mesh::try_nearest_port`] there instead.
     pub fn nearest_port(&self, node: NodeId, ports: &[NodeId]) -> NodeId {
-        assert!(!ports.is_empty(), "need at least one memory port");
-        *ports
+        self.try_nearest_port(node, ports)
+            .expect("need at least one memory port")
+    }
+
+    /// Returns the memory port (from `ports`) closest to `node`, or
+    /// `None` when `ports` is empty.
+    pub fn try_nearest_port(&self, node: NodeId, ports: &[NodeId]) -> Option<NodeId> {
+        ports
             .iter()
             .min_by_key(|&&p| (self.hops(node, p), p.index()))
-            .expect("ports non-empty")
+            .copied()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degenerate_mesh_is_refused_with_dimensions() {
+        match Mesh::try_new(0, 4) {
+            Err(NetConfigError::EmptyMesh {
+                width: 0,
+                height: 4,
+            }) => {}
+            other => panic!("expected EmptyMesh, got {other:?}"),
+        }
+        let msg = Mesh::try_new(4, 0).unwrap_err().to_string();
+        assert!(
+            msg.contains("4x0"),
+            "message must name the dimensions: {msg}"
+        );
+        assert!(Mesh::try_new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn nearest_port_of_empty_port_list_is_none() {
+        let m = Mesh::new(2, 2);
+        assert_eq!(m.try_nearest_port(NodeId::new(0), &[]), None);
+        assert_eq!(
+            m.try_nearest_port(NodeId::new(3), &m.corner_ports()),
+            Some(NodeId::new(3))
+        );
+    }
 
     #[test]
     fn coords_roundtrip() {

@@ -33,10 +33,33 @@ impl TrafficStats {
     /// Zero-hop (local) deliveries consume no link bandwidth and add no
     /// traffic, but are still counted as messages.
     pub fn record(&mut self, kind: MessageKind, hops: u32) {
-        let contribution = u64::from(kind.bytes()) * u64::from(hops);
-        self.byte_links += contribution;
-        self.per_kind_byte_links[kind.index()] += contribution;
-        self.per_kind_messages[kind.index()] += 1;
+        self.record_batch(kind, u64::from(hops), 1);
+    }
+
+    /// Records `messages` same-kind messages that together crossed
+    /// `total_hops` links — the batched form a multicast uses to account
+    /// a whole destination set in one call.
+    ///
+    /// Because every message of a kind has the same size, the batched
+    /// contribution `bytes * total_hops` equals the sum of the
+    /// per-unicast contributions exactly (no rounding is involved), so
+    /// batching is invisible to the Table IV byte-links metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the byte-links counter overflows.
+    pub fn record_batch(&mut self, kind: MessageKind, total_hops: u64, messages: u64) {
+        let contribution = u64::from(kind.bytes())
+            .checked_mul(total_hops)
+            .expect("byte-links contribution overflow");
+        debug_assert!(
+            self.byte_links.checked_add(contribution).is_some(),
+            "byte_links counter overflow"
+        );
+        self.byte_links = self.byte_links.wrapping_add(contribution);
+        self.per_kind_byte_links[kind.index()] =
+            self.per_kind_byte_links[kind.index()].wrapping_add(contribution);
+        self.per_kind_messages[kind.index()] += messages;
     }
 
     /// Total byte-links accumulated.
@@ -102,6 +125,47 @@ mod tests {
         t.record(MessageKind::Data, 0);
         assert_eq!(t.byte_links(), 0);
         assert_eq!(t.messages(), 1);
+    }
+
+    #[test]
+    fn batch_equals_per_unicast_sum() {
+        // Deterministic counterpart of the `proptest`-gated property:
+        // batching a destination set is invisible to every counter.
+        let hop_sets: [&[u32]; 4] = [&[], &[0], &[3, 1, 4, 1, 5], &[9, 2, 6, 5, 3, 5, 8, 9, 7]];
+        for kind in MessageKind::ALL {
+            for hops in hop_sets {
+                let mut naive = TrafficStats::default();
+                for &h in hops {
+                    naive.record(kind, h);
+                }
+                let mut batched = TrafficStats::default();
+                batched.record_batch(
+                    kind,
+                    hops.iter().map(|&h| u64::from(h)).sum(),
+                    hops.len() as u64,
+                );
+                assert_eq!(batched, naive, "{kind:?} {hops:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contribution overflow")]
+    fn absurd_hop_total_is_rejected() {
+        let mut t = TrafficStats::default();
+        t.record_batch(MessageKind::Data, u64::MAX / 2, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "byte_links counter overflow")]
+    fn accumulated_overflow_is_caught_in_debug() {
+        let mut t = TrafficStats::default();
+        // Two contributions that each fit in u64 but whose sum does not.
+        let third = u64::MAX / u64::from(MessageKind::Data.bytes()) / 2;
+        t.record_batch(MessageKind::Data, third, 1);
+        t.record_batch(MessageKind::Data, third, 1);
+        t.record_batch(MessageKind::Data, third, 1);
     }
 
     #[test]

@@ -69,6 +69,30 @@ proptest! {
     }
 
     #[test]
+    fn batched_record_matches_naive_per_unicast(
+        k in 0usize..6,
+        hops in prop::collection::vec(0u32..12, 0..40),
+    ) {
+        let kind = MessageKind::ALL[k % MessageKind::ALL.len()];
+        // Naive model: every destination of a multicast is its own
+        // unicast, recorded one at a time.
+        let mut naive = TrafficStats::default();
+        for &h in &hops {
+            naive.record(kind, h);
+        }
+        // Batched form: one call with the hop total and message count.
+        let mut batched = TrafficStats::default();
+        batched.record_batch(
+            kind,
+            hops.iter().map(|&h| u64::from(h)).sum(),
+            hops.len() as u64,
+        );
+        // `bytes * sum(hops) == sum(bytes * hops)` exactly in u64, so the
+        // whole statistics block must be identical, not merely close.
+        prop_assert_eq!(batched, naive);
+    }
+
+    #[test]
     fn multicast_traffic_equals_sum_of_unicasts(
         w in 2usize..5, h in 2usize..5,
         src in 0u16..25,

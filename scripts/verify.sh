@@ -26,6 +26,19 @@ cargo clippy --workspace --all-targets --features proptest -- -D warnings
 echo "==> robustness soak (fault injection + invariant checker)"
 ./target/release/soak
 
+echo "==> perf smoke (throughput harness + regression gate)"
+# A short run of every bin: produces the machine-readable throughput
+# report and fails if any bin regressed >20% (PERF_REGRESSION_PCT)
+# against the committed baseline. Windows are shortened but the warmup
+# keeps its full default length — measuring before the caches reach
+# steady state reads systematically low against the baseline, which is
+# regenerated with the default (longer) windows.
+PERF_ROUNDS=4000 ./target/release/perf \
+  --reps 2 \
+  --out target/BENCH_throughput.json \
+  --check BENCH_throughput.json
+test -s target/BENCH_throughput.json
+
 echo "==> campaign runner smoke (panic isolation + degraded mode)"
 # A 3-job sub-campaign with one injected panic must complete, exit 0 in
 # degraded mode, flag the failure, and write a crash reproducer.
