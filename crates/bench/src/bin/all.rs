@@ -7,10 +7,16 @@
 //! behaviour); progress and the degraded-mode summary go to stderr.
 //!
 //! ```text
-//! all [--jobs N] [--timeout SECS] [--retries N] [--dir DIR]
+//! all [--jobs N] [--workers N] [--timeout SECS] [--retries N] [--dir DIR]
 //!     [--resume] [--only NAME]... [--list] [--repro FILE]
 //!     [--inject-panic NAME]... [--inject-hang NAME]... [--inject-flaky NAME]...
 //! ```
+//!
+//! `--jobs` bounds the supervisor's worker pool (whole artifacts in
+//! flight); `--workers` bounds the *shard* pool each heavy artifact
+//! fans its per-application cells over (default: all cores; `1` forces
+//! the serial legacy path). Output is byte-identical at any setting of
+//! either knob.
 //!
 //! Artifacts land under `--dir` (default `target/campaign/`) with
 //! deterministic names: `journal.jsonl` (append-only checkpoint),
@@ -30,6 +36,7 @@ use vsnoop_bench::scale_from_env;
 
 struct Cli {
     jobs: usize,
+    workers: Option<usize>,
     timeout_secs: u64,
     retries: u32,
     dir: PathBuf,
@@ -42,6 +49,7 @@ struct Cli {
 fn parse_cli() -> Result<Cli, String> {
     let mut cli = Cli {
         jobs: 1,
+        workers: None,
         timeout_secs: 0,
         retries: 1,
         dir: PathBuf::from("target/campaign"),
@@ -61,6 +69,13 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.jobs = value("--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--workers" => {
+                cli.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
             }
             "--timeout" => {
                 cli.timeout_secs = value("--timeout")?
@@ -82,7 +97,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--inject-flaky" => cli.opts.inject_flaky.push(value("--inject-flaky")?),
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: all [--jobs N] [--timeout SECS] [--retries N] [--dir DIR]\n\
+                    "usage: all [--jobs N] [--workers N] [--timeout SECS] [--retries N] [--dir DIR]\n\
                      \u{20}          [--resume] [--only NAME]... [--list] [--repro FILE]\n\
                      \u{20}          [--inject-panic NAME]... [--inject-hang NAME]... \
                      [--inject-flaky NAME]...\n\
@@ -152,6 +167,9 @@ fn main() -> ExitCode {
         return replay(path);
     }
 
+    if let Some(n) = cli.workers {
+        vsnoop::runner::set_shard_workers(n.max(1));
+    }
     let scale = scale_from_env();
     let jobs = match campaign_jobs(scale, &cli.opts) {
         Ok(j) => j,

@@ -20,17 +20,34 @@
 //!   fast path (small destination sets).
 //! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
 //!   all cores, stressing destination iteration and snoop accounting.
+//! * `campaign` — the campaign's duplication-heavy report set (Table
+//!   IV/Fig. 6 run twice from the same cells, Table V and Table VI
+//!   sharing one cell per app) with warm-state reuse and parallel
+//!   sharding on. The warm pool and cell memo are cleared before every
+//!   timed window, so each rep pays the full warm-up cost honestly.
+//! * `campaign_serial` — the identical report set with reuse off and
+//!   one shard worker: the legacy serial path. `campaign` vs
+//!   `campaign_serial` is the measured end-to-end speedup of the
+//!   warm-state layer (both report the same nominal step count, so the
+//!   steps/sec ratio is exactly the wall-clock ratio). The two bins
+//!   are timed as one interleaved pair at their own pinned window
+//!   length (`PERF_CAMPAIGN_ROUNDS`, default 20 000, independent of
+//!   `--rounds`) so a short `PERF_ROUNDS` smoke still compares them
+//!   against the committed full-length baseline at equal scale.
 //!
 //! ```text
 //! perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]
 //!      [--warmup N] [--reps N] [--only NAME]... [--list]
 //! ```
 //!
-//! `--out` writes the machine-readable `BENCH_throughput.json`; `--check`
-//! compares the run against a committed baseline and fails (exit 1) if any
-//! bin's steps/sec regressed by more than `--tolerance` percent (default
-//! 20, env `PERF_REGRESSION_PCT`). Timed values vary run to run; the JSON
-//! is *not* byte-deterministic, unlike the campaign artifacts.
+//! `--out` writes the machine-readable `BENCH_throughput.json` (schema
+//! `vsnoop-perf/v2`: per-bin `rss_delta_bytes` records how much each bin
+//! raised the process peak RSS — bins run serially in listed order, so
+//! the deltas attribute the high-water mark); `--check` compares the run
+//! against a committed baseline and fails (exit 1) if any bin's
+//! steps/sec regressed by more than `--tolerance` percent (default 20,
+//! env `PERF_REGRESSION_PCT`). Timed values vary run to run; the JSON is
+//! *not* byte-deterministic, unlike the campaign artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +63,7 @@ use vsnoop::{
 };
 use workloads::{try_profile, Workload, WorkloadConfig};
 
-const SCHEMA: &str = "vsnoop-perf/v1";
+const SCHEMA: &str = "vsnoop-perf/v2";
 const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
 
 struct Cli {
@@ -109,7 +126,7 @@ fn parse_cli() -> Result<Cli, String> {
                 return Err(
                     "usage: perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]\n\
                      \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list]\n\
-                     bins: storm, storm_unchecked, pinned, broadcast"
+                     bins: storm, storm_unchecked, pinned, broadcast, campaign, campaign_serial"
                         .into(),
                 );
             }
@@ -139,6 +156,11 @@ struct BinResult {
     best_elapsed_s: f64,
     steps_per_sec: f64,
     rounds_per_sec: f64,
+    /// How much this bin raised the process peak RSS (`VmHWM` after
+    /// minus before). Bins run serially on one worker, so the deltas
+    /// attribute the global high-water mark bin by bin; a bin that
+    /// stays under an earlier bin's peak reports 0.
+    rss_delta_bytes: u64,
 }
 
 impl BinResult {
@@ -151,6 +173,7 @@ impl BinResult {
             ("best_elapsed_s", Value::Float(self.best_elapsed_s)),
             ("steps_per_sec", Value::Float(self.steps_per_sec)),
             ("rounds_per_sec", Value::Float(self.rounds_per_sec)),
+            ("rss_delta_bytes", Value::UInt(self.rss_delta_bytes)),
         ])
     }
 }
@@ -184,9 +207,19 @@ fn picker(cfg: SystemConfig, seed: u64) -> impl FnMut(u64) -> (VcpuId, VcpuId) {
 }
 
 /// How a bin drives its simulator for one window of `rounds`.
+#[derive(Clone, Copy)]
 enum Drive {
     Plain,
-    Migration { period_cycles: u64, seed: u64 },
+    Migration {
+        period_cycles: u64,
+        seed: u64,
+    },
+    /// The campaign report set (see [`run_campaign_bin`]); `reuse`
+    /// toggles the warm pool + cell memo + parallel sharding against
+    /// the serial no-reuse control.
+    Campaign {
+        reuse: bool,
+    },
 }
 
 struct BinSpec {
@@ -235,12 +268,149 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             drive: Drive::Plain,
         },
+        BinSpec {
+            name: "campaign",
+            policy: FilterPolicy::VsnoopBase, // unused: campaign bins pick per-cell policies
+            faults: false,
+            checker: false,
+            drive: Drive::Campaign { reuse: true },
+        },
+        BinSpec {
+            name: "campaign_serial",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            drive: Drive::Campaign { reuse: false },
+        },
     ]
+}
+
+/// The stashed counterpart result from [`run_campaign_pair`]: the two
+/// campaign bins exist to report a *ratio* of best-windows, so they
+/// are timed as one interleaved pair and whichever bin runs first
+/// computes both, leaving the other's result here.
+static CAMPAIGN_COUNTERPART: Mutex<Option<BinResult>> = Mutex::new(None);
+
+/// Runs one campaign bin: the campaign's duplication-heavy report set —
+/// Table IV / Fig. 6 computed twice (the real campaign renders both
+/// artifacts from the same cells), plus Table V and Table VI (one
+/// shared cell per content app) — at a scale derived from `--rounds`.
+/// With `reuse` the warm pool, cell memo and parallel shard pool are
+/// active (cleared before every timed rep so each window pays its
+/// warm-ups); without it every cell warms and measures serially, which
+/// is the legacy campaign path.
+fn run_campaign_bin(reuse: bool, reps: u32, seed: u64) -> BinResult {
+    let want = if reuse { "campaign" } else { "campaign_serial" };
+    let stashed = {
+        let mut stash = CAMPAIGN_COUNTERPART.lock().unwrap();
+        if stash.as_ref().is_some_and(|r| r.name == want) {
+            stash.take()
+        } else {
+            None
+        }
+    };
+    if let Some(r) = stashed {
+        return r;
+    }
+    let (fast, serial) = run_campaign_pair(reps, seed);
+    let (ret, other) = if reuse {
+        (fast, serial)
+    } else {
+        (serial, fast)
+    };
+    *CAMPAIGN_COUNTERPART.lock().unwrap() = Some(other);
+    ret
+}
+
+/// Times the campaign report set with warm-state reuse on and off as
+/// one interleaved sequence (fast window, serial window, fast, ...),
+/// so slow host phases hit both variants alike instead of landing in
+/// whichever bin happened to run then — the reported
+/// `campaign_speedup` ratio would otherwise absorb the drift twice.
+/// For the same reason the pair runs at least six windows apiece.
+///
+/// The window length is pinned by `PERF_CAMPAIGN_ROUNDS` (default
+/// 20 000), *not* by `--rounds`: per-cell fixed costs (simulator
+/// construction, snapshot forks) amortize over the rounds, so the
+/// bins' steps/sec only compares against a baseline taken at the same
+/// scale — a short `PERF_ROUNDS` smoke must still gate these bins
+/// against the committed full-length baseline.
+///
+/// Both variants report the same *nominal* step count (the serial
+/// access total), so `steps_per_sec` ratios between them are exactly
+/// wall-clock ratios for the same work product.
+fn run_campaign_pair(reps: u32, seed: u64) -> (BinResult, BinResult) {
+    use vsnoop::experiments::{table4_fig6, table5, table6, RunScale};
+
+    let reps = reps.max(6);
+    let rounds = env_u64("PERF_CAMPAIGN_ROUNDS", 20_000);
+    let cfg = SystemConfig::paper_default();
+    let scale = RunScale {
+        warmup_rounds: rounds,
+        measure_rounds: rounds,
+        seed,
+    };
+
+    // [fast, serial]
+    let mut best_elapsed = [f64::INFINITY; 2];
+    let mut rss_delta = [0u64; 2];
+    for _ in 0..reps {
+        for (slot, reuse) in [(0usize, true), (1usize, false)] {
+            vsnoop::set_warm_reuse(reuse);
+            // 0 clears the override: environment / host parallelism decides.
+            vsnoop::runner::set_shard_workers(if reuse { 0 } else { 1 });
+            vsnoop::clear_warm_pool();
+            let rss_before = peak_rss_bytes();
+            let t0 = Instant::now();
+            let t4 = table4_fig6(scale);
+            let f6 = table4_fig6(scale);
+            let t5 = table5(scale);
+            let t6 = table6(scale);
+            let elapsed = t0.elapsed().as_secs_f64();
+            assert_eq!(t4.len(), f6.len());
+            assert!(!t5.is_empty() && !t6.is_empty());
+            if elapsed < best_elapsed[slot] {
+                best_elapsed[slot] = elapsed;
+            }
+            rss_delta[slot] = rss_delta[slot].max(peak_rss_bytes().saturating_sub(rss_before));
+        }
+    }
+    // Restore the defaults for whatever bin runs next.
+    vsnoop::set_warm_reuse(true);
+    vsnoop::runner::set_shard_workers(0);
+    vsnoop::clear_warm_pool();
+
+    // Nominal serial work: every cell the report set runs without any
+    // reuse, warm-up plus measurement, one access per core per round.
+    let n_sim = workloads::simulation_apps().len() as u64;
+    let n_content = workloads::content_apps().len() as u64;
+    let cell_runs = 2 * (2 * n_sim) // table4_fig6 twice: TokenB + base per app
+        + n_content // table5
+        + n_content; // table6 (the same cell as table5)
+    let steps = cell_runs * (scale.warmup_rounds + scale.measure_rounds) * cfg.n_cores() as u64;
+    let result = |name: &'static str, best: f64, rss: u64| BinResult {
+        name,
+        rounds,
+        reps,
+        steps,
+        best_elapsed_s: best,
+        steps_per_sec: steps as f64 / best,
+        rounds_per_sec: cell_runs as f64 * 2.0 * rounds as f64 / best,
+        rss_delta_bytes: rss,
+    };
+    (
+        result("campaign", best_elapsed[0], rss_delta[0]),
+        result("campaign_serial", best_elapsed[1], rss_delta[1]),
+    )
 }
 
 /// Runs one bin: builds the machine, warms it up, then times `reps`
 /// measurement windows and keeps the fastest.
 fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -> BinResult {
+    if let Drive::Campaign { reuse } = spec.drive {
+        return run_campaign_bin(reuse, reps, seed);
+    }
+    let rss_before = peak_rss_bytes();
     let cfg = SystemConfig::paper_default();
     let mut sim = Simulator::new(cfg, spec.policy, ContentPolicy::Broadcast);
     if spec.faults {
@@ -253,12 +423,13 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     let drive = |sim: &mut Simulator, wl: &mut dyn DriveWorkload, rounds: u64| match spec.drive {
         Drive::Plain => wl.run_plain(sim, rounds),
         Drive::Migration { period_cycles, .. } => wl.run_migration(sim, rounds, period_cycles),
+        Drive::Campaign { .. } => unreachable!("handled by run_campaign_bin"),
     };
     // The migration picker must live across windows so the storm keeps
     // shuffling new pairs instead of replaying the first ones.
     let picker_seed = match spec.drive {
         Drive::Migration { seed: s, .. } => seed ^ s,
-        Drive::Plain => 0,
+        Drive::Plain | Drive::Campaign { .. } => 0,
     };
     let mut wl = DrivenWorkload {
         wl: &mut wl,
@@ -287,6 +458,7 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
         best_elapsed_s: best_elapsed,
         steps_per_sec: steps_per_window as f64 / best_elapsed,
         rounds_per_sec: cli_rounds as f64 / best_elapsed,
+        rss_delta_bytes: peak_rss_bytes().saturating_sub(rss_before),
     }
 }
 
@@ -331,8 +503,15 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// The `campaign` / `campaign_serial` wall-clock ratio, when both ran.
+fn campaign_speedup(results: &[BinResult]) -> Option<f64> {
+    let get = |n: &str| results.iter().find(|r| r.name == n);
+    let (fast, serial) = (get("campaign")?, get("campaign_serial")?);
+    (fast.best_elapsed_s > 0.0).then(|| serial.best_elapsed_s / fast.best_elapsed_s)
+}
+
 fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
-    Value::obj([
+    let mut fields = vec![
         ("schema", Value::Str(SCHEMA.into())),
         ("rounds_per_window", Value::UInt(rounds)),
         ("reps", Value::UInt(u64::from(reps))),
@@ -341,7 +520,11 @@ fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
             Value::Arr(results.iter().map(BinResult::to_value).collect()),
         ),
         ("peak_rss_bytes", Value::UInt(peak_rss_bytes())),
-    ])
+    ];
+    if let Some(speedup) = campaign_speedup(results) {
+        fields.push(("campaign_speedup", Value::Float(speedup)));
+    }
+    Value::obj(fields)
 }
 
 /// Compares `current` against a baseline file; returns the list of bins
@@ -420,16 +603,7 @@ fn main() -> ExitCode {
             let policy = spec.policy;
             let faults = spec.faults;
             let checker = spec.checker;
-            let drive = match spec.drive {
-                Drive::Plain => Drive::Plain,
-                Drive::Migration {
-                    period_cycles,
-                    seed,
-                } => Drive::Migration {
-                    period_cycles,
-                    seed,
-                },
-            };
+            let drive = spec.drive;
             let (rounds, warmup, reps) = (cli.rounds, cli.warmup, cli.reps);
             let sink = Arc::clone(&results);
             Job::new(name, seed, params, move |_ctx| {
@@ -438,16 +612,7 @@ fn main() -> ExitCode {
                     policy,
                     faults,
                     checker,
-                    drive: match drive {
-                        Drive::Plain => Drive::Plain,
-                        Drive::Migration {
-                            period_cycles,
-                            seed,
-                        } => Drive::Migration {
-                            period_cycles,
-                            seed,
-                        },
-                    },
+                    drive,
                 };
                 let r = run_bin(&spec, rounds, warmup, reps, seed);
                 let line = format!(
@@ -493,6 +658,9 @@ fn main() -> ExitCode {
 
     let json = report_json(&results, cli.rounds, cli.reps);
     println!("peak RSS: {} MiB", peak_rss_bytes() / (1024 * 1024));
+    if let Some(speedup) = campaign_speedup(&results) {
+        println!("campaign speedup (warm reuse + sharding vs serial): {speedup:.2}x");
+    }
     if let Some(out) = &cli.out {
         if let Some(dir) = out.parent() {
             if !dir.as_os_str().is_empty() {

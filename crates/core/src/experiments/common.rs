@@ -1,6 +1,6 @@
 //! Shared plumbing for the experiment drivers.
 
-use workloads::{AppProfile, Workload, WorkloadConfig};
+use workloads::AppProfile;
 
 use crate::config::SystemConfig;
 use crate::policy::{ContentPolicy, FilterPolicy};
@@ -39,13 +39,15 @@ impl RunScale {
             seed: 0xC0FFEE,
         }
     }
-}
 
-impl RunScale {
     /// Scales the measurement window up for the migration experiments
     /// (Figs. 7-9): those must cover a whole simulated "execution" (~20
     /// scaled ms) so the vCPU maps reach the behaviour the paper reports,
-    /// rather than a short steady-state window.
+    /// rather than a short steady-state window. Only `measure_rounds`
+    /// grows (16x); the warm-up and seed are unchanged, so migration
+    /// cells share warm snapshots with the pinned experiments. The same
+    /// 16x factor caps the per-period round *floor* applied in
+    /// `run_migrating` — see the comment there.
     pub fn for_migration(self) -> RunScale {
         RunScale {
             measure_rounds: self.measure_rounds.saturating_mul(16),
@@ -63,6 +65,11 @@ impl Default for RunScale {
 /// Builds the paper's simulated machine (Table II) running `app` on every
 /// VM, executes warm-up plus measurement, and returns the simulator for
 /// inspection.
+///
+/// The warm-up goes through the process-wide warm pool
+/// ([`crate::experiments::warm`]): with reuse enabled the warmed state is
+/// forked from a cached snapshot instead of re-simulated, with results
+/// bit-identical to a cold run (pinned by `tests/fork_identity.rs`).
 pub fn run_pinned(
     app: &'static AppProfile,
     policy: FilterPolicy,
@@ -72,18 +79,15 @@ pub fn run_pinned(
     cfg: SystemConfig,
     scale: RunScale,
 ) -> Simulator {
-    let mut sim = Simulator::new(cfg, policy, content_policy);
-    let mut wl = Workload::homogeneous(
+    let (mut sim, mut wl) = crate::experiments::warm::warmed_pair(
         app,
-        cfg.n_vms,
-        WorkloadConfig {
-            vcpus_per_vm: cfg.vcpus_per_vm,
-            seed: scale.seed,
-            host_activity,
-            content_sharing,
-        },
+        policy,
+        content_policy,
+        content_sharing,
+        host_activity,
+        cfg,
+        scale,
     );
-    sim.run(&mut wl, scale.warmup_rounds);
     sim.reset_measurement();
     sim.run(&mut wl, scale.measure_rounds);
     sim

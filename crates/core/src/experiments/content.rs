@@ -7,11 +7,35 @@
 //! decomposes, for each content-shared read miss, who could have supplied
 //! the data.
 
-use workloads::content_apps;
+use workloads::{content_apps, AppProfile};
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_pinned, RunScale};
+use crate::experiments::common::RunScale;
+use crate::experiments::warm::{self, CellResult, CellSpec};
 use crate::policy::{ContentPolicy, FilterPolicy};
+use crate::runner::scatter;
+use std::sync::Arc;
+
+/// The shared content cell: base virtual snooping with broadcast routing
+/// over the dedup'd page set. Table V, Table VI and Fig. 10's broadcast
+/// bars all consume this one cell per application (memoized, so it is
+/// simulated once per campaign).
+fn content_broadcast_cell(
+    app: &'static AppProfile,
+    cfg: SystemConfig,
+    scale: RunScale,
+) -> Arc<CellResult> {
+    warm::cell(&CellSpec {
+        app,
+        policy: FilterPolicy::VsnoopBase,
+        content_policy: ContentPolicy::Broadcast,
+        content_sharing: true,
+        host_activity: false,
+        cfg,
+        scale,
+        migration_period_ms: None,
+    })
+}
 
 /// One row of Table V.
 #[derive(Clone, Debug)]
@@ -28,31 +52,20 @@ pub struct Table5Row {
     pub paper_miss_pct: Option<f64>,
 }
 
-/// Runs Table V: content-shared access and miss ratios.
+/// Runs Table V: content-shared access and miss ratios. One shard per
+/// application.
 pub fn table5(scale: RunScale) -> Vec<Table5Row> {
     let cfg = SystemConfig::paper_default();
-    content_apps()
-        .into_iter()
-        .map(|app| {
-            let sim = run_pinned(
-                app,
-                FilterPolicy::VsnoopBase,
-                ContentPolicy::Broadcast,
-                true,
-                false,
-                cfg,
-                scale,
-            );
-            let s = sim.stats();
-            Table5Row {
-                name: app.name,
-                access_pct: 100.0 * s.content_access_fraction(),
-                miss_pct: 100.0 * s.content_miss_fraction(),
-                paper_access_pct: app.targets.table5_access_pct,
-                paper_miss_pct: app.targets.table5_miss_pct,
-            }
-        })
-        .collect()
+    scatter(content_apps(), |app| {
+        let r = content_broadcast_cell(app, cfg, scale);
+        Table5Row {
+            name: app.name,
+            access_pct: 100.0 * r.stats.content_access_fraction(),
+            miss_pct: 100.0 * r.stats.content_miss_fraction(),
+            paper_access_pct: app.targets.table5_access_pct,
+            paper_miss_pct: app.targets.table5_miss_pct,
+        }
+    })
 }
 
 /// One bar of Fig. 10.
@@ -67,31 +80,38 @@ pub struct Fig10Row {
 }
 
 /// Runs Fig. 10: measured snoops per content policy, normalized to the
-/// TokenB baseline (`16 x misses` on the same trace).
+/// TokenB baseline (`16 x misses` on the same trace). One shard per
+/// `app x policy` cell; the broadcast cells are shared with Table V/VI.
 pub fn fig10(scale: RunScale) -> Vec<Fig10Row> {
     let cfg = SystemConfig::paper_default();
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for app in content_apps() {
         for policy in ContentPolicy::ALL {
-            let sim = run_pinned(
-                app,
-                FilterPolicy::VsnoopBase,
-                policy,
-                true,
-                false,
-                cfg,
-                scale,
-            );
-            let s = sim.stats();
-            let baseline = s.l2_misses.max(1) * cfg.n_cores() as u64;
-            out.push(Fig10Row {
-                name: app.name,
-                policy,
-                norm_snoops_pct: 100.0 * s.snoops as f64 / baseline as f64,
-            });
+            cells.push((app, policy));
         }
     }
-    out
+    scatter(cells, |(app, policy)| {
+        let r = if policy == ContentPolicy::Broadcast {
+            content_broadcast_cell(app, cfg, scale)
+        } else {
+            warm::cell(&CellSpec {
+                app,
+                policy: FilterPolicy::VsnoopBase,
+                content_policy: policy,
+                content_sharing: true,
+                host_activity: false,
+                cfg,
+                scale,
+                migration_period_ms: None,
+            })
+        };
+        let baseline = r.stats.l2_misses.max(1) * cfg.n_cores() as u64;
+        Fig10Row {
+            name: app.name,
+            policy,
+            norm_snoops_pct: 100.0 * r.stats.snoops as f64 / baseline as f64,
+        }
+    })
 }
 
 /// One column of Table VI.
@@ -115,29 +135,18 @@ pub struct Table6Row {
 /// policy-independent).
 pub fn table6(scale: RunScale) -> Vec<Table6Row> {
     let cfg = SystemConfig::paper_default();
-    content_apps()
-        .into_iter()
-        .map(|app| {
-            let sim = run_pinned(
-                app,
-                FilterPolicy::VsnoopBase,
-                ContentPolicy::Broadcast,
-                true,
-                false,
-                cfg,
-                scale,
-            );
-            let s = sim.stats();
-            let total = (s.holders_any_cache + s.holders_memory).max(1) as f64;
-            Table6Row {
-                name: app.name,
-                cache_all_pct: 100.0 * s.holders_any_cache as f64 / total,
-                cache_intra_pct: 100.0 * s.holders_intra_vm as f64 / total,
-                cache_friend_pct: 100.0 * s.holders_friend_vm as f64 / total,
-                memory_pct: 100.0 * s.holders_memory as f64 / total,
-            }
-        })
-        .collect()
+    scatter(content_apps(), |app| {
+        let r = content_broadcast_cell(app, cfg, scale);
+        let s = &r.stats;
+        let total = (s.holders_any_cache + s.holders_memory).max(1) as f64;
+        Table6Row {
+            name: app.name,
+            cache_all_pct: 100.0 * s.holders_any_cache as f64 / total,
+            cache_intra_pct: 100.0 * s.holders_intra_vm as f64 / total,
+            cache_friend_pct: 100.0 * s.holders_friend_vm as f64 / total,
+            memory_pct: 100.0 * s.holders_memory as f64 / total,
+        }
+    })
 }
 
 #[cfg(test)]

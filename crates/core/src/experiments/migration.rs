@@ -13,11 +13,13 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sim_vm::{VcpuId, VmId};
-use workloads::{simulation_apps, AppProfile, Workload, WorkloadConfig};
+use workloads::{simulation_apps, AppProfile};
 
 use crate::config::SystemConfig;
 use crate::experiments::common::RunScale;
+use crate::experiments::warm::{self, CellSpec};
 use crate::policy::{ContentPolicy, FilterPolicy};
+use crate::runner::scatter;
 use crate::simulator::Simulator;
 
 /// One bar of Fig. 7/8.
@@ -66,27 +68,26 @@ fn make_picker(cfg: SystemConfig, seed: u64) -> impl FnMut(u64) -> (VcpuId, Vcpu
 }
 
 /// Runs one app under one policy with periodic cross-VM shuffles and
-/// returns `(simulator, rounds_run)`.
-fn run_migrating(
+/// returns the simulator for inspection. The warm-up (pinned, no
+/// migrations yet) comes from the process-wide warm pool, exactly like
+/// [`crate::experiments::run_pinned`].
+pub(crate) fn run_migrating(
     app: &'static AppProfile,
     policy: FilterPolicy,
     period_ms: f64,
     cfg: SystemConfig,
     scale: RunScale,
 ) -> Simulator {
-    let mut sim = Simulator::new(cfg, policy, ContentPolicy::Broadcast);
-    let mut wl = Workload::homogeneous(
+    let (mut sim, mut wl) = warm::warmed_pair(
         app,
-        cfg.n_vms,
-        WorkloadConfig {
-            vcpus_per_vm: cfg.vcpus_per_vm,
-            seed: scale.seed,
-            host_activity: false,
-            content_sharing: false,
-        },
+        policy,
+        ContentPolicy::Broadcast,
+        false,
+        false,
+        cfg,
+        scale,
     );
     let period_cycles = ((period_ms * cfg.cycles_per_ms as f64) as u64).max(1);
-    sim.run(&mut wl, scale.warmup_rounds);
     sim.reset_measurement();
     // The run stands in for one finite application execution: it must
     // cover at least eight migration periods, and callers pass a
@@ -106,46 +107,74 @@ fn run_migrating(
 
 /// Runs the Fig. 7/8 sweep for the given periods (paper: 5/2.5 in Fig. 7,
 /// 0.5/0.1 in Fig. 8).
+///
+/// The `app x period x policy` cells are independent, so they are fanned
+/// out over [`scatter`]'s shard pool (order-preserving: the output is
+/// byte-identical to the serial nested loop) and memoized, so Fig. 9 —
+/// which re-runs this sweep's counter cells — simulates them once.
 pub fn migration_sweep(periods_ms: &[f64], scale: RunScale) -> Vec<MigrationPoint> {
     let cfg = SystemConfig::paper_default();
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for app in simulation_apps() {
         for &period_ms in periods_ms {
             for policy in migration_policies() {
-                let sim = run_migrating(app, policy, period_ms, cfg, scale);
-                let s = sim.stats();
-                // TokenB on the same trace performs n_cores lookups per
-                // transaction.
-                let baseline = s.l2_misses.max(1) * cfg.n_cores() as u64;
-                out.push(MigrationPoint {
-                    name: app.name,
-                    period_ms,
-                    policy,
-                    norm_snoops_pct: 100.0 * s.snoops as f64 / baseline as f64,
-                });
+                cells.push((app, period_ms, policy));
             }
         }
     }
-    out
+    scatter(cells, |(app, period_ms, policy)| {
+        let r = warm::cell(&CellSpec {
+            app,
+            policy,
+            content_policy: ContentPolicy::Broadcast,
+            content_sharing: false,
+            host_activity: false,
+            cfg,
+            scale,
+            migration_period_ms: Some(period_ms),
+        });
+        // TokenB on the same trace performs n_cores lookups per
+        // transaction.
+        let baseline = r.stats.l2_misses.max(1) * cfg.n_cores() as u64;
+        MigrationPoint {
+            name: app.name,
+            period_ms,
+            policy,
+            norm_snoops_pct: 100.0 * r.stats.snoops as f64 / baseline as f64,
+        }
+    })
 }
 
 /// Runs the Fig. 9 experiment: removal-period samples under the counter
 /// mechanism with a 5 (scaled) ms migration period.
+///
+/// The cells here are a subset of the Fig. 7 sweep's, so with reuse
+/// enabled they come straight from the memo when Fig. 7 ran first (and
+/// vice versa).
 pub fn removal_periods(scale: RunScale) -> Vec<RemovalSample> {
     let cfg = SystemConfig::paper_default();
-    let mut out = Vec::new();
-    for app in simulation_apps() {
-        let sim = run_migrating(app, FilterPolicy::Counter, 5.0, cfg, scale);
-        for e in sim.removal_log() {
-            if let Some(p) = e.period {
-                out.push(RemovalSample {
+    let per_app = scatter(simulation_apps(), |app| {
+        let r = warm::cell(&CellSpec {
+            app,
+            policy: FilterPolicy::Counter,
+            content_policy: ContentPolicy::Broadcast,
+            content_sharing: false,
+            host_activity: false,
+            cfg,
+            scale,
+            migration_period_ms: Some(5.0),
+        });
+        r.removal_log
+            .iter()
+            .filter_map(|e| {
+                e.period.map(|p| RemovalSample {
                     name: app.name,
                     period_cycles: p,
-                });
-            }
-        }
-    }
-    out
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    per_app.into_iter().flatten().collect()
 }
 
 /// Empirical CDF helper: returns `(x, fraction <= x)` pairs for plotting.

@@ -14,6 +14,13 @@
 //!
 //! Every driver takes a [`RunScale`] so tests can run fast while the
 //! benchmark binaries use the full scale.
+//!
+//! The drivers share warm-up work through the process-wide warm-state
+//! pool and cell memo in [`warm`] (toggled by [`set_warm_reuse`] /
+//! `VSNOOP_WARM_REUSE`), and the heavy sweeps fan their independent
+//! cells over [`crate::runner::scatter`]'s shard pool. Both are
+//! output-invariant: report text stays byte-identical to a cold serial
+//! run at any worker count.
 
 mod common;
 mod content;
@@ -22,6 +29,7 @@ mod fig2_validation;
 mod migration;
 mod pinned;
 mod sched;
+mod warm;
 
 pub use common::{run_pinned, RunScale};
 pub use content::{fig10, table5, table6, Fig10Row, Table5Row, Table6Row};
@@ -32,3 +40,6 @@ pub use migration::{
 };
 pub use pinned::{table4_fig6, PinnedRow};
 pub use sched::{fig3_table1, SchedRow};
+pub use warm::{
+    clear_warm_pool, set_warm_reuse, warm_pool_len, warm_reuse_enabled, DEFAULT_WARM_CAP,
+};

@@ -9,8 +9,10 @@
 use workloads::simulation_apps;
 
 use crate::config::SystemConfig;
-use crate::experiments::common::{run_pinned, RunScale};
+use crate::experiments::common::RunScale;
+use crate::experiments::warm::{self, CellSpec};
 use crate::policy::{ContentPolicy, FilterPolicy};
+use crate::runner::scatter;
 
 /// Results for one application.
 #[derive(Clone, Debug)]
@@ -30,41 +32,38 @@ pub struct PinnedRow {
 }
 
 /// Runs Table IV / Fig. 6: TokenB vs. base virtual snooping, pinned VMs.
+///
+/// One shard per application (each computes its TokenB baseline and
+/// virtual-snooping cell); the per-cell results are memoized, so the
+/// Table IV and Fig. 6 reports — which both call this — simulate the
+/// twenty cells once.
 pub fn table4_fig6(scale: RunScale) -> Vec<PinnedRow> {
     let cfg = SystemConfig::paper_default();
-    simulation_apps()
-        .into_iter()
-        .map(|app| {
-            let base = run_pinned(
+    scatter(simulation_apps(), |app| {
+        let cell = |policy| {
+            warm::cell(&CellSpec {
                 app,
-                FilterPolicy::TokenBroadcast,
-                ContentPolicy::Broadcast,
-                false,
-                false,
+                policy,
+                content_policy: ContentPolicy::Broadcast,
+                content_sharing: false,
+                host_activity: false,
                 cfg,
                 scale,
-            );
-            let vsnoop = run_pinned(
-                app,
-                FilterPolicy::VsnoopBase,
-                ContentPolicy::Broadcast,
-                false,
-                false,
-                cfg,
-                scale,
-            );
-            let base_runtime = base.stats().runtime_cycles(cfg.cycles_per_access) as f64;
-            let vs_runtime = vsnoop.stats().runtime_cycles(cfg.cycles_per_access) as f64;
-            PinnedRow {
-                name: app.name,
-                norm_snoops_pct: 100.0 * vsnoop.stats().snoops as f64
-                    / base.stats().snoops.max(1) as f64,
-                traffic_reduction_pct: 100.0 * vsnoop.traffic().reduction_vs(base.traffic()),
-                norm_runtime_pct: 100.0 * vs_runtime / base_runtime.max(1.0),
-                paper_traffic_reduction_pct: app.targets.table4_reduction_pct,
-            }
-        })
-        .collect()
+                migration_period_ms: None,
+            })
+        };
+        let base = cell(FilterPolicy::TokenBroadcast);
+        let vsnoop = cell(FilterPolicy::VsnoopBase);
+        let base_runtime = base.stats.runtime_cycles(cfg.cycles_per_access) as f64;
+        let vs_runtime = vsnoop.stats.runtime_cycles(cfg.cycles_per_access) as f64;
+        PinnedRow {
+            name: app.name,
+            norm_snoops_pct: 100.0 * vsnoop.stats.snoops as f64 / base.stats.snoops.max(1) as f64,
+            traffic_reduction_pct: 100.0 * vsnoop.traffic.reduction_vs(&base.traffic),
+            norm_runtime_pct: 100.0 * vs_runtime / base_runtime.max(1.0),
+            paper_traffic_reduction_pct: app.targets.table4_reduction_pct,
+        }
+    })
 }
 
 #[cfg(test)]

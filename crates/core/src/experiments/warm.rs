@@ -1,0 +1,581 @@
+//! Warm-state reuse across experiment cells.
+//!
+//! Every paper artifact re-simulates the same machine from cold: warm
+//! the caches for `warmup_rounds`, reset the counters, measure. The
+//! warm-up depends only on the workload trace — PR 2's differential
+//! oracle (`tests/differential_oracle.rs`) proves the warmed
+//! *architectural* state is identical across filter policies on the
+//! same access stream — so most cells of a sweep re-pay a warm-up that
+//! an earlier cell already computed.
+//!
+//! This module eliminates that repetition with two process-wide caches:
+//!
+//! 1. **The warm pool** — warmed [`SimSnapshot`]s keyed by everything
+//!    the warm-up actually depends on: application profile, machine
+//!    configuration, seed, warm-up length, host activity, content
+//!    sharing, the reference-engine toggle, and — only where the oracle
+//!    does *not* prove policy-independence — the policy pair itself
+//!    ([`WarmClass::PerPolicy`]). Cells in the policy-independent class
+//!    warm **once** under the canonical broadcast pair and fork per
+//!    policy/period.
+//! 2. **The cell memo** — finished measurement results
+//!    ([`CellResult`]: stats, traffic, removal log) keyed by the full
+//!    cell parameters, so reports that re-run identical cells (Table IV
+//!    vs Fig. 6, Fig. 7's counter cells vs Fig. 9, Table V vs Table VI
+//!    vs Fig. 10's broadcast bars) simulate them once.
+//!
+//! Both caches serve *bit-identical* state — forked-vs-fresh identity
+//! is pinned per policy by `tests/fork_identity.rs`, and campaign
+//! stdout is pinned byte-for-byte by the report differential guard —
+//! so reuse is purely a wall-clock optimization. [`set_warm_reuse`]
+//! (or `VSNOOP_WARM_REUSE=0`) disables both caches, which is how the
+//! `perf` binary's no-reuse control bin measures the speedup honestly.
+//!
+//! The pool holds full machine snapshots (megabytes each), so it is
+//! bounded by an LRU cap (`VSNOOP_WARM_CAP`, default
+//! [`DEFAULT_WARM_CAP`]); the memo holds only extracted counters and is
+//! unbounded. Concurrent shards warming the same key block on a
+//! per-key [`OnceLock`], so a warm-up is computed exactly once even
+//! under [`crate::runner::scatter`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sim_net::TrafficStats;
+use workloads::{AppProfile, Workload, WorkloadConfig};
+
+use crate::config::SystemConfig;
+use crate::experiments::common::RunScale;
+use crate::policy::{ContentPolicy, FilterPolicy};
+use crate::simulator::{SimSnapshot, Simulator};
+use crate::stats::{RemovalEvent, SimStats};
+
+/// Default LRU capacity of the warm pool, in snapshots. Sized to keep
+/// one phase of the campaign fully resident (ten simulation apps or
+/// nine content apps, plus headroom) without letting full-scale
+/// snapshots (several MB each) accumulate without bound.
+pub const DEFAULT_WARM_CAP: usize = 16;
+
+/// The canonical warm-up policies for the policy-independent class:
+/// the TokenB baseline with broadcast content routing. Fixed — never
+/// "whichever cell asked first" — so the cached state is independent
+/// of shard scheduling order.
+const CANONICAL: (FilterPolicy, ContentPolicy) =
+    (FilterPolicy::TokenBroadcast, ContentPolicy::Broadcast);
+
+/// Which warm-ups may share a snapshot.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum WarmClass {
+    /// The oracle-backed policy-independent class: any non-RegionScout
+    /// policy, provided content-shared pages are routed by broadcast
+    /// (or do not exist). Warmed under [`CANONICAL`].
+    Shared,
+    /// Policies whose warm-up state is policy-specific: RegionScout
+    /// (per-core region tables) and non-broadcast content routing
+    /// (the relaxed clean-shared provider rule changes the warmed
+    /// token states).
+    PerPolicy {
+        policy: FilterPolicy,
+        content_policy: ContentPolicy,
+    },
+}
+
+/// Everything a warm-up depends on.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct WarmKey {
+    app: &'static str,
+    /// `SystemConfig` carries `f64` latency parameters, so it cannot be
+    /// `Eq`/`Hash` itself; its `Debug` form is canonical and total.
+    cfg: String,
+    seed: u64,
+    warmup_rounds: u64,
+    host_activity: bool,
+    content_sharing: bool,
+    class: WarmClass,
+    /// The engine is chosen at construction from a process-global
+    /// toggle; a fast-engine snapshot must never serve a
+    /// reference-engine run (the differential guards flip this
+    /// mid-process).
+    reference_engine: bool,
+}
+
+/// One fully-specified experiment cell (warm-up + measurement).
+#[derive(Clone, Debug)]
+pub(crate) struct CellSpec {
+    pub app: &'static AppProfile,
+    pub policy: FilterPolicy,
+    pub content_policy: ContentPolicy,
+    pub content_sharing: bool,
+    pub host_activity: bool,
+    pub cfg: SystemConfig,
+    pub scale: RunScale,
+    /// `Some(period_ms)` runs the measurement with periodic cross-VM
+    /// shuffles (the Figs. 7-9 migration model); `None` runs pinned.
+    pub migration_period_ms: Option<f64>,
+}
+
+impl CellSpec {
+    fn memo_key(&self) -> CellKey {
+        CellKey {
+            app: self.app.name,
+            cfg: format!("{:?}", self.cfg),
+            policy: self.policy,
+            content_policy: self.content_policy,
+            content_sharing: self.content_sharing,
+            host_activity: self.host_activity,
+            scale: (
+                self.scale.warmup_rounds,
+                self.scale.measure_rounds,
+                self.scale.seed,
+            ),
+            migration_period_bits: self.migration_period_ms.map(f64::to_bits),
+            reference_engine: crate::testing::reference_engine(),
+        }
+    }
+}
+
+/// Memo key: the full cell parameters ([`CellSpec`] with the `f64`
+/// period and the non-`Eq` config made hashable).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CellKey {
+    app: &'static str,
+    cfg: String,
+    policy: FilterPolicy,
+    content_policy: ContentPolicy,
+    content_sharing: bool,
+    host_activity: bool,
+    scale: (u64, u64, u64),
+    migration_period_bits: Option<u64>,
+    reference_engine: bool,
+}
+
+/// The measured outputs the report layer consumes from a finished cell.
+#[derive(Clone, Debug)]
+pub(crate) struct CellResult {
+    pub stats: SimStats,
+    pub traffic: TrafficStats,
+    pub removal_log: Vec<RemovalEvent>,
+}
+
+impl CellResult {
+    fn capture(sim: &Simulator) -> Self {
+        CellResult {
+            stats: sim.stats().clone(),
+            traffic: *sim.traffic(),
+            removal_log: sim.removal_log().to_vec(),
+        }
+    }
+}
+
+/// Reuse override: 0 = unset (environment decides), 1 = on, 2 = off.
+static REUSE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Enables or disables warm-state reuse (pool *and* memo) process-wide.
+/// Overrides `VSNOOP_WARM_REUSE`.
+pub fn set_warm_reuse(on: bool) {
+    REUSE_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Whether warm-state reuse is active: [`set_warm_reuse`] if called,
+/// else `VSNOOP_WARM_REUSE` (`0`/`false` disables), else on.
+pub fn warm_reuse_enabled() -> bool {
+    match REUSE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !matches!(
+            std::env::var("VSNOOP_WARM_REUSE").as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        ),
+    }
+}
+
+fn warm_cap() -> usize {
+    std::env::var("VSNOOP_WARM_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_WARM_CAP)
+}
+
+/// Per-key slot: the `OnceLock` makes concurrent warmers of one key
+/// block until the first finishes, instead of warming twice.
+type WarmSlot = Arc<OnceLock<Arc<SimSnapshot>>>;
+type MemoSlot = Arc<OnceLock<Arc<CellResult>>>;
+
+#[derive(Default)]
+struct WarmPool {
+    slots: HashMap<WarmKey, WarmSlot>,
+    /// LRU order, least-recent first.
+    order: Vec<WarmKey>,
+}
+
+impl WarmPool {
+    fn slot(&mut self, key: &WarmKey) -> WarmSlot {
+        self.order.retain(|k| k != key);
+        self.order.push(key.clone());
+        let slot = self.slots.entry(key.clone()).or_default().clone();
+        let cap = warm_cap();
+        while self.order.len() > cap {
+            let evicted = self.order.remove(0);
+            self.slots.remove(&evicted);
+        }
+        slot
+    }
+}
+
+fn pool() -> &'static Mutex<WarmPool> {
+    static POOL: OnceLock<Mutex<WarmPool>> = OnceLock::new();
+    POOL.get_or_init(Mutex::default)
+}
+
+fn memo() -> &'static Mutex<HashMap<CellKey, MemoSlot>> {
+    static MEMO: OnceLock<Mutex<HashMap<CellKey, MemoSlot>>> = OnceLock::new();
+    MEMO.get_or_init(Mutex::default)
+}
+
+/// Drops every cached snapshot and memoized cell result. Used by the
+/// `perf` harness between repetitions so each timed run pays the full
+/// cost, and available to tests.
+pub fn clear_warm_pool() {
+    let mut p = pool().lock().expect("warm pool poisoned");
+    p.slots.clear();
+    p.order.clear();
+    memo().lock().expect("cell memo poisoned").clear();
+}
+
+/// Number of snapshots currently pooled (test hook).
+#[doc(hidden)]
+pub fn warm_pool_len() -> usize {
+    pool().lock().expect("warm pool poisoned").slots.len()
+}
+
+/// Builds a cold simulator + workload pair for the given cell
+/// parameters under explicit policies.
+fn build(
+    app: &'static AppProfile,
+    policy: FilterPolicy,
+    content_policy: ContentPolicy,
+    content_sharing: bool,
+    host_activity: bool,
+    cfg: SystemConfig,
+    seed: u64,
+) -> (Simulator, Workload) {
+    let sim = Simulator::new(cfg, policy, content_policy);
+    let wl = Workload::homogeneous(
+        app,
+        cfg.n_vms,
+        WorkloadConfig {
+            vcpus_per_vm: cfg.vcpus_per_vm,
+            seed,
+            host_activity,
+            content_sharing,
+        },
+    );
+    (sim, wl)
+}
+
+/// Returns a *warmed* simulator + workload pair for the given cell
+/// parameters: `warmup_rounds` already executed, measurement not yet
+/// started (callers run `reset_measurement()` + the measured phase).
+///
+/// With reuse enabled the pair is forked from the pooled snapshot of
+/// the cell's [`WarmClass`] — warming it on first use; with reuse
+/// disabled (or a zero-round warm-up, where there is nothing to share)
+/// it is warmed inline, which is the exact legacy serial path.
+pub(crate) fn warmed_pair(
+    app: &'static AppProfile,
+    policy: FilterPolicy,
+    content_policy: ContentPolicy,
+    content_sharing: bool,
+    host_activity: bool,
+    cfg: SystemConfig,
+    scale: RunScale,
+) -> (Simulator, Workload) {
+    if !warm_reuse_enabled() || scale.warmup_rounds == 0 {
+        let (mut sim, mut wl) = build(
+            app,
+            policy,
+            content_policy,
+            content_sharing,
+            host_activity,
+            cfg,
+            scale.seed,
+        );
+        sim.run(&mut wl, scale.warmup_rounds);
+        return (sim, wl);
+    }
+
+    let region_scout = matches!(policy, FilterPolicy::RegionScout { .. });
+    // The oracle-backed sharing condition: filtering alone never changes
+    // the warmed architectural state, but RegionScout's per-core tables
+    // and the clean-shared provider rule (active only when content pages
+    // are routed away from broadcast) do.
+    let shared = !region_scout && (!content_sharing || content_policy == ContentPolicy::Broadcast);
+    let class = if shared {
+        WarmClass::Shared
+    } else {
+        WarmClass::PerPolicy {
+            policy,
+            content_policy,
+        }
+    };
+    let key = WarmKey {
+        app: app.name,
+        cfg: format!("{cfg:?}"),
+        seed: scale.seed,
+        warmup_rounds: scale.warmup_rounds,
+        host_activity,
+        content_sharing,
+        class,
+        reference_engine: crate::testing::reference_engine(),
+    };
+
+    let slot = pool().lock().expect("warm pool poisoned").slot(&key);
+    let snapshot = slot.get_or_init(|| {
+        let (warm_policy, warm_content) = if shared {
+            CANONICAL
+        } else {
+            (policy, content_policy)
+        };
+        let (mut sim, mut wl) = build(
+            app,
+            warm_policy,
+            warm_content,
+            content_sharing,
+            host_activity,
+            cfg,
+            scale.seed,
+        );
+        sim.run(&mut wl, scale.warmup_rounds);
+        Arc::new(sim.snapshot(&wl))
+    });
+
+    if shared {
+        snapshot
+            .fork_with_policy(policy, content_policy)
+            .expect("the shared warm class never retargets across RegionScout")
+    } else {
+        snapshot.fork()
+    }
+}
+
+/// Executes `spec` end to end (or returns its memoized result): fork or
+/// warm, reset, measure, extract. The memo is what lets two reports
+/// built from identical cells simulate them once.
+pub(crate) fn cell(spec: &CellSpec) -> Arc<CellResult> {
+    if !warm_reuse_enabled() {
+        return Arc::new(run_cell(spec));
+    }
+    let key = spec.memo_key();
+    let slot = {
+        let mut memo = memo().lock().expect("cell memo poisoned");
+        memo.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| Arc::new(run_cell(spec))).clone()
+}
+
+fn run_cell(spec: &CellSpec) -> CellResult {
+    let sim = match spec.migration_period_ms {
+        None => crate::experiments::common::run_pinned(
+            spec.app,
+            spec.policy,
+            spec.content_policy,
+            spec.content_sharing,
+            spec.host_activity,
+            spec.cfg,
+            spec.scale,
+        ),
+        Some(period_ms) => crate::experiments::migration::run_migrating(
+            spec.app,
+            spec.policy,
+            period_ms,
+            spec.cfg,
+            spec.scale,
+        ),
+    };
+    CellResult::capture(&sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::common::run_pinned;
+    use workloads::profile;
+
+    /// Serializes tests that flip the process-global reuse switch.
+    static REUSE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_reuse<R>(on: bool, f: impl FnOnce() -> R) -> R {
+        let _g = REUSE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = REUSE_OVERRIDE.load(Ordering::Relaxed);
+        REUSE_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                REUSE_OVERRIDE.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _r = Reset(before);
+        f()
+    }
+
+    fn tiny() -> RunScale {
+        RunScale {
+            warmup_rounds: 400,
+            measure_rounds: 300,
+            seed: 0xFEED,
+        }
+    }
+
+    #[test]
+    fn reuse_matches_fresh_runs_bit_for_bit() {
+        let cfg = SystemConfig::small_test();
+        let app = profile("fft").unwrap();
+        for policy in [
+            FilterPolicy::TokenBroadcast,
+            FilterPolicy::VsnoopBase,
+            FilterPolicy::Counter,
+        ] {
+            let fresh = with_reuse(false, || {
+                run_pinned(
+                    app,
+                    policy,
+                    ContentPolicy::Broadcast,
+                    false,
+                    false,
+                    cfg,
+                    tiny(),
+                )
+            });
+            let pooled = with_reuse(true, || {
+                clear_warm_pool();
+                run_pinned(
+                    app,
+                    policy,
+                    ContentPolicy::Broadcast,
+                    false,
+                    false,
+                    cfg,
+                    tiny(),
+                )
+            });
+            assert_eq!(fresh.stats(), pooled.stats(), "{policy}: stats diverged");
+            assert_eq!(
+                fresh.arch_state(),
+                pooled.arch_state(),
+                "{policy}: architectural state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn policies_in_the_shared_class_share_one_snapshot() {
+        let cfg = SystemConfig::small_test();
+        let app = profile("lu").unwrap();
+        with_reuse(true, || {
+            clear_warm_pool();
+            for policy in [
+                FilterPolicy::TokenBroadcast,
+                FilterPolicy::VsnoopBase,
+                FilterPolicy::Counter,
+                FilterPolicy::COUNTER_THRESHOLD_10,
+            ] {
+                let _ = run_pinned(
+                    app,
+                    policy,
+                    ContentPolicy::Broadcast,
+                    false,
+                    false,
+                    cfg,
+                    tiny(),
+                );
+            }
+            assert_eq!(warm_pool_len(), 1, "one warm-up must serve all four");
+        });
+    }
+
+    #[test]
+    fn region_scout_warms_its_own_snapshot() {
+        let cfg = SystemConfig::small_test();
+        let app = profile("lu").unwrap();
+        with_reuse(true, || {
+            clear_warm_pool();
+            let _ = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                ContentPolicy::Broadcast,
+                false,
+                false,
+                cfg,
+                tiny(),
+            );
+            let _ = run_pinned(
+                app,
+                FilterPolicy::REGION_SCOUT_4K,
+                ContentPolicy::Broadcast,
+                false,
+                false,
+                cfg,
+                tiny(),
+            );
+            assert_eq!(warm_pool_len(), 2, "RegionScout must not share");
+        });
+    }
+
+    #[test]
+    fn memoized_cells_return_identical_results() {
+        let spec = CellSpec {
+            app: profile("radix").unwrap(),
+            policy: FilterPolicy::VsnoopBase,
+            content_policy: ContentPolicy::Broadcast,
+            content_sharing: false,
+            host_activity: false,
+            cfg: SystemConfig::small_test(),
+            scale: tiny(),
+            migration_period_ms: None,
+        };
+        with_reuse(true, || {
+            clear_warm_pool();
+            let a = cell(&spec);
+            let b = cell(&spec);
+            assert!(Arc::ptr_eq(&a, &b), "second lookup must be a memo hit");
+        });
+        let fresh = with_reuse(false, || run_cell(&spec));
+        let memoized = with_reuse(true, || {
+            clear_warm_pool();
+            cell(&spec)
+        });
+        assert_eq!(fresh.stats, memoized.stats);
+    }
+
+    #[test]
+    fn lru_cap_bounds_the_pool() {
+        let cfg = SystemConfig::small_test();
+        with_reuse(true, || {
+            clear_warm_pool();
+            // Distinct seeds force distinct keys.
+            for seed in 0..(DEFAULT_WARM_CAP as u64 + 5) {
+                let scale = RunScale {
+                    warmup_rounds: 50,
+                    measure_rounds: 10,
+                    seed,
+                };
+                let _ = run_pinned(
+                    profile("fft").unwrap(),
+                    FilterPolicy::VsnoopBase,
+                    ContentPolicy::Broadcast,
+                    false,
+                    false,
+                    cfg,
+                    scale,
+                );
+            }
+            assert!(
+                warm_pool_len() <= DEFAULT_WARM_CAP,
+                "pool exceeded its cap: {}",
+                warm_pool_len()
+            );
+        });
+    }
+}

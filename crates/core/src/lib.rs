@@ -62,9 +62,10 @@ pub use checker::{CheckerConfig, CheckerCtx, InvariantChecker, InvariantKind, Vi
 pub use config::{ConfigError, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::SimError;
+pub use experiments::{clear_warm_pool, set_warm_reuse, warm_reuse_enabled};
 pub use fault::{FaultInjectionStats, FaultPlan, MapCorruption};
 pub use policy::{ContentPolicy, FilterPolicy};
 pub use region_filter::RegionFilter;
-pub use simulator::{ReplayWorkload, Simulator, SystemWorkload};
+pub use simulator::{ReplayWorkload, SimSnapshot, Simulator, SystemWorkload};
 pub use stats::{RemovalEvent, SimStats};
 pub use vcpu_map::{VcpuMap, VcpuMapFile};

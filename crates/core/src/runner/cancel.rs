@@ -80,6 +80,17 @@ pub(crate) fn in_job() -> bool {
     IN_JOB.with(|f| f.get())
 }
 
+/// The current thread's job token, if one is installed.
+///
+/// Thread-locals do not cross thread boundaries, so anything that fans
+/// work out to helper threads from inside a supervised job — the shard
+/// pool in [`crate::runner::scatter`] — captures the token here and
+/// re-installs it on each worker, keeping the watchdog's deadline
+/// enforceable across the whole fan-out.
+pub(crate) fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
 /// Polls the current thread's cancellation token, if one is installed.
 ///
 /// This is the hook the simulator's round loops call: outside a

@@ -17,7 +17,12 @@
 //!   journal byte-identical to an uninterrupted run;
 //! - terminal failures emit self-contained [`CrashReproducer`] files
 //!   (name, seed, parameters, step window) replayable in isolation with
-//!   `--repro <file>`.
+//!   `--repro <file>`;
+//! - inside one job, [`scatter`] fans independent cells (e.g. one per
+//!   application in a sweep) over a bounded shard pool, preserving item
+//!   order, the caller's cancellation token, and serial-order panic
+//!   propagation — so a sharded report stays byte-identical to, and
+//!   exactly as supervisable as, its serial form.
 //!
 //! The runner lives in the core crate so both the bench binaries and
 //! tests can drive it; it has no dependencies beyond `std` (the journal
@@ -28,10 +33,12 @@ mod job;
 mod journal;
 pub mod json;
 mod repro;
+mod scatter;
 mod supervisor;
 
 pub use cancel::{poll_current, CancelToken, Cancelled};
 pub use job::{Job, JobCtx, JobError, JobFn, JobRecord, JobSpec};
 pub use journal::{Journal, JournalEntry};
 pub use repro::CrashReproducer;
+pub use scatter::{scatter, set_shard_workers, shard_workers};
 pub use supervisor::{run_campaign, CampaignReport, RunnerConfig};

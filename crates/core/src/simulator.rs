@@ -52,7 +52,7 @@ mod reference_path;
 /// [`ReferenceProtocol`] (selected via
 /// [`crate::testing::set_reference_engine`]) that the differential guard
 /// runs against.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Engine {
     Fast(TokenProtocol),
     Reference(ReferenceProtocol),
@@ -187,6 +187,15 @@ impl SystemWorkload for ReplayWorkload<'_> {
 }
 
 /// The assembled machine.
+///
+/// `Simulator` is `Clone`: the copy carries the complete architectural
+/// and micro-architectural state — caches (contents *and* LRU order),
+/// the token ledger, network traffic counters, hypervisor placement,
+/// vCPU maps, TLBs, removal timers, fault and checker state — so a
+/// clone taken after a warm-up phase behaves bit-identically to the
+/// original from that point on. [`Simulator::snapshot`] packages a
+/// clone together with the matching [`Workload`] position.
+#[derive(Clone)]
 pub struct Simulator {
     cfg: SystemConfig,
     policy: FilterPolicy,
@@ -218,6 +227,7 @@ pub struct Simulator {
 }
 
 /// One deferred vCPU-map register update (map-sync-delay fault).
+#[derive(Clone)]
 struct PendingSync {
     due: u64,
     vm: VmId,
@@ -225,6 +235,7 @@ struct PendingSync {
 }
 
 /// Live state derived from a [`FaultPlan`].
+#[derive(Clone)]
 struct FaultState {
     plan: FaultPlan,
     rng: SmallRng,
@@ -519,6 +530,22 @@ impl Simulator {
         self.stats = SimStats::new(self.cfg.n_cores());
         self.net.reset_traffic();
         self.removal_log.clear();
+    }
+
+    /// Captures a warm-state snapshot: the complete machine state plus
+    /// the workload's position in its access stream (memory layout,
+    /// sharing state, reuse bursts, RNG state).
+    ///
+    /// Snapshotting is a pure copy — it consumes no workload RNG and
+    /// does not perturb the simulator — so interposing a snapshot
+    /// between a warm-up and a measurement phase leaves both
+    /// bit-identical to an uninterrupted run. [`SimSnapshot::fork`]
+    /// resumes from the captured point as many times as needed.
+    pub fn snapshot(&self, workload: &Workload) -> SimSnapshot {
+        SimSnapshot {
+            sim: self.clone(),
+            workload: workload.clone(),
+        }
     }
 
     /// Runs `rounds` rounds, each issuing one access per core from
@@ -1415,6 +1442,68 @@ impl Simulator {
     /// (test hook).
     pub fn check_invariant(&self, block: BlockAddr) -> bool {
         self.protocol.check_invariant(&self.l2, block)
+    }
+}
+
+/// A warm-state snapshot: a frozen copy of a [`Simulator`] paired with
+/// the [`Workload`] position that produced it, taken with
+/// [`Simulator::snapshot`].
+///
+/// Forking re-clones both halves, so one snapshot can seed any number
+/// of runs; each fork continues the bit-identical access stream from
+/// the captured point. [`SimSnapshot::fork_with_policy`] additionally
+/// retargets the filter policy, which is sound for warm state the
+/// policies agree on (see the broadcast-vs-filtered architectural-state
+/// oracle in `tests/differential_oracle.rs`) — the one exception,
+/// RegionScout's per-core region-filter state, is rejected.
+#[derive(Clone, Debug)]
+pub struct SimSnapshot {
+    sim: Simulator,
+    workload: Workload,
+}
+
+impl SimSnapshot {
+    /// Resumes from the captured state under the policy it was warmed
+    /// with.
+    pub fn fork(&self) -> (Simulator, Workload) {
+        (self.sim.clone(), self.workload.clone())
+    }
+
+    /// Resumes from the captured state under a different filter /
+    /// content-routing policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the retarget crosses the
+    /// RegionScout boundary in either direction: the region filter's
+    /// per-core not-shared-region tables are warmed by the policy itself,
+    /// so a snapshot warmed without them (or with them) cannot stand in
+    /// for a fresh warm-up under the other family.
+    pub fn fork_with_policy(
+        &self,
+        policy: FilterPolicy,
+        content_policy: ContentPolicy,
+    ) -> Result<(Simulator, Workload), SimError> {
+        let warmed = self.sim.policy;
+        let scout = |p: FilterPolicy| matches!(p, FilterPolicy::RegionScout { .. });
+        if (scout(warmed) || scout(policy)) && policy != warmed {
+            return Err(SimError::InvalidConfig(crate::config::ConfigError::new(
+                format!(
+                    "cannot retarget a warm snapshot across the RegionScout boundary \
+                     (warmed under {warmed}, requested {policy}): region-filter state \
+                     is policy-specific"
+                ),
+            )));
+        }
+        let mut sim = self.sim.clone();
+        sim.policy = policy;
+        sim.content_policy = content_policy;
+        Ok((sim, self.workload.clone()))
+    }
+
+    /// The filter policy the snapshot was warmed under.
+    pub fn warmed_policy(&self) -> FilterPolicy {
+        self.sim.policy
     }
 }
 

@@ -64,6 +64,7 @@ impl Default for WorkloadConfig {
     }
 }
 
+#[derive(Clone)]
 struct VmPools {
     /// Per-vCPU thread-local chunks, laid out consecutively: chunk of
     /// vCPU *i* starts at `chunks.base() + i * chunk_pages`.
@@ -89,6 +90,14 @@ struct VmPools {
 /// let a = wl.next_access(VcpuId::new(VmId::new(0), 0));
 /// assert!(!a.agent.is_host()); // host activity disabled by default
 /// ```
+///
+/// A `Workload` is `Clone`: the copy captures the full memory layout,
+/// sharing state, reuse bursts, *and the RNG state*, so a clone taken
+/// after a warm-up phase continues the bit-identical access stream.
+/// This is what the simulator's warm-state snapshot layer
+/// (`Simulator::snapshot` in the `vsnoop` crate) forks instead of
+/// regenerating the warm-up prefix.
+#[derive(Clone)]
 pub struct Workload {
     profiles: Vec<&'static AppProfile>,
     cfg: WorkloadConfig,

@@ -5,14 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the soak/perf/all binaries used below live in
+# crates/bench, which a bare root-package build would not (re)compile —
+# the smokes would then run stale binaries.
+cargo build --release --workspace
 
-echo "==> cargo test -q (deterministic suites)"
-cargo test -q
+echo "==> cargo test -q --workspace (deterministic suites)"
+cargo test -q --workspace
 
-echo "==> cargo test -q --features proptest (randomized suites)"
-cargo test -q --features proptest
+echo "==> cargo test -q --workspace --features proptest (randomized suites)"
+cargo test -q --workspace --features proptest
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -70,9 +73,22 @@ kill -9 "$CAMPAIGN_PID" 2>/dev/null || true
 wait "$CAMPAIGN_PID" 2>/dev/null || true
 VSNOOP_SCALE=quick ./target/release/all --jobs 1 --dir "$RESUME_DIR" --resume \
   > /dev/null 2>&1
-VSNOOP_SCALE=quick ./target/release/all --jobs 1 --dir "$CLEAN_DIR" \
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --workers 1 --dir "$CLEAN_DIR" \
   > /dev/null 2>&1
 cmp "$RESUME_DIR/merged.jsonl" "$CLEAN_DIR/merged.jsonl"
 cmp "$RESUME_DIR/campaign.txt" "$CLEAN_DIR/campaign.txt"
+
+echo "==> campaign runner smoke (sharded vs serial byte-identity)"
+# The heavy reports fan per-application cells over the shard pool
+# (--workers); output must be byte-identical to the serial legacy path
+# at any worker count. CLEAN_DIR above ran with --workers 1 (forced
+# serial), so comparing against an oversubscribed 4-worker run
+# exercises scatter's order preservation even on a single-core host.
+SHARD_DIR=target/campaign/verify-sharded
+rm -rf "$SHARD_DIR"
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --workers 4 --dir "$SHARD_DIR" \
+  > /dev/null 2>&1
+cmp "$SHARD_DIR/campaign.txt" "$CLEAN_DIR/campaign.txt"
+cmp "$SHARD_DIR/merged.jsonl" "$CLEAN_DIR/merged.jsonl"
 
 echo "verify.sh: ALL CHECKS PASSED"
