@@ -12,6 +12,7 @@ use vsnoop_bench::{f1, heading, opt, TextTable};
 use workloads::{parsec_apps, sched_vms};
 
 fn main() {
+    vsnoop_bench::init_obs();
     heading(
         "Ablation: restricted migration domains (overcommitted, 4 VMs x 4 vCPUs, 8 cores)",
         "Makespan normalized to pinned (lower is better). `restricted(4)`\n\

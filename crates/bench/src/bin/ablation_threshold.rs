@@ -53,6 +53,7 @@ fn run(policy: FilterPolicy, scale: RunScale) -> (f64, u64, u64) {
 }
 
 fn main() {
+    vsnoop_bench::init_obs();
     heading(
         "Ablation: counter-threshold sensitivity (ocean, 0.5 ms migrations)",
         "Larger thresholds remove cores more aggressively: snoops drop, but\n\

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! all [--jobs N] [--workers N] [--timeout SECS] [--retries N] [--dir DIR]
-//!     [--resume] [--only NAME]... [--list] [--repro FILE]
+//!     [--trace-dir DIR] [--resume] [--only NAME]... [--list] [--repro FILE]
 //!     [--inject-panic NAME]... [--inject-hang NAME]... [--inject-flaky NAME]...
 //! ```
 //!
@@ -43,6 +43,7 @@ struct Cli {
     resume: bool,
     list: bool,
     repro: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     opts: CampaignOptions,
 }
 
@@ -56,6 +57,7 @@ fn parse_cli() -> Result<Cli, String> {
         resume: false,
         list: false,
         repro: None,
+        trace_dir: None,
         opts: CampaignOptions::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -88,6 +90,7 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|e| format!("--retries: {e}"))?;
             }
             "--dir" => cli.dir = PathBuf::from(value("--dir")?),
+            "--trace-dir" => cli.trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
             "--resume" => cli.resume = true,
             "--list" => cli.list = true,
             "--repro" => cli.repro = Some(PathBuf::from(value("--repro")?)),
@@ -98,7 +101,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: all [--jobs N] [--workers N] [--timeout SECS] [--retries N] [--dir DIR]\n\
-                     \u{20}          [--resume] [--only NAME]... [--list] [--repro FILE]\n\
+                     \u{20}          [--trace-dir DIR] [--resume] [--only NAME]... [--list] [--repro FILE]\n\
                      \u{20}          [--inject-panic NAME]... [--inject-hang NAME]... \
                      [--inject-flaky NAME]...\n\
                      artifacts: {}",
@@ -157,6 +160,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Telemetry, heartbeats and flight dumps go to side files under the
+    // trace directory; stdout stays byte-identical with tracing on.
+    match &cli.trace_dir {
+        Some(dir) => vsnoop::obs::set_trace_dir(Some(dir.clone())),
+        None => vsnoop::obs::init_from_env(),
+    }
     if cli.list {
         for name in artifact_names() {
             println!("{name}");

@@ -15,6 +15,7 @@ use vsnoop_bench::{f1, heading, scale_from_env, TextTable};
 use workloads::simulation_apps;
 
 fn main() {
+    vsnoop_bench::init_obs();
     heading(
         "Baseline: RegionScout-style region filter vs virtual snooping",
         "All values relative to the TokenB broadcast baseline (100%).\n\

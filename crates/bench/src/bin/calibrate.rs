@@ -14,6 +14,7 @@ use vsnoop_bench::{f1, heading, opt, scale_from_env, TextTable};
 use workloads::simulation_apps;
 
 fn main() {
+    vsnoop_bench::init_obs();
     heading(
         "Calibration: raw per-application trace statistics",
         "miss rate = L2 misses / accesses; content columns are Table V's\n\

@@ -3,6 +3,7 @@
 use vsnoop_bench::{reports, scale_from_env};
 
 fn main() {
+    vsnoop_bench::init_obs();
     match reports::fig3(scale_from_env()) {
         Ok(text) => print!("{text}"),
         Err(e) => {

@@ -1,0 +1,126 @@
+//! Live-tails a campaign's telemetry stream.
+//!
+//! Every supervised run with tracing on (`--trace-dir DIR` on the
+//! campaign binaries, or `VSNOOP_TRACE=DIR`) appends heartbeat and
+//! job-lifecycle records to `<dir>/telemetry.jsonl`. This binary
+//! follows that file like `tail -f`, so a long soak or campaign can be
+//! watched from a second terminal without touching its stdout:
+//!
+//! ```text
+//! obs_tail [--trace-dir DIR] [--once] [--interval-ms N]
+//! ```
+//!
+//! The trace directory comes from `--trace-dir`, else `VSNOOP_TRACE`.
+//! Lines are passed through verbatim (they are already one JSON object
+//! per line — see OBSERVABILITY.md for the schema), so the output
+//! composes with `jq`-style filters. `--once` prints whatever the file
+//! holds right now and exits — the mode the verify script and CI use.
+//! A shrinking file (a fresh run reusing the directory) resets the
+//! tail to the new beginning.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Cli {
+    dir: Option<PathBuf>,
+    once: bool,
+    interval: Duration,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        dir: None,
+        once: false,
+        interval: Duration::from_millis(500),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--trace-dir" => cli.dir = Some(PathBuf::from(value("--trace-dir")?)),
+            "--once" => cli.once = true,
+            "--interval-ms" => {
+                let ms: u64 = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                cli.interval = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: obs_tail [--trace-dir DIR] [--once] [--interval-ms N]\n\
+                     follows <dir>/telemetry.jsonl (dir from --trace-dir or VSNOOP_TRACE)"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = cli
+        .dir
+        .or_else(|| std::env::var("VSNOOP_TRACE").ok().map(PathBuf::from));
+    let Some(dir) = dir else {
+        eprintln!("obs_tail: no trace directory (pass --trace-dir or set VSNOOP_TRACE)");
+        return ExitCode::from(2);
+    };
+    let path = dir.join("telemetry.jsonl");
+
+    let stdout = std::io::stdout();
+    let mut offset: u64 = 0;
+    let mut warned = false;
+    loop {
+        match std::fs::File::open(&path) {
+            Ok(mut file) => {
+                let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+                if len < offset {
+                    // Truncated by a fresh run: start over.
+                    offset = 0;
+                }
+                if len > offset && file.seek(SeekFrom::Start(offset)).is_ok() {
+                    let mut chunk = String::new();
+                    if file.read_to_string(&mut chunk).is_ok() {
+                        // Hold partial trailing lines back until the
+                        // writer finishes them.
+                        let complete = chunk.rfind('\n').map_or(0, |i| i + 1);
+                        let mut out = stdout.lock();
+                        if out.write_all(&chunk.as_bytes()[..complete]).is_err()
+                            || out.flush().is_err()
+                        {
+                            return ExitCode::SUCCESS; // downstream pipe closed
+                        }
+                        offset += complete as u64;
+                    }
+                }
+            }
+            Err(e) => {
+                if cli.once {
+                    eprintln!("obs_tail: {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                if !warned {
+                    eprintln!("obs_tail: waiting for {}", path.display());
+                    warned = true;
+                }
+            }
+        }
+        if cli.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(cli.interval);
+    }
+}

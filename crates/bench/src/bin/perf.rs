@@ -16,6 +16,11 @@
 //!   storm. The acceptance profile for hot-path optimisation work.
 //! * `storm_unchecked` — the storm without the invariant checker,
 //!   isolating checker overhead from protocol/network cost.
+//! * `storm_traced` — the storm with the observability layer forced on
+//!   (flight recorder + telemetry to `target/perf-trace/`), isolating
+//!   tracing overhead. It has no entry in the committed baseline, so
+//!   `--check` never gates on it; compare it against `storm` in the
+//!   same run instead.
 //! * `pinned` — fault-free vsnoop-base with pinned vCPUs: the filtered
 //!   fast path (small destination sets).
 //! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
@@ -37,7 +42,7 @@
 //!
 //! ```text
 //! perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]
-//!      [--warmup N] [--reps N] [--only NAME]... [--list]
+//!      [--warmup N] [--reps N] [--only NAME]... [--list] [--trace-dir DIR]
 //! ```
 //!
 //! `--out` writes the machine-readable `BENCH_throughput.json` (schema
@@ -75,6 +80,7 @@ struct Cli {
     reps: u32,
     only: Vec<String>,
     list: bool,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -90,6 +96,7 @@ fn parse_cli() -> Result<Cli, String> {
         reps: 3,
         only: Vec::new(),
         list: false,
+        trace_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,11 +129,14 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--only" => cli.only.push(value("--only")?),
             "--list" => cli.list = true,
+            "--trace-dir" => cli.trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]\n\
-                     \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list]\n\
-                     bins: storm, storm_unchecked, pinned, broadcast, campaign, campaign_serial"
+                     \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list] \
+                     [--trace-dir DIR]\n\
+                     bins: storm, storm_unchecked, storm_traced, pinned, broadcast, campaign, \
+                     campaign_serial"
                         .into(),
                 );
             }
@@ -227,6 +237,9 @@ struct BinSpec {
     policy: FilterPolicy,
     faults: bool,
     checker: bool,
+    /// Force the observability layer on for this bin (trace files under
+    /// `target/perf-trace/`), so its throughput measures the hooks' cost.
+    traced: bool,
     drive: Drive,
 }
 
@@ -239,6 +252,7 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::Counter,
             faults: true,
             checker: true,
+            traced: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -249,6 +263,18 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::Counter,
             faults: true,
             checker: false,
+            traced: false,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_traced",
+            policy: FilterPolicy::Counter,
+            faults: true,
+            checker: true,
+            traced: true,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -259,6 +285,7 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::VsnoopBase,
             faults: false,
             checker: false,
+            traced: false,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -266,6 +293,7 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::TokenBroadcast,
             faults: false,
             checker: false,
+            traced: false,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -273,6 +301,7 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::VsnoopBase, // unused: campaign bins pick per-cell policies
             faults: false,
             checker: false,
+            traced: false,
             drive: Drive::Campaign { reuse: true },
         },
         BinSpec {
@@ -280,6 +309,7 @@ fn bins() -> Vec<BinSpec> {
             policy: FilterPolicy::VsnoopBase,
             faults: false,
             checker: false,
+            traced: false,
             drive: Drive::Campaign { reuse: false },
         },
     ]
@@ -410,6 +440,23 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     if let Drive::Campaign { reuse } = spec.drive {
         return run_campaign_bin(reuse, reps, seed);
     }
+    // `storm_traced`: force the observability layer on for the duration
+    // of this bin only, restoring the prior state afterwards so later
+    // bins keep measuring the untraced hot path.
+    struct TraceGuard(bool);
+    impl Drop for TraceGuard {
+        fn drop(&mut self) {
+            if self.0 {
+                vsnoop::obs::set_trace_dir(None);
+            }
+        }
+    }
+    let _trace = TraceGuard(if spec.traced && !vsnoop::obs::enabled() {
+        vsnoop::obs::set_trace_dir(Some(PathBuf::from("target/perf-trace")));
+        true
+    } else {
+        false
+    });
     let rss_before = peak_rss_bytes();
     let cfg = SystemConfig::paper_default();
     let mut sim = Simulator::new(cfg, spec.policy, ContentPolicy::Broadcast);
@@ -574,6 +621,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Tracing stays off unless asked for: the timed loops must measure
+    // the disabled-hook cost by default. `storm_traced` flips it on
+    // for its own windows regardless.
+    match &cli.trace_dir {
+        Some(dir) => vsnoop::obs::set_trace_dir(Some(dir.clone())),
+        None => vsnoop::obs::init_from_env(),
+    }
     let specs: Vec<BinSpec> = bins()
         .into_iter()
         .filter(|b| cli.only.is_empty() || cli.only.iter().any(|o| o == b.name))
@@ -603,6 +657,7 @@ fn main() -> ExitCode {
             let policy = spec.policy;
             let faults = spec.faults;
             let checker = spec.checker;
+            let traced = spec.traced;
             let drive = spec.drive;
             let (rounds, warmup, reps) = (cli.rounds, cli.warmup, cli.reps);
             let sink = Arc::clone(&results);
@@ -612,6 +667,7 @@ fn main() -> ExitCode {
                     policy,
                     faults,
                     checker,
+                    traced,
                     drive,
                 };
                 let r = run_bin(&spec, rounds, warmup, reps, seed);

@@ -20,6 +20,13 @@
 //! round is 16 access steps on the paper machine), `SOAK_SEED`,
 //! `SOAK_PERIOD_MS` (migration period in scaled ms x100, i.e. `10` =
 //! 0.1 ms), `SOAK_SHAPE_ROUNDS` (fault-free measurement rounds).
+//!
+//! With tracing on (`--trace-dir DIR` or `VSNOOP_TRACE=DIR`, see
+//! OBSERVABILITY.md) the storm phase also exports per-epoch time-series
+//! files, and `SOAK_FORCE_VIOLATION=1` switches to a short
+//! self-test that deliberately corrupts one cache line, lets the
+//! checker catch it, and exits non-zero — leaving a flight-recorder
+//! dump under the trace directory for the verify script to assert on.
 
 use std::process::ExitCode;
 
@@ -78,9 +85,25 @@ fn storm(rounds: u64, seed: u64, period_cycles: u64) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     sim.set_fault_plan(FaultPlan::all(seed));
     sim.enable_checker(CheckerConfig::default());
+    if vsnoop::obs::enabled() {
+        sim.enable_epochs(env_u64("VSNOOP_EPOCH_EVERY", 64));
+    }
     let mut wl = storm_workload(&cfg, seed ^ 0xD15EA5E)?;
     sim.run_with_migration(&mut wl, rounds, period_cycles, picker(cfg, seed ^ 0x51A9));
     sim.run_checker_sweep();
+    if let Some(dir) = vsnoop::obs::trace_dir() {
+        sim.flush_epochs();
+        if let Some(ep) = sim.epochs() {
+            match ep.write_files(&dir, "soak-storm") {
+                Ok((jsonl, _trace)) => eprintln!(
+                    "[soak] epoch export: {} epochs -> {}",
+                    ep.epochs().len(),
+                    jsonl.display()
+                ),
+                Err(e) => eprintln!("[soak] epoch export failed: {e}"),
+            }
+        }
+    }
 
     let s = sim.stats().clone();
     let ch = sim.checker().ok_or("checker enabled")?;
@@ -255,7 +278,57 @@ fn shapes(rounds: u64, seed: u64) -> Result<String, String> {
     }
 }
 
+/// `SOAK_FORCE_VIOLATION=1` self-test: run briefly, corrupt one cached
+/// line, sweep — the checker's `DirtyWithoutOwner` finding triggers the
+/// observability layer's violation dump. Always exits non-zero so CI
+/// failure paths (artifact upload, verify.sh smoke) can be rehearsed
+/// deterministically.
+fn forced_violation() -> ExitCode {
+    vsnoop::obs::with_scope("forced", || {
+        let cfg = SystemConfig::paper_default();
+        let mut sim = match Simulator::try_new(cfg, FilterPolicy::Counter, ContentPolicy::Broadcast)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("soak: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        sim.enable_checker(CheckerConfig::default());
+        let mut wl = match storm_workload(&cfg, env_u64("SOAK_SEED", 0x50AC)) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("soak: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        sim.run(&mut wl, 200);
+        let Some(block) = sim.debug_corrupt_token_state() else {
+            eprintln!("soak: forced violation found no cached line to corrupt");
+            return ExitCode::from(2);
+        };
+        sim.run_checker_sweep();
+        let violations = sim.checker().map_or(0, |c| c.total_violations());
+        eprintln!(
+            "soak: forced violation self-test: corrupted block {block}, \
+             checker recorded {violations} violation(s)"
+        );
+        if violations == 0 {
+            eprintln!("soak: forced violation did not trip the checker");
+            return ExitCode::from(2);
+        }
+        if !vsnoop::obs::enabled() {
+            eprintln!("soak: tracing is off — no flight dump was written (set VSNOOP_TRACE)");
+        }
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
+    vsnoop_bench::init_obs();
+    if std::env::var("SOAK_FORCE_VIOLATION").as_deref() == Ok("1") {
+        return forced_violation();
+    }
     let rounds = env_u64("SOAK_ROUNDS", 80_000);
     let seed = env_u64("SOAK_SEED", 0x50AC);
     let period_ms_x100 = env_u64("SOAK_PERIOD_MS", 10); // 10 = 0.1 ms

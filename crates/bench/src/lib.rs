@@ -162,6 +162,33 @@ pub fn scale_from_env() -> vsnoop::experiments::RunScale {
     }
 }
 
+/// Initializes the observability layer from the shared `--trace-dir`
+/// flag (also `--trace-dir=<dir>`), falling back to the `VSNOOP_TRACE`
+/// environment variable. Every experiment binary calls this first
+/// thing in `main`; with neither source set, tracing stays off and
+/// every hook in the workspace remains a single predictable branch.
+///
+/// Telemetry, flight dumps and epoch exports go to files under the
+/// trace directory only — stdout is byte-identical with tracing off
+/// and on.
+pub fn init_obs() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-dir" {
+            if let Some(dir) = args.next() {
+                vsnoop::obs::set_trace_dir(Some(std::path::PathBuf::from(dir)));
+                return;
+            }
+        } else if let Some(dir) = a.strip_prefix("--trace-dir=") {
+            if !dir.is_empty() {
+                vsnoop::obs::set_trace_dir(Some(std::path::PathBuf::from(dir)));
+                return;
+            }
+        }
+    }
+    vsnoop::obs::init_from_env();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

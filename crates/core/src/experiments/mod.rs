@@ -41,5 +41,6 @@ pub use migration::{
 pub use pinned::{table4_fig6, PinnedRow};
 pub use sched::{fig3_table1, SchedRow};
 pub use warm::{
-    clear_warm_pool, set_warm_reuse, warm_pool_len, warm_reuse_enabled, DEFAULT_WARM_CAP,
+    clear_warm_pool, reset_warm_counters, set_warm_reuse, warm_counters, warm_pool_len,
+    warm_reuse_enabled, DEFAULT_WARM_CAP,
 };

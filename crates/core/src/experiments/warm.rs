@@ -39,7 +39,7 @@
 //! under [`crate::runner::scatter`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sim_net::TrafficStats;
@@ -171,6 +171,35 @@ impl CellResult {
 /// Reuse override: 0 = unset (environment decides), 1 = on, 2 = off.
 static REUSE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Warm-pool effectiveness counters (process-wide, monotonic). A *hit*
+/// is a [`warmed_pair`] call served from a pooled snapshot (including
+/// threads that blocked while another warmer initialized the slot); a
+/// *miss* is a call that had to compute the warm-up; an *eviction* is
+/// an LRU drop under `VSNOOP_WARM_CAP`. The no-reuse path touches none
+/// of them — it never consults the pool.
+static WARM_HITS: AtomicU64 = AtomicU64::new(0);
+static WARM_MISSES: AtomicU64 = AtomicU64::new(0);
+static WARM_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Current warm-pool `(hits, misses, evictions)` counters. Surfaced in
+/// telemetry heartbeats and epoch snapshots so `VSNOOP_WARM_CAP`
+/// effectiveness is visible.
+pub fn warm_counters() -> (u64, u64, u64) {
+    (
+        WARM_HITS.load(Ordering::Relaxed),
+        WARM_MISSES.load(Ordering::Relaxed),
+        WARM_EVICTIONS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the warm-pool counters (test hook).
+#[doc(hidden)]
+pub fn reset_warm_counters() {
+    WARM_HITS.store(0, Ordering::Relaxed);
+    WARM_MISSES.store(0, Ordering::Relaxed);
+    WARM_EVICTIONS.store(0, Ordering::Relaxed);
+}
+
 /// Enables or disables warm-state reuse (pool *and* memo) process-wide.
 /// Overrides `VSNOOP_WARM_REUSE`.
 pub fn set_warm_reuse(on: bool) {
@@ -219,6 +248,7 @@ impl WarmPool {
         while self.order.len() > cap {
             let evicted = self.order.remove(0);
             self.slots.remove(&evicted);
+            WARM_EVICTIONS.fetch_add(1, Ordering::Relaxed);
         }
         slot
     }
@@ -332,7 +362,9 @@ pub(crate) fn warmed_pair(
     };
 
     let slot = pool().lock().expect("warm pool poisoned").slot(&key);
+    let mut warmed_here = false;
     let snapshot = slot.get_or_init(|| {
+        warmed_here = true;
         let (warm_policy, warm_content) = if shared {
             CANONICAL
         } else {
@@ -350,6 +382,11 @@ pub(crate) fn warmed_pair(
         sim.run(&mut wl, scale.warmup_rounds);
         Arc::new(sim.snapshot(&wl))
     });
+    if warmed_here {
+        WARM_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        WARM_HITS.fetch_add(1, Ordering::Relaxed);
+    }
 
     if shared {
         snapshot
@@ -550,10 +587,45 @@ mod tests {
     }
 
     #[test]
+    fn counters_track_pool_hits_and_misses() {
+        let cfg = SystemConfig::small_test();
+        let app = profile("fft").unwrap();
+        with_reuse(true, || {
+            clear_warm_pool();
+            let (h0, m0, _) = warm_counters();
+            let _ = run_pinned(
+                app,
+                FilterPolicy::TokenBroadcast,
+                ContentPolicy::Broadcast,
+                false,
+                false,
+                cfg,
+                tiny(),
+            );
+            let (h1, m1, _) = warm_counters();
+            assert_eq!(m1 - m0, 1, "cold pool: first warm-up is a miss");
+            assert_eq!(h1 - h0, 0);
+            let _ = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                ContentPolicy::Broadcast,
+                false,
+                false,
+                cfg,
+                tiny(),
+            );
+            let (h2, m2, _) = warm_counters();
+            assert_eq!(m2 - m1, 0, "shared-class reuse must not re-warm");
+            assert_eq!(h2 - h1, 1, "shared-class reuse is a hit");
+        });
+    }
+
+    #[test]
     fn lru_cap_bounds_the_pool() {
         let cfg = SystemConfig::small_test();
         with_reuse(true, || {
             clear_warm_pool();
+            let (_, _, e0) = warm_counters();
             // Distinct seeds force distinct keys.
             for seed in 0..(DEFAULT_WARM_CAP as u64 + 5) {
                 let scale = RunScale {
@@ -576,6 +648,8 @@ mod tests {
                 "pool exceeded its cap: {}",
                 warm_pool_len()
             );
+            let (_, _, e1) = warm_counters();
+            assert_eq!(e1 - e0, 5, "overflow past the cap counts evictions");
         });
     }
 }

@@ -49,6 +49,7 @@ mod energy;
 mod error;
 pub mod experiments;
 pub mod fault;
+pub mod obs;
 mod policy;
 mod region_filter;
 pub mod runner;
@@ -62,7 +63,7 @@ pub use checker::{CheckerConfig, CheckerCtx, InvariantChecker, InvariantKind, Vi
 pub use config::{ConfigError, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::SimError;
-pub use experiments::{clear_warm_pool, set_warm_reuse, warm_reuse_enabled};
+pub use experiments::{clear_warm_pool, set_warm_reuse, warm_counters, warm_reuse_enabled};
 pub use fault::{FaultInjectionStats, FaultPlan, MapCorruption};
 pub use policy::{ContentPolicy, FilterPolicy};
 pub use region_filter::RegionFilter;

@@ -1,0 +1,116 @@
+//! Campaign telemetry: structured lifecycle + heartbeat records.
+//!
+//! A process-global sink appends one JSON object per record to
+//! `telemetry.jsonl` in the trace directory — job lifecycle events
+//! from the supervisor (`job_start`, `job_ok`, `job_retry`,
+//! `job_failed`, `job_abandoned`), periodic `heartbeat` records
+//! (rounds/s, RSS, warm-pool counters), shard-panic events from
+//! [`scatter`](crate::runner::scatter), and flight-dump notices. Each
+//! line carries a monotonically increasing `seq`, a wall-clock
+//! `ts_ms`, the emitting thread's scope label, and the event's own
+//! fields.
+//!
+//! Everything goes to the side file, **never stdout**, so report
+//! output stays byte-identical with telemetry on. When tracing is off,
+//! [`emit`] returns before touching the lock — no file, no
+//! allocation. Records are flushed per line so `obs-tail` (and plain
+//! `tail -f`) observe them live.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::runner::json::Value;
+
+/// File name of the telemetry sink inside the trace directory.
+pub const TELEMETRY_FILE: &str = "telemetry.jsonl";
+
+struct Sink {
+    path: PathBuf,
+    file: File,
+    seq: u64,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Drops the open sink so the next [`emit`] reopens it against the
+/// (possibly re-targeted) trace directory.
+pub(super) fn invalidate_sink() {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Path of the telemetry sink for the current trace directory, or
+/// `None` when tracing is off.
+pub fn telemetry_path() -> Option<PathBuf> {
+    super::trace_dir().map(|d| d.join(TELEMETRY_FILE))
+}
+
+/// Appends one telemetry record. A no-op (one predictable branch, no
+/// allocation) when tracing is disabled.
+///
+/// The record is `{"seq":…,"ts_ms":…,"scope":…,"event":…, <fields>}`;
+/// writes are best-effort — telemetry must never fail a run, so I/O
+/// errors silently drop the record.
+pub fn emit(event: &str, fields: Vec<(&'static str, Value)>) {
+    if !super::enabled() {
+        return;
+    }
+    let Some(path) = telemetry_path() else {
+        return;
+    };
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    // (Re)open on first use or after a trace-dir change.
+    let reopen = match guard.as_ref() {
+        Some(sink) => sink.path != path,
+        None => true,
+    };
+    if reopen {
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let Ok(file) = OpenOptions::new().create(true).append(true).open(&path) else {
+            return;
+        };
+        *guard = Some(Sink { path, file, seq: 0 });
+    }
+    let Some(sink) = guard.as_mut() else { return };
+    let mut pairs: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 4);
+    pairs.push(("seq".to_string(), Value::UInt(sink.seq)));
+    pairs.push(("ts_ms".to_string(), Value::UInt(now_ms())));
+    pairs.push(("scope".to_string(), Value::Str(super::scope_label())));
+    pairs.push(("event".to_string(), Value::Str(event.to_string())));
+    for (k, v) in fields {
+        pairs.push((k.to_string(), v));
+    }
+    let line = Value::Obj(pairs).to_json();
+    if writeln!(sink.file, "{line}").is_ok() {
+        let _ = sink.file.flush();
+        sink.seq += 1;
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_tracing_is_silent() {
+        // Unit tests in this binary never enable tracing; emitting must
+        // not create a sink.
+        if !super::super::enabled() {
+            emit("noop", vec![("x", Value::UInt(1))]);
+            assert!(SINK.lock().unwrap().is_none());
+        }
+    }
+}

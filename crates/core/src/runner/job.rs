@@ -145,6 +145,12 @@ pub struct JobRecord {
     /// Whether this record was restored from the journal by `--resume`
     /// rather than executed in this run.
     pub resumed: bool,
+    /// Wall-clock time from the job's first dispatch to its terminal
+    /// outcome, in milliseconds (`None` when the journal it was
+    /// restored from predates the field).
+    pub wall_ms: Option<u64>,
+    /// Duration of the final attempt alone, in milliseconds.
+    pub attempt_ms: Option<u64>,
 }
 
 impl JobRecord {

@@ -29,6 +29,14 @@ pub struct JournalEntry {
     pub attempts: u32,
     /// `Ok(output)` or the final error.
     pub outcome: Result<String, JobError>,
+    /// Wall-clock time from first dispatch to the terminal outcome, in
+    /// milliseconds. `None` in journals written before this field
+    /// existed (old journals stay parseable) and in the merged journal,
+    /// which strips wall-clock quantities to stay deterministic.
+    pub wall_ms: Option<u64>,
+    /// Duration of the final attempt alone, in milliseconds; `None`
+    /// under the same conditions as `wall_ms`.
+    pub attempt_ms: Option<u64>,
 }
 
 impl JournalEntry {
@@ -40,6 +48,8 @@ impl JournalEntry {
             seed: r.spec.seed,
             attempts: r.attempts,
             outcome: r.outcome.clone(),
+            wall_ms: r.wall_ms,
+            attempt_ms: r.attempt_ms,
         }
     }
 
@@ -64,6 +74,14 @@ impl JournalEntry {
                     pairs.push(("limit_ms", Value::UInt(*limit_ms)));
                 }
             }
+        }
+        // Wall-clock fields go last so the deterministic prefix of the
+        // line is unchanged from journals that predate them.
+        if let Some(ms) = self.wall_ms {
+            pairs.push(("wall_ms", Value::UInt(ms)));
+        }
+        if let Some(ms) = self.attempt_ms {
+            pairs.push(("attempt_ms", Value::UInt(ms)));
         }
         Value::obj(pairs).to_json()
     }
@@ -106,6 +124,10 @@ impl JournalEntry {
             seed,
             attempts,
             outcome,
+            // Optional in both directions: absent in old journals, and
+            // absence round-trips as `None`.
+            wall_ms: v.get("wall_ms").and_then(Value::as_u64),
+            attempt_ms: v.get("attempt_ms").and_then(Value::as_u64),
         })
     }
 }
@@ -185,7 +207,9 @@ impl Journal {
     /// Writes the canonical merged journal: one line per job, sorted by
     /// campaign index. Because entries are deterministic, this file is
     /// byte-identical whether the campaign ran straight through or was
-    /// killed and resumed any number of times.
+    /// killed and resumed any number of times — the wall-clock fields
+    /// (`wall_ms`, `attempt_ms`) are stripped here for exactly that
+    /// reason; they survive only in the raw append journal.
     ///
     /// # Errors
     ///
@@ -198,7 +222,12 @@ impl Journal {
         sorted.sort_by_key(|e| e.index);
         let mut out = String::new();
         for e in sorted {
-            out.push_str(&e.to_json_line());
+            let stripped = JournalEntry {
+                wall_ms: None,
+                attempt_ms: None,
+                ..(*e).clone()
+            };
+            out.push_str(&stripped.to_json_line());
             out.push('\n');
         }
         std::fs::write(path, out)
@@ -216,7 +245,43 @@ mod tests {
             seed: 0xC0FFEE,
             attempts: if outcome.is_ok() { 1 } else { 3 },
             outcome,
+            wall_ms: None,
+            attempt_ms: None,
         }
+    }
+
+    #[test]
+    fn wall_clock_fields_round_trip_and_merge_strips_them() {
+        let mut timed = entry(0, "fig1", Ok("out".into()));
+        timed.wall_ms = Some(1234);
+        timed.attempt_ms = Some(456);
+        let line = timed.to_json_line();
+        assert!(line.contains("\"wall_ms\":1234"));
+        assert!(line.ends_with("\"attempt_ms\":456}"));
+        assert_eq!(JournalEntry::from_json_line(&line).unwrap(), timed);
+
+        // Old journals (no wall-clock fields) parse with `None`.
+        let old = entry(1, "fig3", Ok("x".into()));
+        let parsed = JournalEntry::from_json_line(&old.to_json_line()).unwrap();
+        assert_eq!(parsed.wall_ms, None);
+        assert_eq!(parsed.attempt_ms, None);
+
+        // The merged journal is byte-identical with and without them.
+        let dir = std::env::temp_dir().join(format!("vsnoop-journal-wall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_times = dir.join("with.jsonl");
+        let without_times = dir.join("without.jsonl");
+        let mut untimed = timed.clone();
+        untimed.wall_ms = None;
+        untimed.attempt_ms = None;
+        Journal::write_merged(&with_times, &[timed]).unwrap();
+        Journal::write_merged(&without_times, &[untimed]).unwrap();
+        assert_eq!(
+            std::fs::read(&with_times).unwrap(),
+            std::fs::read(&without_times).unwrap(),
+            "write_merged must strip wall-clock fields"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

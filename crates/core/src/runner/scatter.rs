@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use super::cancel;
+use super::json::Value;
 
 /// Explicit worker-count override; 0 means "not set" (fall through to
 /// the environment, then to the host parallelism).
@@ -77,6 +78,7 @@ where
     }
 
     let token = cancel::current();
+    let scope = crate::obs::scope_label();
     let n = items.len();
     let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let done: Vec<Mutex<Option<std::thread::Result<T>>>> =
@@ -86,7 +88,8 @@ where
 
     std::thread::scope(|s| {
         for _ in 0..workers {
-            let (work, done, next, abort, token, f) = (&work, &done, &next, &abort, &token, &f);
+            let (work, done, next, abort, token, f, scope) =
+                (&work, &done, &next, &abort, &token, &f, &scope);
             s.spawn(move || {
                 let drain = || loop {
                     if abort.load(Ordering::Relaxed) {
@@ -104,32 +107,74 @@ where
                     let result = catch_unwind(AssertUnwindSafe(|| f(item)));
                     if result.is_err() {
                         abort.store(true, Ordering::Relaxed);
+                        // The failing shard's flight ring lives on this
+                        // worker thread; dump it before the panic
+                        // travels back to the caller.
+                        if crate::obs::enabled() {
+                            crate::obs::dump_flight("shard-panic");
+                        }
                     }
                     *done[i].lock().expect("shard results poisoned") = Some(result);
                 };
                 // Re-install the supervising job's token (and the
-                // panic-hook quieting that goes with it) on this worker.
+                // panic-hook quieting that goes with it) on this worker,
+                // and inherit its observability scope so shard dumps
+                // land next to the job's other artifacts.
+                let scoped = || crate::obs::with_scope(scope, drain);
                 match token {
-                    Some(t) => cancel::with_current(t.clone(), drain),
-                    None => drain(),
+                    Some(t) => cancel::with_current(t.clone(), scoped),
+                    None => scoped(),
                 }
             });
         }
     });
 
-    let mut out = Vec::with_capacity(n);
-    for slot in done {
-        match slot.into_inner().expect("shard results poisoned") {
-            Some(Ok(v)) => out.push(v),
-            // Lowest-index panic wins: identical to the serial loop,
-            // where later items would never have run.
-            Some(Err(payload)) => resume_unwind(payload),
+    let mut results: Vec<Option<std::thread::Result<T>>> = done
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("shard results poisoned"))
+        .collect();
+
+    // Lowest-index panic wins: identical to the serial loop, where
+    // later items would never have run. Shards that *did* complete
+    // after the failing index are discarded with it — record what that
+    // partial progress was instead of dropping it silently.
+    if let Some(i) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
+        if crate::obs::enabled() {
+            let completed_after = results[i + 1..]
+                .iter()
+                .filter(|r| matches!(r, Some(Ok(_))))
+                .count();
+            let unstarted = results.iter().filter(|r| r.is_none()).count();
+            let message = match &results[i] {
+                Some(Err(p)) => super::supervisor::panic_message(p.as_ref()),
+                _ => unreachable!(),
+            };
+            crate::obs::telemetry::emit(
+                "shard_panic",
+                vec![
+                    ("index", Value::UInt(i as u64)),
+                    ("shards", Value::UInt(n as u64)),
+                    ("completed_after", Value::UInt(completed_after as u64)),
+                    ("dropped_unstarted", Value::UInt(unstarted as u64)),
+                    ("message", Value::Str(message)),
+                ],
+            );
+        }
+        let Some(Err(payload)) = results.swap_remove(i) else {
+            unreachable!()
+        };
+        resume_unwind(payload);
+    }
+
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(Ok(v)) => v,
             // Unstarted shard past an aborted one; unreachable unless
             // an earlier slot holds the panic that caused the abort.
-            None => unreachable!("shard skipped without a preceding panic"),
-        }
-    }
-    out
+            _ => unreachable!("shard skipped without a preceding panic"),
+        })
+        .collect()
 }
 
 #[cfg(test)]

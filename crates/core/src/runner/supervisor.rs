@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use super::cancel::{self, CancelToken, Cancelled};
 use super::job::{Job, JobCtx, JobError, JobRecord};
 use super::journal::{Journal, JournalEntry};
+use super::json::Value;
 use super::repro::CrashReproducer;
 
 /// Supervision parameters for one campaign run.
@@ -178,13 +179,43 @@ enum Slot {
         token: CancelToken,
         deadline: Option<Instant>,
         cancelled_at: Option<Instant>,
+        started: Instant,
     },
     /// Terminal.
     Done,
 }
 
+/// Milliseconds elapsed since `t`, saturated into `u64`.
+fn elapsed_ms(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Telemetry heartbeat period: `VSNOOP_HEARTBEAT_MS`, default 1000.
+fn heartbeat_interval() -> Duration {
+    let ms = std::env::var("VSNOOP_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+/// Emits one structured job-lifecycle telemetry record (no-op when
+/// tracing is off — `emit` returns before allocating).
+fn emit_job_event(event: &str, job: &str, attempt: u32, extra: Vec<(&'static str, Value)>) {
+    if !crate::obs::enabled() {
+        return;
+    }
+    let mut fields = vec![
+        ("job", Value::Str(job.to_string())),
+        ("attempt", Value::UInt(u64::from(attempt))),
+    ];
+    fields.extend(extra);
+    crate::obs::telemetry::emit(event, fields);
+}
+
 /// Extracts a readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(super) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -269,6 +300,8 @@ pub fn run_campaign(
                     attempts: e.attempts,
                     outcome: e.outcome.clone(),
                     resumed: true,
+                    wall_ms: e.wall_ms,
+                    attempt_ms: e.attempt_ms,
                 });
                 slots.push(Slot::Done);
                 resumed += 1;
@@ -296,6 +329,16 @@ pub fn run_campaign(
         .timeout
         .map(|t| u64::try_from(t.as_millis()).unwrap_or(u64::MAX));
 
+    // Wall-clock bookkeeping for journal records and telemetry: when
+    // each job was first dispatched (spanning retries and backoff).
+    let mut first_started: Vec<Option<Instant>> = vec![None; jobs.len()];
+    let mut retries_total = 0u64;
+
+    // Telemetry heartbeat state (all dormant when tracing is off).
+    let hb_interval = heartbeat_interval();
+    let mut hb_last = Instant::now();
+    let mut hb_rounds = crate::obs::rounds_counted();
+
     // FIFO of job indices ready to start keeps campaign order; backoff
     // re-entries are appended when their delay elapses.
     let mut done = slots.iter().filter(|s| matches!(s, Slot::Done)).count();
@@ -309,15 +352,33 @@ pub fn run_campaign(
             let attempt: u32 = $attempt;
             let outcome: Result<String, JobError> = $outcome;
             let job = &jobs[idx];
+            // The slot is still `Running` here on both the normal and
+            // the abandonment path; its start time dates the attempt.
+            let attempt_ms = match &slots[idx] {
+                Slot::Running { started, .. } => Some(elapsed_ms(*started)),
+                _ => None,
+            };
+            let wall_ms = first_started[idx].map(elapsed_ms);
             match outcome {
                 Ok(output) => {
                     progress(&format!("job {}: ok (attempt {attempt})", job.spec.name));
+                    emit_job_event(
+                        "job_ok",
+                        &job.spec.name,
+                        attempt,
+                        vec![
+                            ("wall_ms", wall_ms.map_or(Value::Null, Value::UInt)),
+                            ("attempt_ms", attempt_ms.map_or(Value::Null, Value::UInt)),
+                        ],
+                    );
                     let rec = JobRecord {
                         index: idx,
                         spec: job.spec.clone(),
                         attempts: attempt,
                         outcome: Ok(output),
                         resumed: false,
+                        wall_ms,
+                        attempt_ms,
                     };
                     if let Some(j) = journal.as_mut() {
                         j.append(&JournalEntry::from_record(&rec))?;
@@ -328,12 +389,23 @@ pub fn run_campaign(
                 }
                 Err(err) => {
                     if attempt <= cfg.retries {
+                        retries_total += 1;
                         let shift = (attempt - 1).min(16);
                         let delay = cfg.backoff_base.saturating_mul(1u32 << shift);
                         progress(&format!(
                             "job {}: {} (attempt {attempt}); retrying in {:?}",
                             job.spec.name, err, delay
                         ));
+                        emit_job_event(
+                            "job_retry",
+                            &job.spec.name,
+                            attempt,
+                            vec![
+                                ("error_kind", Value::Str(err.kind().to_string())),
+                                ("error", Value::Str(err.to_string())),
+                                ("attempt_ms", attempt_ms.map_or(Value::Null, Value::UInt)),
+                            ],
+                        );
                         slots[idx] = Slot::Pending {
                             ready_at: Instant::now() + delay,
                             attempt: attempt + 1,
@@ -343,12 +415,25 @@ pub fn run_campaign(
                             "job {}: {} (attempt {attempt}); retry budget exhausted",
                             job.spec.name, err
                         ));
+                        emit_job_event(
+                            "job_failed",
+                            &job.spec.name,
+                            attempt,
+                            vec![
+                                ("error_kind", Value::Str(err.kind().to_string())),
+                                ("error", Value::Str(err.to_string())),
+                                ("wall_ms", wall_ms.map_or(Value::Null, Value::UInt)),
+                                ("attempt_ms", attempt_ms.map_or(Value::Null, Value::UInt)),
+                            ],
+                        );
                         let rec = JobRecord {
                             index: idx,
                             spec: job.spec.clone(),
                             attempts: attempt,
                             outcome: Err(err.clone()),
                             resumed: false,
+                            wall_ms,
+                            attempt_ms,
                         };
                         if let Some(j) = journal.as_mut() {
                             j.append(&JournalEntry::from_record(&rec))?;
@@ -387,13 +472,17 @@ pub fn run_campaign(
                     continue;
                 };
                 let token = CancelToken::new();
-                let deadline = cfg.timeout.map(|t| Instant::now() + t);
+                let started = Instant::now();
+                let deadline = cfg.timeout.map(|t| started + t);
+                first_started[idx].get_or_insert(started);
                 progress(&format!(
                     "job {}: start (attempt {attempt}{})",
                     jobs[idx].spec.name,
                     if attempt > 1 { ", retry" } else { "" }
                 ));
+                emit_job_event("job_start", &jobs[idx].spec.name, attempt, Vec::new());
                 let run = jobs[idx].run.clone();
+                let job_name = jobs[idx].spec.name.clone();
                 let thread_token = token.clone();
                 let thread_tx = tx.clone();
                 std::thread::Builder::new()
@@ -403,8 +492,27 @@ pub fn run_campaign(
                             token: thread_token.clone(),
                             attempt,
                         };
+                        // The job runs inside an observability scope so
+                        // its flight events dump into a per-job file;
+                        // the dump happens here, on the job's own
+                        // thread, because the ring is thread-local and
+                        // each attempt gets a fresh thread.
                         let result = cancel::with_current(thread_token, || {
-                            catch_unwind(AssertUnwindSafe(|| (run)(&ctx)))
+                            crate::obs::with_scope(&job_name, || {
+                                let r = catch_unwind(AssertUnwindSafe(|| (run)(&ctx)));
+                                if let Err(payload) = &r {
+                                    if crate::obs::enabled() {
+                                        let reason =
+                                            if payload.downcast_ref::<Cancelled>().is_some() {
+                                                "timeout"
+                                            } else {
+                                                "panic"
+                                            };
+                                        crate::obs::dump_flight(reason);
+                                    }
+                                }
+                                r
+                            })
                         });
                         let outcome = match result {
                             Ok(Ok(output)) => Ok(output),
@@ -431,6 +539,7 @@ pub fn run_campaign(
                     token,
                     deadline,
                     cancelled_at: None,
+                    started,
                 };
                 running += 1;
             }
@@ -454,6 +563,41 @@ pub fn run_campaign(
             Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx kept alive above"),
         }
 
+        // Telemetry heartbeat: campaign progress, process-wide round
+        // rate, RSS and warm-pool counters. One cheap branch per loop
+        // iteration when tracing is off.
+        if crate::obs::enabled() && hb_last.elapsed() >= hb_interval {
+            let rounds_now = crate::obs::rounds_counted();
+            let secs = hb_last.elapsed().as_secs_f64();
+            let rounds_per_sec = if secs > 0.0 {
+                ((rounds_now - hb_rounds) as f64 / secs) as u64
+            } else {
+                0
+            };
+            let running_jobs: Vec<Value> = (0..jobs.len())
+                .filter(|&i| matches!(slots[i], Slot::Running { .. }))
+                .map(|i| Value::Str(jobs[i].spec.name.clone()))
+                .collect();
+            let (wh, wm, we) = crate::experiments::warm_counters();
+            crate::obs::telemetry::emit(
+                "heartbeat",
+                vec![
+                    ("jobs_total", Value::UInt(jobs.len() as u64)),
+                    ("jobs_done", Value::UInt(done as u64)),
+                    ("jobs_running", Value::UInt(running as u64)),
+                    ("running", Value::Arr(running_jobs)),
+                    ("retries", Value::UInt(retries_total)),
+                    ("rounds_per_sec", Value::UInt(rounds_per_sec)),
+                    ("rss_bytes", Value::UInt(crate::obs::current_rss_bytes())),
+                    ("warm_hits", Value::UInt(wh)),
+                    ("warm_misses", Value::UInt(wm)),
+                    ("warm_evictions", Value::UInt(we)),
+                ],
+            );
+            hb_last = Instant::now();
+            hb_rounds = rounds_now;
+        }
+
         // Watchdog: cancel overdue attempts; abandon unresponsive ones.
         let now = Instant::now();
         for idx in 0..jobs.len() {
@@ -462,6 +606,7 @@ pub fn run_campaign(
                 token,
                 deadline,
                 cancelled_at,
+                ..
             } = &mut slots[idx]
             else {
                 continue;
@@ -487,6 +632,7 @@ pub fn run_campaign(
                          (attempt {attempt})",
                         jobs[idx].spec.name
                     ));
+                    emit_job_event("job_abandoned", &jobs[idx].spec.name, attempt, Vec::new());
                     running -= 1;
                     finish!(
                         idx,

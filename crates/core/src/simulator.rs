@@ -224,6 +224,12 @@ pub struct Simulator {
     /// Bounded log of recoverable internal inconsistencies.
     diagnostics: Vec<SimError>,
     diagnostics_total: u64,
+    /// Per-epoch time-series recorder (observability layer); `None` —
+    /// the default — keeps the hot path to a single branch per round.
+    epochs: Option<Box<crate::obs::EpochRecorder>>,
+    /// Latch so the flight recorder is dumped at most once per simulator
+    /// on the first checker violation.
+    flight_dumped: bool,
 }
 
 /// One deferred vCPU-map register update (map-sync-delay fault).
@@ -331,6 +337,8 @@ impl Simulator {
             checker: None,
             diagnostics: Vec::new(),
             diagnostics_total: 0,
+            epochs: None,
+            flight_dumped: false,
             cfg,
             policy,
             content_policy,
@@ -402,6 +410,7 @@ impl Simulator {
         let Some(mut ch) = self.checker.take() else {
             return;
         };
+        let before = ch.total_violations();
         ch.full_sweep(
             self.cycle,
             &CheckerCtx {
@@ -414,6 +423,7 @@ impl Simulator {
             },
         );
         self.checker = Some(ch);
+        self.after_check(before);
     }
 
     /// Recoverable internal inconsistencies observed so far (bounded log;
@@ -525,11 +535,149 @@ impl Simulator {
     }
 
     /// Clears statistics, traffic, and logs while *keeping caches, maps
-    /// and placement warm* — call after a warm-up phase.
+    /// and placement warm* — call after a warm-up phase. An enabled
+    /// epoch recorder is rebaselined at the cleared state, so epochs
+    /// cover only the measured phase.
     pub fn reset_measurement(&mut self) {
         self.stats = SimStats::new(self.cfg.n_cores());
         self.net.reset_traffic();
         self.removal_log.clear();
+        if let Some(ep) = self.epochs.as_deref_mut() {
+            ep.rebaseline(
+                self.cycle,
+                &self.stats,
+                self.net.traffic(),
+                self.net.node_bytes(),
+                self.hv.swaps(),
+            );
+        }
+    }
+
+    /// Enables per-epoch time-series recording: an epoch is cut every
+    /// `every` rounds, capturing the delta of every statistic plus the
+    /// snoop fan-out histogram and per-link traffic (the network's
+    /// per-node byte tally is switched on as the heatmap source).
+    /// Baselines anchor at the *current* state, so enabling after a
+    /// warm-up phase records only what follows. See
+    /// [`EpochRecorder`](crate::obs::EpochRecorder) for export formats.
+    pub fn enable_epochs(&mut self, every: u64) {
+        self.net.enable_node_tally();
+        let mut rec = Box::new(crate::obs::EpochRecorder::new(every));
+        rec.rebaseline(
+            self.cycle,
+            &self.stats,
+            self.net.traffic(),
+            self.net.node_bytes(),
+            self.hv.swaps(),
+        );
+        self.epochs = Some(rec);
+    }
+
+    /// The per-epoch recorder, when enabled via
+    /// [`Simulator::enable_epochs`].
+    pub fn epochs(&self) -> Option<&crate::obs::EpochRecorder> {
+        self.epochs.as_deref()
+    }
+
+    /// Cuts the current partial epoch so an end-of-run tail shorter
+    /// than the epoch length is not lost. No-op when epoch recording
+    /// is disabled or no rounds have run since the last cut.
+    pub fn flush_epochs(&mut self) {
+        if let Some(ep) = self.epochs.as_deref_mut() {
+            ep.flush(
+                self.cycle,
+                &self.stats,
+                self.net.traffic(),
+                self.net.node_bytes(),
+                self.hv.swaps(),
+            );
+        }
+    }
+
+    /// End-of-round observability bookkeeping: the process-wide round
+    /// counter (heartbeat rate source) and the epoch recorder's tick.
+    /// When tracing is off this is one relaxed atomic load and one
+    /// `Option` branch.
+    fn obs_round_tick(&mut self) {
+        if crate::obs::enabled() {
+            crate::obs::count_round();
+        }
+        if let Some(ep) = self.epochs.as_deref_mut() {
+            ep.tick_round(
+                self.cycle,
+                &self.stats,
+                self.net.traffic(),
+                self.net.node_bytes(),
+                self.hv.swaps(),
+            );
+        }
+    }
+
+    /// Deliberately corrupts one cached L2 line's coherence metadata so
+    /// the next checker pass reports `DirtyWithoutOwner` — scaffolding
+    /// for exercising the violation-dump path in tests and the soak
+    /// harness (`SOAK_FORCE_VIOLATION`). Returns the corrupted block
+    /// number, or `None` when no line is cached anywhere yet.
+    #[doc(hidden)]
+    pub fn debug_corrupt_token_state(&mut self) -> Option<u64> {
+        // Prefer a tokened-but-unowned line: marking it dirty yields a
+        // violation without touching token conservation. Fall back to
+        // stripping ownership from an owner line.
+        for l2 in &mut self.l2 {
+            let candidate = l2
+                .lines()
+                .find(|l| !l.state.owner && l.state.tokens > 0)
+                .map(|l| l.block);
+            if let Some(block) = candidate {
+                let line = l2.probe_mut(block)?;
+                line.state.dirty = true;
+                return Some(block.index());
+            }
+        }
+        for l2 in &mut self.l2 {
+            let candidate = l2.lines().find(|l| l.state.owner).map(|l| l.block);
+            if let Some(block) = candidate {
+                let line = l2.probe_mut(block)?;
+                line.state.dirty = true;
+                line.state.owner = false;
+                return Some(block.index());
+            }
+        }
+        None
+    }
+
+    /// First-violation hook: the first time the checker's violation
+    /// count rises, dump the flight recorder and emit a telemetry
+    /// record. Latched per simulator so later violations never
+    /// overwrite the dump closest to the root cause. No-op when
+    /// tracing is off.
+    fn after_check(&mut self, violations_before: u64) {
+        let Some(ch) = self.checker.as_ref() else {
+            return;
+        };
+        let total = ch.total_violations();
+        if total <= violations_before || self.flight_dumped || !crate::obs::enabled() {
+            return;
+        }
+        self.flight_dumped = true;
+        use crate::runner::json::Value;
+        let kind = ch
+            .violations()
+            .last()
+            .map_or_else(|| "unknown".to_string(), |v| format!("{:?}", v.kind));
+        let path = crate::obs::dump_flight("violation");
+        crate::obs::telemetry::emit(
+            "checker_violation",
+            vec![
+                ("kind", Value::Str(kind)),
+                ("cycle", Value::UInt(self.cycle)),
+                ("total_violations", Value::UInt(total)),
+                (
+                    "flight_dump",
+                    path.map_or(Value::Null, |p| Value::Str(p.display().to_string())),
+                ),
+            ],
+        );
     }
 
     /// Captures a warm-state snapshot: the complete machine state plus
@@ -566,6 +714,7 @@ impl Simulator {
                 let access = workload.next_access(vcpu);
                 self.step(core, access, workload.directory());
             }
+            self.obs_round_tick();
         }
     }
 
@@ -606,6 +755,7 @@ impl Simulator {
                 let access = workload.next_access(vcpu);
                 self.step(core, access, workload.directory());
             }
+            self.obs_round_tick();
         }
     }
 
@@ -774,6 +924,7 @@ impl Simulator {
         let Some(mut ch) = self.checker.take() else {
             return;
         };
+        let before = ch.total_violations();
         ch.check_maps(
             self.cycle,
             &CheckerCtx {
@@ -786,6 +937,7 @@ impl Simulator {
             },
         );
         self.checker = Some(ch);
+        self.after_check(before);
     }
 
     /// One access slot on `core`.
@@ -872,6 +1024,7 @@ impl Simulator {
         let Some(mut ch) = self.checker.take() else {
             return;
         };
+        let before = ch.total_violations();
         ch.on_transaction(
             self.cycle,
             block,
@@ -885,6 +1038,7 @@ impl Simulator {
             },
         );
         self.checker = Some(ch);
+        self.after_check(before);
     }
 
     /// Executes one coherence transaction: the paper's bounded transient
@@ -993,6 +1147,7 @@ impl Simulator {
             // count.
             self.stats.snoops += u64::from(delivered.count_ones()) + 1;
 
+            let tokens_moved: u32;
             let outcome = if access.write {
                 let w = self.protocol.fast_mut().write_miss_masked(
                     &mut self.l2,
@@ -1013,6 +1168,7 @@ impl Simulator {
                         MessageKind::TokenReply,
                     );
                 }
+                tokens_moved = w.tokens_moved();
                 TxOutcome {
                     success: w.success,
                     source: w.source,
@@ -1030,6 +1186,7 @@ impl Simulator {
                     tag,
                     mode,
                 );
+                tokens_moved = r.tokens_moved();
                 TxOutcome {
                     success: r.success,
                     source: r.source,
@@ -1038,6 +1195,46 @@ impl Simulator {
                     evicted_dirty: r.evicted_dirty,
                 }
             };
+
+            // Observability hook: one flight-recorder event and one
+            // fan-out histogram sample per attempt. Off, this is a
+            // single relaxed atomic load plus one `Option` branch.
+            if crate::obs::enabled() {
+                use crate::obs::FlightEvent;
+                let mut flags = 0u8;
+                if access.write {
+                    flags |= FlightEvent::FLAG_WRITE;
+                }
+                if filtered && dest_mask != valid_core_mask(self.cfg.n_cores()) & !(1u64 << c) {
+                    flags |= FlightEvent::FLAG_FILTERED;
+                }
+                if degraded {
+                    flags |= FlightEvent::FLAG_DEGRADED;
+                }
+                if persistent {
+                    flags |= FlightEvent::FLAG_PERSISTENT;
+                }
+                if memory_heard {
+                    flags |= FlightEvent::FLAG_MEMORY;
+                }
+                if outcome.success {
+                    flags |= FlightEvent::FLAG_SUCCESS;
+                }
+                crate::obs::record_tx(FlightEvent {
+                    cycle: self.cycle,
+                    block: block.index(),
+                    dest_mask,
+                    delivered,
+                    core: c as u16,
+                    tokens_moved: tokens_moved.min(u32::from(u16::MAX)) as u16,
+                    attempt: attempt as u8,
+                    sharing: sharing as u8,
+                    flags,
+                });
+            }
+            if let Some(ep) = self.epochs.as_deref_mut() {
+                ep.record_fanout(delivered.count_ones() as usize + 1);
+            }
 
             // Response traffic and latency. The transaction is gated by
             // the round trip to the responder (the data holder answers as

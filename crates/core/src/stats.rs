@@ -83,6 +83,49 @@ pub struct SimStats {
     pub stall_cycles: Vec<u64>,
 }
 
+/// Every scalar counter field of [`SimStats`], listed exactly once.
+///
+/// [`SimStats::delta_since`], [`SimStats::add_delta`] and
+/// [`SimStats::counters`] are all generated from this list, so adding a
+/// counter to the struct only requires adding it here — and the
+/// epoch-reconstruction tests (which compare with the derived
+/// `PartialEq`, covering **all** fields) fail loudly if it is
+/// forgotten.
+macro_rules! for_each_counter {
+    ($cb:ident) => {
+        $cb!(
+            rounds,
+            accesses,
+            l1_hits,
+            l2_hits,
+            l2_misses,
+            snoops,
+            retries,
+            broadcast_fallbacks,
+            persistent_requests,
+            degraded_broadcasts,
+            map_repairs,
+            misses_guest,
+            misses_dom0,
+            misses_hyp,
+            misses_private,
+            misses_rw_shared,
+            misses_ro_shared,
+            content_accesses,
+            holders_any_cache,
+            holders_intra_vm,
+            holders_friend_vm,
+            holders_memory,
+            data_intra_vm,
+            data_other_vm,
+            data_memory,
+            writebacks,
+            map_adds,
+            map_removes
+        );
+    };
+}
+
 impl SimStats {
     /// Creates zeroed statistics for `n_cores`.
     pub fn new(n_cores: usize) -> Self {
@@ -90,6 +133,66 @@ impl SimStats {
             stall_cycles: vec![0; n_cores],
             ..Default::default()
         }
+    }
+
+    /// The difference `self - prev` over every counter field (and
+    /// per-core stall cycles) — the per-epoch delta snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `prev` exceeds the corresponding
+    /// counter of `self` (deltas are only meaningful against an earlier
+    /// snapshot of the same run), or if the core counts differ.
+    pub fn delta_since(&self, prev: &SimStats) -> SimStats {
+        assert_eq!(
+            self.stall_cycles.len(),
+            prev.stall_cycles.len(),
+            "delta between different core counts"
+        );
+        let mut d = SimStats::new(self.stall_cycles.len());
+        macro_rules! sub {
+            ($($f:ident),+ $(,)?) => {
+                $( d.$f = self.$f.checked_sub(prev.$f)
+                    .expect(concat!("counter ", stringify!($f), " went backwards")); )+
+            };
+        }
+        for_each_counter!(sub);
+        for (i, (a, b)) in self.stall_cycles.iter().zip(&prev.stall_cycles).enumerate() {
+            d.stall_cycles[i] = a.checked_sub(*b).expect("stall_cycles went backwards");
+        }
+        d
+    }
+
+    /// Adds a delta (as produced by [`SimStats::delta_since`]) onto
+    /// this aggregate; the inverse used by the reconstruction tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core counts differ.
+    pub fn add_delta(&mut self, d: &SimStats) {
+        assert_eq!(
+            self.stall_cycles.len(),
+            d.stall_cycles.len(),
+            "delta between different core counts"
+        );
+        macro_rules! add {
+            ($($f:ident),+ $(,)?) => { $( self.$f += d.$f; )+ };
+        }
+        for_each_counter!(add);
+        for (i, b) in d.stall_cycles.iter().enumerate() {
+            self.stall_cycles[i] += b;
+        }
+    }
+
+    /// Every scalar counter as a `(name, value)` pair, in declaration
+    /// order — the export surface for epoch snapshots and telemetry.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::new();
+        macro_rules! push {
+            ($($f:ident),+ $(,)?) => { $( out.push((stringify!($f), self.$f)); )+ };
+        }
+        for_each_counter!(push);
+        out
     }
 
     /// L2 miss ratio over all accesses.
@@ -202,6 +305,64 @@ mod tests {
         assert_eq!(s.misses_ro_shared, 1);
         assert!((s.host_miss_fraction() - 0.5).abs() < 1e-12);
         assert!((s.content_miss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    /// A stats block with every counter distinct and nonzero, so a
+    /// forgotten field in the delta machinery cannot cancel out.
+    fn dense(offset: u64) -> SimStats {
+        let mut s = SimStats::new(3);
+        for (i, (_, _)) in s.clone().counters().iter().enumerate() {
+            // Write through counters()' declaration order via add_delta
+            // round-trip: build a delta with exactly one field set.
+            let mut d = SimStats::new(3);
+            macro_rules! set_ith {
+                ($($f:ident),+ $(,)?) => {{
+                    let mut j = 0usize;
+                    $( if j == i { d.$f = offset + i as u64 + 1; } j += 1; )+
+                    let _ = j;
+                }};
+            }
+            for_each_counter!(set_ith);
+            s.add_delta(&d);
+        }
+        s.stall_cycles = vec![offset + 100, offset + 200, offset + 300];
+        s
+    }
+
+    #[test]
+    fn delta_then_add_reconstructs_every_field() {
+        let early = dense(10);
+        let mut late = dense(500);
+        // Make `late` strictly componentwise >= `early`.
+        late.add_delta(&early);
+        let delta = late.delta_since(&early);
+        let mut rebuilt = early.clone();
+        rebuilt.add_delta(&delta);
+        // Derived PartialEq compares *all* fields, so any counter the
+        // for_each_counter! list missed would fail here.
+        assert_eq!(rebuilt, late);
+    }
+
+    #[test]
+    fn counters_exports_in_declaration_order() {
+        let s = dense(0);
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.first(), Some(&"rounds"));
+        assert_eq!(names.last(), Some(&"map_removes"));
+        assert_eq!(names.len(), 28, "counter list out of sync with struct");
+        // All values distinct and nonzero by construction.
+        for (name, v) in s.counters() {
+            assert!(v > 0, "{name} not covered by dense()");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn delta_rejects_reversed_snapshots() {
+        let early = dense(10);
+        let mut late = dense(500);
+        late.add_delta(&early);
+        let _ = early.delta_since(&late);
     }
 
     #[test]

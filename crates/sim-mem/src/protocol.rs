@@ -217,6 +217,15 @@ pub struct ReadOutcome {
     pub snooped: u32,
 }
 
+impl ReadOutcome {
+    /// Number of parties that moved tokens to the requester this
+    /// attempt: reads collect one token, from the responding cache or
+    /// memory (0 on a failed attempt).
+    pub fn tokens_moved(&self) -> u32 {
+        u32::from(self.source.is_some())
+    }
+}
+
 /// Outcome of a write (GETX) attempt on the allocation-free mask API.
 ///
 /// The mirror of [`WriteResult`] with core sets as `u64` bitmasks.
@@ -239,6 +248,15 @@ pub struct WriteOutcome {
     pub snooped: u32,
     /// Tokens collected by a *failed* attempt were bounced to memory.
     pub bounced: bool,
+}
+
+impl WriteOutcome {
+    /// Number of parties that moved tokens to the requester this
+    /// attempt: every token-only replier, plus the data source (a cache
+    /// or memory) when one responded.
+    pub fn tokens_moved(&self) -> u32 {
+        self.token_repliers.count_ones() + u32::from(self.source.is_some())
+    }
 }
 
 /// Iterates the set bits of a core mask in ascending core order.

@@ -43,6 +43,11 @@ pub struct Network {
     ports: Vec<NodeId>,
     traffic: TrafficStats,
     faults: Option<LinkFaults>,
+    /// Optional per-node byte attribution (source + destination each
+    /// charged the message size) — the observability layer's traffic
+    /// heatmap. `None` (the default) keeps accounting on the two
+    /// aggregate counters only, at the cost of one branch per message.
+    node_tally: Option<Box<[u64]>>,
 }
 
 impl Network {
@@ -55,6 +60,7 @@ impl Network {
             ports: mesh.corner_ports(),
             traffic: TrafficStats::default(),
             faults: None,
+            node_tally: None,
         }
     }
 
@@ -103,7 +109,23 @@ impl Network {
             ports,
             traffic: TrafficStats::default(),
             faults: None,
+            node_tally: None,
         })
+    }
+
+    /// Enables the per-node byte tally (idempotent). Every subsequent
+    /// message charges its size to both endpoint nodes, giving the
+    /// traffic heatmap [`Network::node_bytes`] reports.
+    pub fn enable_node_tally(&mut self) {
+        if self.node_tally.is_none() {
+            self.node_tally = Some(vec![0u64; self.mesh.len()].into_boxed_slice());
+        }
+    }
+
+    /// Bytes attributed to each mesh node (source + destination), or an
+    /// empty slice when the tally is disabled.
+    pub fn node_bytes(&self) -> &[u64] {
+        self.node_tally.as_deref().unwrap_or(&[])
     }
 
     /// Installs (or, with `None`, clears) link-fault injection state.
@@ -139,15 +161,24 @@ impl Network {
         &self.traffic
     }
 
-    /// Resets traffic statistics (e.g. after warm-up).
+    /// Resets traffic statistics (e.g. after warm-up). The per-node
+    /// tally, if enabled, is zeroed but stays enabled.
     pub fn reset_traffic(&mut self) {
         self.traffic = TrafficStats::default();
+        if let Some(t) = &mut self.node_tally {
+            t.fill(0);
+        }
     }
 
     /// Sends one message; returns its base latency in cycles.
     pub fn unicast(&mut self, src: NodeId, dst: NodeId, kind: MessageKind) -> u64 {
         let hops = self.mesh.hops(src, dst);
         self.traffic.record(kind, hops);
+        if let Some(t) = &mut self.node_tally {
+            let bytes = u64::from(kind.bytes());
+            t[src.index()] += bytes;
+            t[dst.index()] += bytes;
+        }
         self.latency.base_latency(hops, kind.bytes())
     }
 
@@ -174,9 +205,15 @@ impl Network {
             total_hops += u64::from(hops);
             messages += 1;
             worst_hops = worst_hops.max(hops);
+            if let Some(t) = &mut self.node_tally {
+                t[d.index()] += u64::from(kind.bytes());
+            }
         }
         if messages > 0 {
             self.traffic.record_batch(kind, total_hops, messages);
+            if let Some(t) = &mut self.node_tally {
+                t[src.index()] += u64::from(kind.bytes()) * messages;
+            }
             worst = self.latency.base_latency(worst_hops, kind.bytes());
         }
         worst

@@ -64,6 +64,7 @@ pub struct Hypervisor {
     core_of_vcpu: HashMap<VcpuId, CoreId>,
     vms: Vec<VmSpec>,
     relocations: Vec<RelocationEvent>,
+    swaps: u64,
 }
 
 impl Hypervisor {
@@ -83,7 +84,17 @@ impl Hypervisor {
             core_of_vcpu: HashMap::new(),
             vms: vms.to_vec(),
             relocations: Vec::new(),
+            swaps: 0,
         }
+    }
+
+    /// Number of effective vCPU core exchanges performed by
+    /// [`Hypervisor::swap`] / [`Hypervisor::try_swap`] (self-swaps and
+    /// failed swaps are not counted). Unlike the relocation log this is
+    /// never truncated, so the observability layer uses it for per-epoch
+    /// swap rates.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
     }
 
     /// Returns the number of physical cores.
@@ -182,6 +193,7 @@ impl Hypervisor {
         if ca == cb {
             return Ok((ca, cb));
         }
+        self.swaps += 1;
         self.vcpu_on_core[ca.index()] = Some(b);
         self.vcpu_on_core[cb.index()] = Some(a);
         self.core_of_vcpu.insert(a, cb);

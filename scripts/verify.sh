@@ -27,7 +27,10 @@ echo "==> cargo clippy (--features proptest)"
 cargo clippy --workspace --all-targets --features proptest -- -D warnings
 
 echo "==> robustness soak (fault injection + invariant checker)"
-./target/release/soak
+# Traced: telemetry/flight/epoch files land in a side directory without
+# touching stdout, so a soak failure in CI leaves the flight recorder's
+# last-moments dump behind as an uploadable artifact.
+VSNOOP_TRACE=target/campaign/soak-trace ./target/release/soak
 
 echo "==> perf smoke (throughput harness + regression gate)"
 # A short run of every bin: produces the machine-readable throughput
@@ -90,5 +93,37 @@ VSNOOP_SCALE=quick ./target/release/all --jobs 1 --workers 4 --dir "$SHARD_DIR" 
   > /dev/null 2>&1
 cmp "$SHARD_DIR/campaign.txt" "$CLEAN_DIR/campaign.txt"
 cmp "$SHARD_DIR/merged.jsonl" "$CLEAN_DIR/merged.jsonl"
+
+echo "==> observability smoke (tracing on, stdout byte-identical)"
+# The whole observability layer writes to side files only: a traced
+# campaign's stdout and artifacts must be byte-identical to the
+# untraced CLEAN_DIR run, while the telemetry stream fills up next to
+# them (OBSERVABILITY.md).
+TRACED_DIR=target/campaign/verify-traced
+TRACE_OUT=target/campaign/verify-trace-files
+rm -rf "$TRACED_DIR" "$TRACE_OUT"
+VSNOOP_SCALE=quick ./target/release/all --jobs 1 --workers 1 --dir "$TRACED_DIR" \
+  --trace-dir "$TRACE_OUT" > "$TRACED_DIR.out" 2> /dev/null
+cmp "$TRACED_DIR.out" "$CLEAN_DIR/campaign.txt"
+cmp "$TRACED_DIR/campaign.txt" "$CLEAN_DIR/campaign.txt"
+cmp "$TRACED_DIR/merged.jsonl" "$CLEAN_DIR/merged.jsonl"
+test -s "$TRACE_OUT/telemetry.jsonl"
+grep -q '"event":"job_ok"' "$TRACE_OUT/telemetry.jsonl"
+./target/release/obs_tail --trace-dir "$TRACE_OUT" --once | grep -q '"event":"job_start"'
+
+echo "==> observability smoke (forced checker violation leaves a flight dump)"
+# SOAK_FORCE_VIOLATION corrupts one cache line, lets the invariant
+# checker catch it, and must exit non-zero with a flight-recorder dump
+# and a checker_violation telemetry record in the trace directory.
+VIOL_DIR=target/campaign/verify-violation
+rm -rf "$VIOL_DIR"
+if SOAK_FORCE_VIOLATION=1 VSNOOP_TRACE="$VIOL_DIR" ./target/release/soak \
+  > /dev/null 2>&1; then
+  echo "forced-violation soak unexpectedly succeeded" >&2
+  exit 1
+fi
+test -s "$VIOL_DIR/flight-forced-violation.jsonl"
+head -1 "$VIOL_DIR/flight-forced-violation.jsonl" | grep -q '"reason":"violation"'
+grep -q '"event":"checker_violation"' "$VIOL_DIR/telemetry.jsonl"
 
 echo "verify.sh: ALL CHECKS PASSED"
