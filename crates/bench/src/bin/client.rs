@@ -1,0 +1,298 @@
+//! Command-line client for the simulation service.
+//!
+//! Submits jobs for one tenant, waits for every terminal answer, and
+//! optionally saves each successful job's output text — the bytes are
+//! identical to the offline campaign's output for the same jobs at the
+//! same scale, which the verify smoke checks with `cmp`.
+//!
+//! ```text
+//! client --addr HOST:PORT --tenant NAME [--submit JOB]...
+//!        [--warmup N] [--measure N] [--seed N] [--spin-ms N]
+//!        [--deadline-ms N] [--out DIR] [--strict]
+//! client --addr HOST:PORT (--ping | --status | --shutdown | --subscribe N)
+//! ```
+//!
+//! Submission mode prints one line per job (`fig2: ok (1234 bytes)`,
+//! `table2: shed tenant_queue_full`, ...) in submit order, plus a
+//! summary. Exit 0 when every submit got a terminal answer (even a
+//! shed or a cancellation — those are the protocol working as
+//! designed); `--strict` demands every job end `ok`. Transport
+//! failures (server gone, malformed response) exit 1.
+//!
+//! `--subscribe N` prints N live telemetry records and exits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vsnoop::runner::json::Value;
+use vsnoop::service::Response;
+
+enum Mode {
+    Submit,
+    Ping,
+    Status,
+    Shutdown,
+    Subscribe(u64),
+}
+
+struct Cli {
+    addr: String,
+    tenant: String,
+    jobs: Vec<String>,
+    warmup: Option<u64>,
+    measure: Option<u64>,
+    seed: Option<u64>,
+    spin_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    out: Option<PathBuf>,
+    strict: bool,
+    mode: Mode,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7878".to_string(),
+        tenant: String::new(),
+        jobs: Vec::new(),
+        warmup: None,
+        measure: None,
+        seed: None,
+        spin_ms: None,
+        deadline_ms: None,
+        out: None,
+        strict: false,
+        mode: Mode::Submit,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_u64 = |flag: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--tenant" => cli.tenant = value("--tenant")?,
+            "--submit" => cli.jobs.push(value("--submit")?),
+            "--warmup" => cli.warmup = Some(parse_u64("--warmup", value("--warmup")?)?),
+            "--measure" => cli.measure = Some(parse_u64("--measure", value("--measure")?)?),
+            "--seed" => cli.seed = Some(parse_u64("--seed", value("--seed")?)?),
+            "--spin-ms" => cli.spin_ms = Some(parse_u64("--spin-ms", value("--spin-ms")?)?),
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(parse_u64("--deadline-ms", value("--deadline-ms")?)?);
+            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
+            "--strict" => cli.strict = true,
+            "--ping" => cli.mode = Mode::Ping,
+            "--status" => cli.mode = Mode::Status,
+            "--shutdown" => cli.mode = Mode::Shutdown,
+            "--subscribe" => {
+                cli.mode = Mode::Subscribe(parse_u64("--subscribe", value("--subscribe")?)?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: client --addr HOST:PORT --tenant NAME [--submit JOB]...\n\
+                     \u{20}             [--warmup N] [--measure N] [--seed N] [--spin-ms N]\n\
+                     \u{20}             [--deadline-ms N] [--out DIR] [--strict]\n\
+                     \u{20}      client --addr HOST:PORT (--ping | --status | --shutdown | \
+                     --subscribe N)"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    if matches!(cli.mode, Mode::Submit) {
+        if cli.jobs.is_empty() {
+            return Err("nothing to do: pass --submit JOB (or --ping/--status/...)".into());
+        }
+        if cli.tenant.is_empty() {
+            return Err("--submit requires --tenant".into());
+        }
+    }
+    Ok(cli)
+}
+
+/// Sends one op line and prints the first response line verbatim.
+fn one_shot(addr: &str, op: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{{\"op\":\"{op}\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    print!("{line}");
+    Ok(())
+}
+
+/// Streams `n` telemetry records to stdout.
+fn subscribe(addr: &str, n: u64) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{{\"op\":\"subscribe\"}}").map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // First line is the ack.
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    match Response::parse(line.trim()) {
+        Ok(Response::Subscribed) => {}
+        other => return Err(format!("expected subscribed ack, got {other:?}")),
+    }
+    let mut seen = 0;
+    while seen < n {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                print!("{line}");
+                seen += 1;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn submit_all(cli: &Cli) -> Result<bool, String> {
+    let stream = TcpStream::connect(&cli.addr).map_err(|e| format!("connect {}: {e}", cli.addr))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    for (i, job) in cli.jobs.iter().enumerate() {
+        let mut params: Vec<(&'static str, Value)> = Vec::new();
+        if let Some(w) = cli.warmup {
+            params.push(("warmup", Value::UInt(w)));
+        }
+        if let Some(m) = cli.measure {
+            params.push(("measure", Value::UInt(m)));
+        }
+        if let Some(s) = cli.seed {
+            params.push(("scale_seed", Value::UInt(s)));
+        }
+        if let Some(ms) = cli.spin_ms {
+            params.push(("ms", Value::UInt(ms)));
+        }
+        // Tags are the submit *index*: two submits of the same job name
+        // must stay distinguishable.
+        let mut pairs = vec![
+            ("op", Value::Str("submit".into())),
+            ("tenant", Value::Str(cli.tenant.clone())),
+            ("job", Value::Str(job.clone())),
+            ("params", Value::obj(params)),
+            ("tag", Value::Str(i.to_string())),
+        ];
+        if let Some(d) = cli.deadline_ms {
+            pairs.push(("deadline_ms", Value::UInt(d)));
+        }
+        let line = Value::obj(pairs).to_json();
+        writeln!(writer, "{line}").map_err(|e| format!("send {job}: {e}"))?;
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+
+    // Submit index -> outcome, printed in submit order at the end so
+    // output is deterministic even when completions interleave.
+    let mut outcomes: Vec<Option<(bool, String)>> = vec![None; cli.jobs.len()];
+    let mut pending = cli.jobs.len();
+    let mut line = String::new();
+    while pending > 0 {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("server closed the connection mid-run".into()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = Response::parse(line.trim())?;
+        let mut settle = |tag: Option<String>, outcome: (bool, String)| {
+            let Some(slot) = tag
+                .and_then(|t| t.parse::<usize>().ok())
+                .and_then(|i| outcomes.get_mut(i))
+            else {
+                return;
+            };
+            if slot.is_none() {
+                *slot = Some(outcome);
+                pending -= 1;
+            }
+        };
+        match resp {
+            Response::Accepted { .. } => {}
+            Response::Shed {
+                reason,
+                retryable,
+                tag,
+            } => {
+                let retry = if retryable { "" } else { " (not retryable)" };
+                settle(tag, (false, format!("shed {reason}{retry}")));
+            }
+            Response::Done { outcome, tag, .. } => match outcome {
+                Ok(output) => {
+                    let name = tag
+                        .as_deref()
+                        .and_then(|t| t.parse::<usize>().ok())
+                        .and_then(|i| cli.jobs.get(i))
+                        .cloned()
+                        .unwrap_or_default();
+                    if let Some(dir) = &cli.out {
+                        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                        std::fs::write(dir.join(format!("{name}.txt")), &output)
+                            .map_err(|e| format!("write {name}.txt: {e}"))?;
+                    }
+                    settle(tag, (true, format!("ok ({} bytes)", output.len())));
+                }
+                Err((kind, message)) => {
+                    settle(tag, (false, format!("{kind}: {message}")));
+                }
+            },
+            Response::Error { message, tag } => {
+                settle(tag, (false, format!("error: {message}")));
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    let mut all_ok = true;
+    for (job, outcome) in cli.jobs.iter().zip(&outcomes) {
+        let (ok, text) = outcome.clone().unwrap_or((false, "no response".into()));
+        all_ok &= ok;
+        println!("{job}: {text}");
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cli.mode {
+        Mode::Ping => one_shot(&cli.addr, "ping").map(|()| true),
+        Mode::Status => one_shot(&cli.addr, "status").map(|()| true),
+        Mode::Shutdown => one_shot(&cli.addr, "shutdown").map(|()| true),
+        Mode::Subscribe(n) => subscribe(&cli.addr, n).map(|()| true),
+        Mode::Submit => submit_all(&cli),
+    };
+    match result {
+        Ok(all_ok) => {
+            if cli.strict && !all_ok {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-tenant service soak: in-process server, many concurrent
+//! clients, latency percentiles and shed accounting.
+//!
+//! ```text
+//! loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]
+//!          [--workers N] [--queue-cap N] [--max-inflight N]
+//!          [--max-queued N] [--deadline-ms N] [--overload]
+//! ```
+//!
+//! Runs the same harness the `perf` binary's `service` bin measures
+//! (`vsnoop_bench::service_load`), so a local soak and the gated perf
+//! number describe the same scenario. `--overload` shrinks the queues
+//! until most submits shed, verifying that saturation produces typed
+//! rejections rather than hangs.
+//!
+//! Exits 1 if any request went unanswered (a hang or transport loss),
+//! or if `--overload` produced no sheds.
+
+use std::process::ExitCode;
+
+use vsnoop::service::TenantQuota;
+use vsnoop_bench::service_load::{run_load, LoadOptions};
+
+fn parse_cli() -> Result<(LoadOptions, bool), String> {
+    let mut opts = LoadOptions::default();
+    let mut overload = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_u64 = |flag: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--clients" => opts.clients = parse_u64("--clients", value("--clients")?)? as usize,
+            "--tenants" => {
+                opts.tenants = parse_u64("--tenants", value("--tenants")?)?.max(1) as usize;
+            }
+            "--jobs" => opts.jobs_per_client = parse_u64("--jobs", value("--jobs")?)? as usize,
+            "--spin-ms" => opts.spin_ms = parse_u64("--spin-ms", value("--spin-ms")?)?,
+            "--workers" => {
+                opts.workers = parse_u64("--workers", value("--workers")?)?.max(1) as usize
+            }
+            "--queue-cap" => {
+                opts.queue_cap = parse_u64("--queue-cap", value("--queue-cap")?)? as usize;
+            }
+            "--max-inflight" => {
+                opts.quota.max_inflight =
+                    parse_u64("--max-inflight", value("--max-inflight")?)?.max(1) as usize;
+            }
+            "--max-queued" => {
+                opts.quota.max_queued = parse_u64("--max-queued", value("--max-queued")?)? as usize;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")?)?;
+            }
+            "--overload" => overload = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]\n\
+                     \u{20}               [--workers N] [--queue-cap N] [--max-inflight N]\n\
+                     \u{20}               [--max-queued N] [--deadline-ms N] [--overload]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    if overload {
+        // Saturate: tiny queues against the full client herd.
+        opts.queue_cap = opts.queue_cap.min(8);
+        opts.quota = TenantQuota {
+            max_inflight: 1,
+            max_queued: 2,
+            max_queued_bytes: opts.quota.max_queued_bytes,
+        };
+    }
+    Ok((opts, overload))
+}
+
+fn main() -> ExitCode {
+    let (opts, overload) = match parse_cli() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_load(&opts, &mut |msg| eprintln!("[loadtest] {msg}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadtest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "requests={} ok={} failed={} shed={} unanswered={}",
+        report.requests,
+        report.ok,
+        report.failed,
+        report.shed_total(),
+        report.unanswered
+    );
+    for (reason, n) in &report.shed {
+        println!("  shed {reason}: {n}");
+    }
+    println!(
+        "latency p50={:.2}ms p99={:.2}ms max={:.2}ms  throughput={:.0} req/s  elapsed={:.2}s",
+        report.p50_ms, report.p99_ms, report.max_ms, report.requests_per_sec, report.elapsed_s
+    );
+    println!("peak RSS: {} MiB", report.peak_rss_bytes / (1024 * 1024));
+
+    if report.unanswered > 0 {
+        eprintln!("LOADTEST FAIL: {} requests unanswered", report.unanswered);
+        return ExitCode::FAILURE;
+    }
+    if overload && report.shed_total() == 0 {
+        eprintln!("LOADTEST FAIL: overload produced no sheds");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

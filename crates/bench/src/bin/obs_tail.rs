@@ -15,13 +15,19 @@
 //! per line — see OBSERVABILITY.md for the schema), so the output
 //! composes with `jq`-style filters. `--once` prints whatever the file
 //! holds right now and exits — the mode the verify script and CI use.
-//! A shrinking file (a fresh run reusing the directory) resets the
-//! tail to the new beginning.
+//!
+//! The actual tailing is [`vsnoop::obs::Tailer`], which holds back
+//! partially-written lines (even ones torn mid-way through a
+//! multi-byte character) until the writer finishes them, and resets to
+//! the new beginning when the file shrinks (a fresh run reusing the
+//! directory, or log rotation).
 
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
+
+use vsnoop::obs::Tailer;
 
 struct Cli {
     dir: Option<PathBuf>,
@@ -81,45 +87,47 @@ fn main() -> ExitCode {
     let path = dir.join("telemetry.jsonl");
 
     let stdout = std::io::stdout();
-    let mut offset: u64 = 0;
+    let mut tailer = Tailer::new(&path);
     let mut warned = false;
+    let mut seen_any = false;
     loop {
-        match std::fs::File::open(&path) {
-            Ok(mut file) => {
-                let len = file.metadata().map(|m| m.len()).unwrap_or(0);
-                if len < offset {
-                    // Truncated by a fresh run: start over.
-                    offset = 0;
-                }
-                if len > offset && file.seek(SeekFrom::Start(offset)).is_ok() {
-                    let mut chunk = String::new();
-                    if file.read_to_string(&mut chunk).is_ok() {
-                        // Hold partial trailing lines back until the
-                        // writer finishes them.
-                        let complete = chunk.rfind('\n').map_or(0, |i| i + 1);
-                        let mut out = stdout.lock();
-                        if out.write_all(&chunk.as_bytes()[..complete]).is_err()
-                            || out.flush().is_err()
-                        {
-                            return ExitCode::SUCCESS; // downstream pipe closed
-                        }
-                        offset += complete as u64;
-                    }
-                }
+        let mut pipe_closed = false;
+        match tailer.poll(|line| {
+            let mut out = stdout.lock();
+            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                pipe_closed = true;
+            }
+        }) {
+            Ok(n) => {
+                seen_any |= n > 0;
             }
             Err(e) => {
+                // `NotFound` is absorbed by the tailer; anything else
+                // (permissions, IO error) is worth a single warning in
+                // follow mode and is fatal in --once mode.
                 if cli.once {
                     eprintln!("obs_tail: {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
                 if !warned {
-                    eprintln!("obs_tail: waiting for {}", path.display());
+                    eprintln!("obs_tail: {}: {e}", path.display());
                     warned = true;
                 }
             }
         }
+        if pipe_closed {
+            return ExitCode::SUCCESS; // downstream pipe closed
+        }
         if cli.once {
+            if !seen_any && !path.exists() {
+                eprintln!("obs_tail: {}: no such file", path.display());
+                return ExitCode::FAILURE;
+            }
             return ExitCode::SUCCESS;
+        }
+        if !warned && !seen_any && !path.exists() {
+            eprintln!("obs_tail: waiting for {}", path.display());
+            warned = true;
         }
         std::thread::sleep(cli.interval);
     }

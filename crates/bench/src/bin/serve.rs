@@ -1,0 +1,135 @@
+//! The always-on simulation server.
+//!
+//! Binds a TCP port and serves the JSONL protocol in `SERVICE.md`:
+//! multi-tenant experiment submission over the campaign job registry
+//! (every paper artifact plus the synthetic `spin`/`hang` jobs), with
+//! bounded admission queues, per-tenant quotas, typed load-shedding,
+//! per-request deadlines and a graceful SIGTERM/ctrl-c drain.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!       [--max-inflight N] [--max-queued N] [--max-queued-bytes N]
+//!       [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]
+//!       [--journal FILE] [--trace-dir DIR]
+//! ```
+//!
+//! Prints one `listening on <addr>` line to stdout once ready (scripts
+//! wait for it), then blocks until a drain completes and prints the
+//! final counters. Exit code 0 after any clean drain, including one
+//! with cancelled jobs — degraded shutdown is still orderly shutdown.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vsnoop::service::{serve, signal, ServiceConfig};
+use vsnoop_bench::service_jobs::registry_factory;
+
+struct Cli {
+    addr: String,
+    cfg: ServiceConfig,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7878".to_string(),
+        cfg: ServiceConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_u64 = |flag: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--workers" => {
+                cli.cfg.workers = parse_u64("--workers", value("--workers")?)?.max(1) as usize;
+            }
+            "--queue-cap" => {
+                cli.cfg.queue_cap = parse_u64("--queue-cap", value("--queue-cap")?)? as usize;
+            }
+            "--max-inflight" => {
+                cli.cfg.quota.max_inflight =
+                    parse_u64("--max-inflight", value("--max-inflight")?)?.max(1) as usize;
+            }
+            "--max-queued" => {
+                cli.cfg.quota.max_queued =
+                    parse_u64("--max-queued", value("--max-queued")?)? as usize;
+            }
+            "--max-queued-bytes" => {
+                cli.cfg.quota.max_queued_bytes =
+                    parse_u64("--max-queued-bytes", value("--max-queued-bytes")?)? as usize;
+            }
+            "--deadline-ms" => {
+                cli.cfg.default_deadline =
+                    Duration::from_millis(parse_u64("--deadline-ms", value("--deadline-ms")?)?);
+            }
+            "--drain-grace-ms" => {
+                cli.cfg.drain_grace = Duration::from_millis(parse_u64(
+                    "--drain-grace-ms",
+                    value("--drain-grace-ms")?,
+                )?);
+            }
+            "--cancel-grace-ms" => {
+                cli.cfg.cancel_grace = Duration::from_millis(parse_u64(
+                    "--cancel-grace-ms",
+                    value("--cancel-grace-ms")?,
+                )?);
+            }
+            "--journal" => cli.cfg.journal_path = Some(PathBuf::from(value("--journal")?)),
+            "--trace-dir" => {
+                // Handled by init_obs(); consume the value here too.
+                let _ = value("--trace-dir")?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+                     \u{20}            [--max-inflight N] [--max-queued N] [--max-queued-bytes N]\n\
+                     \u{20}            [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]\n\
+                     \u{20}            [--journal FILE] [--trace-dir DIR]"
+                    .into());
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    vsnoop_bench::init_obs();
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&cli.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: bind {}: {e}", cli.addr);
+            return ExitCode::from(2);
+        }
+    };
+    signal::install();
+    let server = match serve(listener, registry_factory(), cli.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let report = server.wait();
+    println!(
+        "drained: done={} shed={} cancelled={}",
+        report.done, report.shed, report.cancelled
+    );
+    ExitCode::SUCCESS
+}

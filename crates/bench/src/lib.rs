@@ -8,6 +8,8 @@
 
 pub mod campaign;
 pub mod reports;
+pub mod service_jobs;
+pub mod service_load;
 
 /// A simple aligned text table.
 ///

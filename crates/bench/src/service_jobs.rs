@@ -1,0 +1,145 @@
+//! The service's job registry: maps `submit` requests onto the same
+//! campaign jobs the `all` binary runs.
+//!
+//! Byte-identity contract: an artifact job served over the wire is
+//! built by the exact same [`campaign_jobs`] call the offline campaign
+//! uses, so its output text is byte-identical to the offline run at
+//! the same scale — the verify smoke `cmp`s the two.
+//!
+//! Besides the fifteen paper artifacts, the registry accepts the
+//! synthetic `spin` job (a short cancellable busy-wait) so load tests
+//! can drive realistic request volumes without hours of simulation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vsnoop::experiments::RunScale;
+use vsnoop::runner::json::Value;
+use vsnoop::runner::Job;
+use vsnoop::service::{JobFactory, Submit};
+
+use crate::campaign::{campaign_jobs, CampaignOptions};
+use crate::scale_from_env;
+
+/// Builds the run scale for a submit: the environment's scale
+/// (`VSNOOP_SCALE`) with any of `warmup`/`measure`/`scale_seed`
+/// overridden by the request's params — the same three keys campaign
+/// journals and crash reproducers record.
+fn scale_from_submit(params: &Value) -> RunScale {
+    let base = scale_from_env();
+    RunScale {
+        warmup_rounds: params
+            .get("warmup")
+            .and_then(Value::as_u64)
+            .unwrap_or(base.warmup_rounds),
+        measure_rounds: params
+            .get("measure")
+            .and_then(Value::as_u64)
+            .unwrap_or(base.measure_rounds),
+        seed: params
+            .get("scale_seed")
+            .and_then(Value::as_u64)
+            .unwrap_or(base.seed),
+    }
+}
+
+/// The synthetic load-test job: busy-waits `ms` milliseconds (param
+/// `"ms"`, default 2) in cancellable slices, then returns a
+/// deterministic one-line output.
+fn spin_job(params: &Value) -> Job {
+    let ms = params.get("ms").and_then(Value::as_u64).unwrap_or(2);
+    Job::new(
+        "spin",
+        ms,
+        Value::obj([("ms", Value::UInt(ms))]),
+        move |ctx| {
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_millis(ms) {
+                ctx.checkpoint();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Ok(format!("spin:{ms}\n"))
+        },
+    )
+}
+
+/// The synthetic misbehaving job: polls its token forever. Load tests
+/// and smoke scripts use it to exercise deadlines and drain
+/// cancellation on demand.
+fn hang_job() -> Job {
+    Job::new("hang", 0, Value::obj([]), move |ctx| loop {
+        ctx.checkpoint();
+        std::thread::sleep(Duration::from_millis(1));
+    })
+}
+
+/// The service job factory over the campaign registry (plus the
+/// synthetic `spin` and `hang` jobs). Unknown names produce the same
+/// "unknown artifact" error message `all --only` prints.
+pub fn registry_factory() -> JobFactory {
+    Arc::new(|submit: &Submit| {
+        match submit.job.as_str() {
+            "spin" => return Ok(spin_job(&submit.params)),
+            "hang" => return Ok(hang_job()),
+            _ => {}
+        }
+        let scale = scale_from_submit(&submit.params);
+        let opts = CampaignOptions {
+            only: vec![submit.job.clone()],
+            ..Default::default()
+        };
+        let jobs = campaign_jobs(scale, &opts)?;
+        jobs.into_iter()
+            .next()
+            .ok_or_else(|| format!("artifact {} produced no job", submit.job))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(job: &str, params: Value) -> Submit {
+        Submit {
+            tenant: "t".into(),
+            job: job.into(),
+            params,
+            deadline_ms: None,
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn artifacts_resolve_and_unknown_names_error() {
+        let factory = registry_factory();
+        let job = factory(&submit("fig2", Value::Null)).expect("fig2 is registered");
+        assert_eq!(job.spec.name, "fig2");
+        let err = factory(&submit("nope", Value::Null)).unwrap_err();
+        assert!(err.contains("unknown artifact"), "{err}");
+    }
+
+    #[test]
+    fn scale_overrides_apply() {
+        let params = Value::obj([
+            ("warmup", Value::UInt(7)),
+            ("measure", Value::UInt(9)),
+            ("scale_seed", Value::UInt(11)),
+        ]);
+        let scale = scale_from_submit(&params);
+        assert_eq!(
+            (scale.warmup_rounds, scale.measure_rounds, scale.seed),
+            (7, 9, 11)
+        );
+    }
+
+    #[test]
+    fn spin_job_completes_quickly() {
+        let factory = registry_factory();
+        let job = factory(&submit("spin", Value::obj([("ms", Value::UInt(1))]))).unwrap();
+        let ctx = vsnoop::runner::JobCtx {
+            token: vsnoop::runner::CancelToken::new(),
+            attempt: 1,
+        };
+        assert_eq!((job.run)(&ctx).unwrap(), "spin:1\n");
+    }
+}

@@ -1,0 +1,391 @@
+//! Multi-tenant load harness for the simulation service.
+//!
+//! Starts an in-process server on a loopback port, drives it with many
+//! concurrent client connections across several tenants, and reports
+//! request-latency percentiles, shed counts and the process peak RSS.
+//! Both the `loadtest` binary and the `service` bin of the `perf`
+//! harness run this, so the perf gate measures exactly the scenario
+//! the load test soaks.
+//!
+//! Each client thread pipelines all its submits up front and then
+//! reads until every one has a terminal answer (`done` or `shed`), so
+//! the server sees genuine concurrency and — with quotas sized below
+//! the offered load — genuine overload. A request's latency is
+//! submit-write to terminal-response; sheds are counted separately and
+//! excluded from the latency distribution (they answer in
+//! microseconds and would flatter the percentiles).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use vsnoop::runner::json::Value;
+use vsnoop::service::{serve, Response, ServiceConfig, TenantQuota};
+
+use crate::service_jobs::registry_factory;
+
+/// Load shape knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Distinct tenants the clients spread over (round-robin).
+    pub tenants: usize,
+    /// Submits each client pipelines.
+    pub jobs_per_client: usize,
+    /// Duration of the synthetic `spin` job each submit runs.
+    pub spin_ms: u64,
+    /// Server worker threads (concurrently running jobs).
+    pub workers: usize,
+    /// Global admission queue cap.
+    pub queue_cap: usize,
+    /// Per-tenant quota.
+    pub quota: TenantQuota,
+    /// Per-request deadline.
+    pub deadline_ms: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            clients: 32,
+            tenants: 4,
+            jobs_per_client: 8,
+            spin_ms: 2,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_cap: 128,
+            quota: TenantQuota {
+                max_inflight: 4,
+                max_queued: 32,
+                max_queued_bytes: 1 << 20,
+            },
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+/// What the soak observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Submits sent.
+    pub requests: u64,
+    /// Requests that finished `ok`.
+    pub ok: u64,
+    /// Typed sheds received, by reason (sorted by reason name).
+    pub shed: Vec<(String, u64)>,
+    /// Requests with a failed/timeout/cancelled outcome.
+    pub failed: u64,
+    /// Requests that never got a terminal answer (transport errors —
+    /// must be 0 for a healthy run).
+    pub unanswered: u64,
+    /// Wall-clock of the whole soak.
+    pub elapsed_s: f64,
+    /// Completed (non-shed) request latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+    /// Completed requests per second (ok + failed, excluding sheds).
+    pub requests_per_sec: f64,
+    /// `VmHWM` after the soak, bytes.
+    pub peak_rss_bytes: u64,
+}
+
+impl LoadReport {
+    /// Total sheds across reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// One client's observations: latencies of terminal non-shed answers,
+/// shed reasons, and outcome counts.
+#[derive(Default)]
+struct ClientTally {
+    latencies_ms: Vec<f64>,
+    sheds: Vec<String>,
+    ok: u64,
+    failed: u64,
+    unanswered: u64,
+}
+
+/// Runs one client: pipelines `jobs` submits, reads until all are
+/// answered (or the connection dies).
+fn run_client(
+    addr: std::net::SocketAddr,
+    tenant: String,
+    jobs: usize,
+    spin_ms: u64,
+    deadline_ms: u64,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let Ok(stream) = TcpStream::connect(addr) else {
+        tally.unanswered = jobs as u64;
+        return tally;
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        tally.unanswered = jobs as u64;
+        return tally;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+
+    // tag -> submit instant; a request is outstanding until its tag
+    // gets a terminal response.
+    let mut outstanding: Vec<Option<Instant>> = vec![None; jobs];
+    for (i, slot) in outstanding.iter_mut().enumerate() {
+        let line = Value::obj([
+            ("op", Value::Str("submit".into())),
+            ("tenant", Value::Str(tenant.clone())),
+            ("job", Value::Str("spin".into())),
+            ("params", Value::obj([("ms", Value::UInt(spin_ms))])),
+            ("deadline_ms", Value::UInt(deadline_ms)),
+            ("tag", Value::Str(i.to_string())),
+        ])
+        .to_json();
+        *slot = Some(Instant::now());
+        if writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+    }
+    let _ = writer.flush();
+
+    let mut pending = outstanding.iter().filter(|s| s.is_some()).count();
+    tally.unanswered = (jobs - pending) as u64; // submits that failed to send
+    let mut line = String::new();
+    while pending > 0 {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let Ok(resp) = Response::parse(line.trim()) else {
+            continue;
+        };
+        let (tag, terminal) = match &resp {
+            Response::Accepted { tag, .. } => (tag.clone(), false),
+            Response::Shed { tag, reason, .. } => {
+                tally.sheds.push(reason.clone());
+                (tag.clone(), true)
+            }
+            Response::Done { tag, outcome, .. } => {
+                if outcome.is_ok() {
+                    tally.ok += 1;
+                } else {
+                    tally.failed += 1;
+                }
+                (tag.clone(), true)
+            }
+            Response::Error { tag, .. } => {
+                tally.failed += 1;
+                (tag.clone(), true)
+            }
+            _ => (None, false),
+        };
+        if !terminal {
+            continue;
+        }
+        let Some(slot) = tag
+            .and_then(|t| t.parse::<usize>().ok())
+            .and_then(|i| outstanding.get_mut(i))
+        else {
+            continue;
+        };
+        if let Some(t0) = slot.take() {
+            pending -= 1;
+            // Sheds answer instantly; keeping them out of the latency
+            // distribution stops overload from *improving* p99.
+            if !matches!(resp, Response::Shed { .. }) {
+                tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    tally.unanswered += pending as u64;
+    tally
+}
+
+/// Percentile by nearest-rank on a sorted slice.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Runs the full soak: server up, clients hammer it, graceful drain,
+/// aggregate. `progress` receives one line per phase.
+pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<LoadReport, String> {
+    let listener =
+        TcpListener::bind(("127.0.0.1", 0)).map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+    let cfg = ServiceConfig {
+        workers: opts.workers,
+        queue_cap: opts.queue_cap,
+        quota: opts.quota,
+        default_deadline: Duration::from_millis(opts.deadline_ms),
+        drain_grace: Duration::from_secs(5),
+        cancel_grace: Duration::from_secs(2),
+        journal_path: None,
+    };
+    let server = serve(listener, registry_factory(), cfg).map_err(|e| format!("serve: {e}"))?;
+    let addr = server.local_addr();
+    progress(&format!(
+        "serving on {addr}: {} clients x {} submits over {} tenants",
+        opts.clients, opts.jobs_per_client, opts.tenants
+    ));
+
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|i| {
+                let tenant = format!("tenant{}", i % opts.tenants.max(1));
+                let (jobs, spin_ms, deadline_ms) =
+                    (opts.jobs_per_client, opts.spin_ms, opts.deadline_ms);
+                s.spawn(move || run_client(addr, tenant, jobs, spin_ms, deadline_ms))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| ClientTally {
+                    unanswered: opts.jobs_per_client as u64,
+                    ..Default::default()
+                })
+            })
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    progress("clients done; draining server");
+    server.shutdown();
+    let _ = server.wait();
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mut shed_counts = std::collections::BTreeMap::<String, u64>::new();
+    for t in &tallies {
+        for reason in &t.sheds {
+            *shed_counts.entry(reason.clone()).or_insert(0) += 1;
+        }
+    }
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let failed: u64 = tallies.iter().map(|t| t.failed).sum();
+    let completed = latencies.len() as u64;
+    Ok(LoadReport {
+        requests: (opts.clients * opts.jobs_per_client) as u64,
+        ok,
+        shed: shed_counts.into_iter().collect(),
+        failed,
+        unanswered: tallies.iter().map(|t| t.unanswered).sum(),
+        elapsed_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        requests_per_sec: if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+    })
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, 0 where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn small_soak_completes_without_sheds_or_losses() {
+        let opts = LoadOptions {
+            clients: 4,
+            tenants: 2,
+            jobs_per_client: 3,
+            spin_ms: 1,
+            workers: 4,
+            queue_cap: 64,
+            quota: TenantQuota::default(),
+            deadline_ms: 5_000,
+        };
+        let report = run_load(&opts, &mut |_| {}).expect("soak runs");
+        assert_eq!(report.requests, 12);
+        assert_eq!(report.ok, 12, "all jobs complete: {report:?}");
+        assert_eq!(report.unanswered, 0);
+        assert!(report.p99_ms > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_typed_without_hangs() {
+        // 1-deep queues and 6x oversubmission: most requests must shed,
+        // every request must still get a terminal answer.
+        let opts = LoadOptions {
+            clients: 6,
+            tenants: 2,
+            jobs_per_client: 6,
+            spin_ms: 5,
+            workers: 2,
+            queue_cap: 4,
+            quota: TenantQuota {
+                max_inflight: 1,
+                max_queued: 1,
+                max_queued_bytes: 1 << 20,
+            },
+            deadline_ms: 5_000,
+        };
+        let report = run_load(&opts, &mut |_| {}).expect("soak runs");
+        assert_eq!(report.unanswered, 0, "no request may go unanswered");
+        assert!(report.shed_total() > 0, "overload must shed: {report:?}");
+        for (reason, _) in &report.shed {
+            assert!(
+                [
+                    "queue_full",
+                    "tenant_queue_full",
+                    "tenant_bytes",
+                    "draining"
+                ]
+                .contains(&reason.as_str()),
+                "unexpected shed reason {reason}"
+            );
+        }
+        assert_eq!(
+            report.ok + report.failed + report.shed_total(),
+            report.requests
+        );
+    }
+}

@@ -42,5 +42,5 @@ pub use pinned::{table4_fig6, PinnedRow};
 pub use sched::{fig3_table1, SchedRow};
 pub use warm::{
     clear_warm_pool, reset_warm_counters, set_warm_reuse, warm_counters, warm_pool_len,
-    warm_reuse_enabled, DEFAULT_WARM_CAP,
+    warm_reuse_enabled, warm_tenant_counters, DEFAULT_WARM_CAP,
 };

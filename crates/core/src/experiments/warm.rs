@@ -198,6 +198,50 @@ pub fn reset_warm_counters() {
     WARM_HITS.store(0, Ordering::Relaxed);
     WARM_MISSES.store(0, Ordering::Relaxed);
     WARM_EVICTIONS.store(0, Ordering::Relaxed);
+    tenant_counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// Per-tenant `(hits, misses)` accounting for the shared cross-tenant
+/// warm pool. Keyed by the thread's [`crate::obs::tenant_label`] —
+/// installed by the service for each request and propagated to shard
+/// workers by `scatter` — so every tenant can see how much of the
+/// shared cache it is actually getting. A `BTreeMap` keeps the listing
+/// order deterministic.
+fn tenant_counters() -> &'static Mutex<std::collections::BTreeMap<String, (u64, u64)>> {
+    static TENANTS: OnceLock<Mutex<std::collections::BTreeMap<String, (u64, u64)>>> =
+        OnceLock::new();
+    TENANTS.get_or_init(Mutex::default)
+}
+
+/// Records one warm-pool hit or miss against the current tenant, if
+/// the thread carries a tenant label. CLI campaigns (no label) skip
+/// the map entirely.
+fn count_tenant(hit: bool) {
+    let Some(tenant) = crate::obs::tenant_label() else {
+        return;
+    };
+    let mut map = tenant_counters().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = map.entry(tenant).or_insert((0, 0));
+    if hit {
+        entry.0 += 1;
+    } else {
+        entry.1 += 1;
+    }
+}
+
+/// Per-tenant warm-pool `(tenant, hits, misses)` counters, sorted by
+/// tenant name. Empty unless requests ran with a tenant label (i.e.
+/// through the service).
+pub fn warm_tenant_counters() -> Vec<(String, u64, u64)> {
+    tenant_counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(t, &(h, m))| (t.clone(), h, m))
+        .collect()
 }
 
 /// Enables or disables warm-state reuse (pool *and* memo) process-wide.
@@ -387,6 +431,7 @@ pub(crate) fn warmed_pair(
     } else {
         WARM_HITS.fetch_add(1, Ordering::Relaxed);
     }
+    count_tenant(!warmed_here);
 
     if shared {
         snapshot
@@ -617,6 +662,43 @@ mod tests {
             let (h2, m2, _) = warm_counters();
             assert_eq!(m2 - m1, 0, "shared-class reuse must not re-warm");
             assert_eq!(h2 - h1, 1, "shared-class reuse is a hit");
+        });
+    }
+
+    #[test]
+    fn tenant_labels_attribute_hits_and_misses() {
+        let cfg = SystemConfig::small_test();
+        let app = profile("fft").unwrap();
+        let scale = RunScale {
+            warmup_rounds: 60,
+            measure_rounds: 20,
+            seed: 0xABCD,
+        };
+        let run = || {
+            let _ = run_pinned(
+                app,
+                FilterPolicy::VsnoopBase,
+                ContentPolicy::Broadcast,
+                false,
+                false,
+                cfg,
+                scale,
+            );
+        };
+        with_reuse(true, || {
+            clear_warm_pool();
+            reset_warm_counters();
+            // acme pays the warm-up; globex rides the shared pool.
+            crate::obs::with_tenant("acme", run);
+            crate::obs::with_tenant("globex", run);
+            crate::obs::with_tenant("globex", run);
+            run(); // unlabelled: no tenant accounting
+            let tenants = warm_tenant_counters();
+            assert_eq!(
+                tenants,
+                vec![("acme".into(), 0, 1), ("globex".into(), 2, 0)],
+                "per-tenant (hits, misses), sorted by tenant"
+            );
         });
     }
 

@@ -53,6 +53,7 @@ pub mod obs;
 mod policy;
 mod region_filter;
 pub mod runner;
+pub mod service;
 mod simulator;
 mod stats;
 pub mod testing;
@@ -63,7 +64,9 @@ pub use checker::{CheckerConfig, CheckerCtx, InvariantChecker, InvariantKind, Vi
 pub use config::{ConfigError, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::SimError;
-pub use experiments::{clear_warm_pool, set_warm_reuse, warm_counters, warm_reuse_enabled};
+pub use experiments::{
+    clear_warm_pool, set_warm_reuse, warm_counters, warm_reuse_enabled, warm_tenant_counters,
+};
 pub use fault::{FaultInjectionStats, FaultPlan, MapCorruption};
 pub use policy::{ContentPolicy, FilterPolicy};
 pub use region_filter::RegionFilter;

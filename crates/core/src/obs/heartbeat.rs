@@ -1,0 +1,182 @@
+//! Periodic background emitter with a *bounded* join.
+//!
+//! The campaign supervisor and the simulation service both want a
+//! heartbeat: a side thread that emits a telemetry record every
+//! interval while the main thread does real work. The subtle part is
+//! shutdown. A detached heartbeat thread outlives its campaign — a
+//! short-lived embedder leaks one thread per campaign, and a tick can
+//! race the process teardown and write into a trace directory that is
+//! already being removed. A plain `JoinHandle::join`, on the other
+//! hand, blocks forever if the tick closure wedges (say, on a full
+//! disk).
+//!
+//! [`Heartbeat`] splits the difference: stopping signals the thread
+//! through a condvar (it wakes immediately, not at the next interval),
+//! then waits a bounded time for the thread to acknowledge. If the
+//! thread does not finish in time it is detached — the embedder's
+//! shutdown is never held hostage — but the common case is a clean
+//! join within microseconds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long [`Heartbeat::stop`] (and `Drop`) waits for the tick thread
+/// to acknowledge before detaching it.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A named background thread that runs a tick closure every interval
+/// until stopped; stop/drop joins it with a bounded timeout. See the
+/// module docs for why the bound matters.
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    finished: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    label: &'static str,
+}
+
+impl Heartbeat {
+    /// Spawns the tick thread. `tick` runs once per `interval` (never
+    /// concurrently with itself); the first tick happens one interval
+    /// after the spawn, and stopping wakes the thread immediately
+    /// rather than letting it sleep out the current interval.
+    pub fn spawn(
+        label: &'static str,
+        interval: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> Heartbeat {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let finished = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_finished = Arc::clone(&finished);
+        let handle = std::thread::Builder::new()
+            .name(format!("vsnoop-heartbeat-{label}"))
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        // Tick outside the lock so a slow tick cannot
+                        // block the stop signal itself (only the join).
+                        drop(stopped);
+                        tick();
+                        stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+                drop(stopped);
+                thread_finished.store(true, Ordering::Release);
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            finished,
+            handle: Some(handle),
+            label,
+        }
+    }
+
+    /// Stops the thread and joins it, waiting at most a bounded grace
+    /// for a wedged tick. Returns `true` on a clean join, `false` if
+    /// the thread had to be detached (a warning is emitted to stderr —
+    /// it indicates a tick stuck in IO, not a correctness problem).
+    pub fn stop(mut self) -> bool {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> bool {
+        let Some(handle) = self.handle.take() else {
+            return true;
+        };
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+        }
+        // `JoinHandle::join` has no timeout, so bound it by hand: the
+        // thread's very last action is setting `finished`, after which
+        // the real join cannot block meaningfully.
+        let deadline = Instant::now() + JOIN_TIMEOUT;
+        while !self.finished.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                eprintln!(
+                    "warning: heartbeat '{}' did not stop within {:?}; detaching it",
+                    self.label, JOIN_TIMEOUT
+                );
+                drop(handle);
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = handle.join();
+        true
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticks_periodically_and_joins_cleanly() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        let hb = Heartbeat::spawn("test", Duration::from_millis(1), move || {
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(hb.stop(), "clean join");
+        let n = ticks.load(Ordering::SeqCst);
+        assert!(n >= 2, "expected several ticks in 50 ms, got {n}");
+        // No more ticks after stop.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ticks.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn stop_does_not_wait_out_a_long_interval() {
+        let hb = Heartbeat::spawn("slow-interval", Duration::from_secs(3600), || {});
+        let start = Instant::now();
+        assert!(hb.stop());
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "stop must interrupt the interval sleep, not wait it out"
+        );
+    }
+
+    #[test]
+    fn drop_joins_without_stop() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        {
+            let _hb = Heartbeat::spawn("dropped", Duration::from_millis(1), move || {
+                t.fetch_add(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let after_drop = ticks.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            ticks.load(Ordering::SeqCst),
+            after_drop,
+            "drop must stop the thread"
+        );
+    }
+}

@@ -39,10 +39,14 @@
 
 pub mod epoch;
 pub mod flight;
+pub mod heartbeat;
+pub mod tail;
 pub mod telemetry;
 
 pub use epoch::{Epoch, EpochRecorder};
 pub use flight::{dump_flight, record_tx, FlightEvent};
+pub use heartbeat::Heartbeat;
+pub use tail::Tailer;
 
 use std::cell::RefCell;
 use std::path::PathBuf;
@@ -65,6 +69,13 @@ thread_local! {
     /// supervisor installs the job name so flight dumps land in
     /// per-job files next to that job's crash reproducer.
     static SCOPE: RefCell<Option<String>> = const { RefCell::new(None) };
+
+    /// Per-thread tenant label (unset outside the service). The
+    /// service installs it for the duration of a request; `scatter`
+    /// re-installs it on shard workers, so cross-tenant resource
+    /// accounting (e.g. the warm pool's per-tenant hit/miss counters)
+    /// attributes work done on helper threads to the right tenant.
+    static TENANT: RefCell<Option<String>> = const { RefCell::new(None) };
 }
 
 /// Whether observability is enabled (a trace directory is configured).
@@ -74,6 +85,16 @@ thread_local! {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether telemetry records should be constructed: a trace directory
+/// is configured *or* a live tap (a service subscriber) is attached.
+/// Producers of telemetry-only events gate on this; hot-path hooks
+/// (flight recorder, epoch snapshots, round counting) stay gated on
+/// the stricter [`enabled`].
+#[inline]
+pub fn telemetry_active() -> bool {
+    enabled() || telemetry::tap_active()
 }
 
 /// Configures (or, with `None`, clears) the process-global trace
@@ -130,6 +151,28 @@ pub fn scope_label() -> String {
     SCOPE
         .with(|s| s.borrow().clone())
         .unwrap_or_else(|| "main".to_string())
+}
+
+/// Runs `f` with this thread's tenant label set (restoring the
+/// previous label afterwards). Unlike scopes there is no default
+/// tenant: single-user CLI campaigns run with the label unset and skip
+/// per-tenant accounting entirely.
+pub fn with_tenant<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let prev = TENANT.with(|t| t.borrow_mut().replace(label.to_string()));
+    struct Restore(Option<String>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            TENANT.with(|t| *t.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The current thread's tenant label, if one is installed.
+pub fn tenant_label() -> Option<String> {
+    TENANT.with(|t| t.borrow().clone())
 }
 
 /// Counts one simulated round toward the process-wide rounds/s rate
@@ -195,6 +238,19 @@ mod tests {
             assert_eq!(scope_label(), "outer");
         });
         assert_eq!(scope_label(), "main");
+    }
+
+    #[test]
+    fn tenant_label_nests_restores_and_defaults_to_none() {
+        assert_eq!(tenant_label(), None);
+        with_tenant("acme", || {
+            assert_eq!(tenant_label(), Some("acme".into()));
+            with_tenant("globex", || {
+                assert_eq!(tenant_label(), Some("globex".into()));
+            });
+            assert_eq!(tenant_label(), Some("acme".into()));
+        });
+        assert_eq!(tenant_label(), None);
     }
 
     #[test]

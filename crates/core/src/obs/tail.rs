@@ -1,0 +1,203 @@
+//! Robust byte-level tailing of append-only JSONL files.
+//!
+//! [`Tailer`] follows a file the way `tail -f` does, but hardened for
+//! the ways a live telemetry stream actually misbehaves:
+//!
+//! - **Partially-written lines.** The writer appends a line and flushes
+//!   it in two syscalls; a reader can observe the bytes mid-line, or
+//!   even mid-way through a multi-byte UTF-8 character. The tailer
+//!   reads raw bytes, emits only newline-terminated lines, and carries
+//!   the incomplete remainder over to the next poll.
+//! - **Truncation / rotation.** A fresh run reusing the trace directory
+//!   truncates the file. When the file shrinks below the read offset,
+//!   the tailer re-seeks to the beginning and discards any buffered
+//!   partial line — it belonged to the old incarnation.
+//! - **Missing file.** Tailing may start before the writer's first
+//!   record; a missing file is "no new lines", not an error.
+//!
+//! The service's telemetry subscribers and the `obs_tail` binary share
+//! this type, so both survive the same failure modes.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Incrementally reads complete lines from a growing (and occasionally
+/// truncated) file. See the module docs for the failure modes handled.
+#[derive(Debug)]
+pub struct Tailer {
+    path: PathBuf,
+    /// Byte offset of the first byte not yet consumed from the file.
+    offset: u64,
+    /// Bytes of a trailing line the writer has not finished yet.
+    partial: Vec<u8>,
+}
+
+impl Tailer {
+    /// Starts tailing `path` from the beginning.
+    pub fn new(path: impl Into<PathBuf>) -> Tailer {
+        Tailer {
+            path: path.into(),
+            offset: 0,
+            partial: Vec::new(),
+        }
+    }
+
+    /// The file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads whatever the file holds beyond the last poll and hands
+    /// every *complete* line (newline-terminated; the terminator is
+    /// stripped) to `sink`. Returns the number of lines emitted.
+    ///
+    /// Invalid UTF-8 inside a complete line is replaced rather than
+    /// refused — a torn write from a crashed producer must not wedge
+    /// the tail forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than `NotFound` (a missing
+    /// file simply has no lines yet).
+    pub fn poll(&mut self, mut sink: impl FnMut(&str)) -> std::io::Result<usize> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // Truncated or rotated: the buffered partial line belonged
+            // to the previous incarnation of the file.
+            self.offset = 0;
+            self.partial.clear();
+        }
+        if len == self.offset {
+            return Ok(0);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut chunk = Vec::new();
+        file.read_to_end(&mut chunk)?;
+        self.offset += chunk.len() as u64;
+
+        let mut emitted = 0usize;
+        let mut rest: &[u8] = &chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            let line: Vec<u8> = if self.partial.is_empty() {
+                head.to_vec()
+            } else {
+                let mut joined = std::mem::take(&mut self.partial);
+                joined.extend_from_slice(head);
+                joined
+            };
+            sink(String::from_utf8_lossy(&line).trim_end_matches('\r'));
+            emitted += 1;
+        }
+        self.partial.extend_from_slice(rest);
+        Ok(emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vsnoop-tail-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn collect(t: &mut Tailer) -> Vec<String> {
+        let mut out = Vec::new();
+        t.poll(|l| out.push(l.to_string())).unwrap();
+        out
+    }
+
+    #[test]
+    fn missing_file_is_empty_not_an_error() {
+        let dir = scratch("missing");
+        let mut t = Tailer::new(dir.join("telemetry.jsonl"));
+        assert_eq!(collect(&mut t), Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_lines_are_buffered_across_polls() {
+        let dir = scratch("partial");
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Tailer::new(&path);
+
+        std::fs::write(&path, b"{\"a\":1}\n{\"b\":").unwrap();
+        assert_eq!(collect(&mut t), ["{\"a\":1}"]);
+
+        // Writer finishes the line (and starts another) later.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"2}\n{\"c\":").unwrap();
+        assert_eq!(collect(&mut t), ["{\"b\":2}"]);
+        f.write_all(b"3}\n").unwrap();
+        assert_eq!(collect(&mut t), ["{\"c\":3}"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_multibyte_utf8_does_not_wedge_the_tail() {
+        let dir = scratch("utf8");
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Tailer::new(&path);
+
+        // "café" split in the middle of the two-byte é.
+        std::fs::write(&path, b"{\"s\":\"caf\xc3").unwrap();
+        assert_eq!(collect(&mut t), Vec::<String>::new(), "incomplete: held");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"\xa9\"}\n").unwrap();
+        assert_eq!(collect(&mut t), ["{\"s\":\"caf\u{e9}\"}"]);
+
+        // A torn line that *does* get newline-terminated with invalid
+        // UTF-8 inside is emitted lossily, not refused.
+        f.write_all(b"bad\xffline\n").unwrap();
+        let lines = collect(&mut t);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("bad"), "{lines:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_resets_offset_and_discards_stale_partial() {
+        let dir = scratch("trunc");
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Tailer::new(&path);
+
+        std::fs::write(&path, b"{\"old\":1}\n{\"torn\":").unwrap();
+        assert_eq!(collect(&mut t), ["{\"old\":1}"]);
+
+        // A fresh run truncates and starts over: the buffered partial
+        // must not be glued onto the new file's first line.
+        std::fs::write(&path, b"{\"new\":1}\n").unwrap();
+        assert_eq!(collect(&mut t), ["{\"new\":1}"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unchanged_file_emits_nothing() {
+        let dir = scratch("idle");
+        let path = dir.join("telemetry.jsonl");
+        std::fs::write(&path, b"{\"a\":1}\n").unwrap();
+        let mut t = Tailer::new(&path);
+        assert_eq!(collect(&mut t).len(), 1);
+        assert_eq!(collect(&mut t), Vec::<String>::new());
+        assert_eq!(collect(&mut t), Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -30,10 +31,57 @@ pub const TELEMETRY_FILE: &str = "telemetry.jsonl";
 struct Sink {
     path: PathBuf,
     file: File,
-    seq: u64,
 }
 
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Process-global record sequence. Global (not per sink) so a record
+/// keeps the same `seq` whether it reaches the file, a live tap, or
+/// both, and so re-targeting the trace directory mid-process never
+/// makes `seq` run backwards in a subscriber's stream.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A live in-process subscriber to the telemetry stream; receives each
+/// finished JSON line. Must be cheap and non-blocking (the service's
+/// taps forward into an unbounded channel drained by the connection
+/// writer).
+type Tap = Box<dyn Fn(&str) + Send + Sync>;
+
+/// Registered taps, with the handle ids used to remove them.
+static TAPS: Mutex<Vec<(u64, Tap)>> = Mutex::new(Vec::new());
+static NEXT_TAP_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Fast-path mirror of "TAPS is non-empty", so [`emit`] stays one
+/// predictable branch when telemetry is fully off.
+static TAP_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Whether any live tap is registered. Telemetry records are built
+/// when *either* this or the trace directory is on.
+pub fn tap_active() -> bool {
+    TAP_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Registers a live subscriber for every subsequent telemetry record
+/// (the serialized JSON line, no trailing newline). Returns the handle
+/// to pass to [`remove_tap`]. Taps receive records even when no trace
+/// directory is configured — the service uses this to stream
+/// heartbeats and job lifecycle events to `subscribe` connections
+/// without requiring tracing on disk.
+pub fn add_tap(tap: impl Fn(&str) + Send + Sync + 'static) -> u64 {
+    let id = NEXT_TAP_ID.fetch_add(1, Ordering::Relaxed);
+    let mut taps = TAPS.lock().unwrap_or_else(|e| e.into_inner());
+    taps.push((id, Box::new(tap)));
+    TAP_ACTIVE.store(true, Ordering::Relaxed);
+    id
+}
+
+/// Unregisters a tap registered by [`add_tap`]. Unknown handles are
+/// ignored (a subscriber may race its own disconnect).
+pub fn remove_tap(id: u64) {
+    let mut taps = TAPS.lock().unwrap_or_else(|e| e.into_inner());
+    taps.retain(|(tid, _)| *tid != id);
+    TAP_ACTIVE.store(!taps.is_empty(), Ordering::Relaxed);
+}
 
 /// Drops the open sink so the next [`emit`] reopens it against the
 /// (possibly re-targeted) trace directory.
@@ -54,31 +102,15 @@ pub fn telemetry_path() -> Option<PathBuf> {
 /// writes are best-effort — telemetry must never fail a run, so I/O
 /// errors silently drop the record.
 pub fn emit(event: &str, fields: Vec<(&'static str, Value)>) {
-    if !super::enabled() {
+    let tapped = tap_active();
+    if !super::enabled() && !tapped {
         return;
     }
-    let Some(path) = telemetry_path() else {
-        return;
-    };
-    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
-    // (Re)open on first use or after a trace-dir change.
-    let reopen = match guard.as_ref() {
-        Some(sink) => sink.path != path,
-        None => true,
-    };
-    if reopen {
-        let Some(dir) = path.parent() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
-        let Ok(file) = OpenOptions::new().create(true).append(true).open(&path) else {
-            return;
-        };
-        *guard = Some(Sink { path, file, seq: 0 });
-    }
-    let Some(sink) = guard.as_mut() else { return };
     let mut pairs: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 4);
-    pairs.push(("seq".to_string(), Value::UInt(sink.seq)));
+    pairs.push((
+        "seq".to_string(),
+        Value::UInt(SEQ.fetch_add(1, Ordering::Relaxed)),
+    ));
     pairs.push(("ts_ms".to_string(), Value::UInt(now_ms())));
     pairs.push(("scope".to_string(), Value::Str(super::scope_label())));
     pairs.push(("event".to_string(), Value::Str(event.to_string())));
@@ -86,9 +118,41 @@ pub fn emit(event: &str, fields: Vec<(&'static str, Value)>) {
         pairs.push((k.to_string(), v));
     }
     let line = Value::Obj(pairs).to_json();
-    if writeln!(sink.file, "{line}").is_ok() {
-        let _ = sink.file.flush();
-        sink.seq += 1;
+
+    if super::enabled() {
+        if let Some(path) = telemetry_path() {
+            let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+            // (Re)open on first use or after a trace-dir change.
+            let reopen = match guard.as_ref() {
+                Some(sink) => sink.path != path,
+                None => true,
+            };
+            if reopen {
+                let opened = path.parent().and_then(|dir| {
+                    std::fs::create_dir_all(dir).ok()?;
+                    OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .ok()
+                });
+                *guard = opened.map(|file| Sink { path, file });
+            }
+            if let Some(sink) = guard.as_mut() {
+                if writeln!(sink.file, "{line}").is_ok() {
+                    let _ = sink.file.flush();
+                }
+            }
+        }
+    }
+
+    // Taps run outside the sink lock; a slow file must not delay live
+    // subscribers (nor vice versa).
+    if tapped {
+        let taps = TAPS.lock().unwrap_or_else(|e| e.into_inner());
+        for (_, tap) in taps.iter() {
+            tap(&line);
+        }
     }
 }
 

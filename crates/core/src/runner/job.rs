@@ -105,6 +105,14 @@ pub enum JobError {
         /// The job's error message.
         message: String,
     },
+    /// The job was cancelled by its supervisor before producing a
+    /// result — a service drain, an explicit client cancel — rather
+    /// than by a deadline. Distinct from [`JobError::TimedOut`] so a
+    /// drained journal is not mistaken for a pile of deadline misses.
+    Cancelled {
+        /// Why the job was cancelled (e.g. `"drain"`).
+        reason: String,
+    },
 }
 
 impl JobError {
@@ -114,6 +122,7 @@ impl JobError {
             JobError::Panicked { .. } => "panic",
             JobError::TimedOut { .. } => "timeout",
             JobError::Failed { .. } => "failed",
+            JobError::Cancelled { .. } => "cancelled",
         }
     }
 }
@@ -126,6 +135,7 @@ impl std::fmt::Display for JobError {
                 write!(f, "timed out (deadline {limit_ms} ms)")
             }
             JobError::Failed { message } => write!(f, "failed: {message}"),
+            JobError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }

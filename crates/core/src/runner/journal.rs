@@ -108,6 +108,12 @@ impl JournalEntry {
                             .unwrap_or(&message)
                             .to_string(),
                     },
+                    "cancelled" => JobError::Cancelled {
+                        reason: message
+                            .strip_prefix("cancelled: ")
+                            .unwrap_or(&message)
+                            .to_string(),
+                    },
                     _ => JobError::Failed {
                         message: message
                             .strip_prefix("failed: ")
@@ -152,6 +158,9 @@ impl Journal {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
+        if !fresh {
+            Self::repair_tail(path)?;
+        }
         let file = OpenOptions::new()
             .create(true)
             .append(!fresh)
@@ -167,6 +176,25 @@ impl Journal {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Truncates a torn trailing line — a crash mid-append leaves the
+    /// file without a final newline — so the next append starts on a
+    /// fresh line instead of gluing onto the torn bytes and corrupting
+    /// itself too. A missing file needs no repair.
+    fn repair_tail(path: &Path) -> std::io::Result<()> {
+        let mut f = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        if bytes.last().is_some_and(|&b| b != b'\n') {
+            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            f.set_len(keep as u64)?;
+        }
+        Ok(())
     }
 
     /// Appends one entry and flushes it to the OS, so a SIGKILL
@@ -189,19 +217,49 @@ impl Journal {
     ///
     /// Propagates filesystem errors other than `NotFound`.
     pub fn load(path: &Path) -> std::io::Result<Vec<JournalEntry>> {
-        let mut text = String::new();
+        Ok(Self::load_with_warnings(path)?.0)
+    }
+
+    /// Like [`Journal::load`], but also reports every skipped line as a
+    /// human-readable warning, so a resume after a crash mid-append can
+    /// tell the user which checkpoint was lost (that job simply
+    /// re-runs) instead of dropping it silently. The file is read as
+    /// raw bytes: a write cut short inside a multi-byte character must
+    /// not fail the whole resume either.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than `NotFound`.
+    pub fn load_with_warnings(path: &Path) -> std::io::Result<(Vec<JournalEntry>, Vec<String>)> {
+        let mut bytes = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
-                f.read_to_string(&mut text)?;
+                f.read_to_end(&mut bytes)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), Vec::new()))
+            }
             Err(e) => return Err(e),
         }
-        Ok(text
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .filter_map(JournalEntry::from_json_line)
-            .collect())
+        let mut entries = Vec::new();
+        let mut warnings = Vec::new();
+        for (lineno, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+            let line = String::from_utf8_lossy(raw);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match JournalEntry::from_json_line(line) {
+                Some(e) => entries.push(e),
+                None => warnings.push(format!(
+                    "journal {}: line {} is unparseable (crash mid-write?); \
+                     skipping it — the affected job will re-run",
+                    path.display(),
+                    lineno + 1,
+                )),
+            }
+        }
+        Ok((entries, warnings))
     }
 
     /// Writes the canonical merged journal: one line per job, sorted by
@@ -339,6 +397,75 @@ mod tests {
             .map(|l| JournalEntry::from_json_line(l).unwrap().job)
             .collect();
         assert_eq!(names, ["a", "b"], "merged journal is index-sorted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_entries_round_trip() {
+        let e = entry(
+            2,
+            "fig7",
+            Err(JobError::Cancelled {
+                reason: "drain".into(),
+            }),
+        );
+        let line = e.to_json_line();
+        assert!(line.contains("\"status\":\"failed\""));
+        assert!(line.contains("\"error_kind\":\"cancelled\""));
+        assert_eq!(JournalEntry::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn truncated_lines_are_skipped_with_warnings() {
+        let dir = std::env::temp_dir().join(format!("vsnoop-journal-trunc-{}", std::process::id()));
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut j = Journal::open(&path, true).unwrap();
+            j.append(&entry(0, "a", Ok("A".into()))).unwrap();
+        }
+        // A crash mid-write can stop inside a multi-byte character; the
+        // loader must tolerate the invalid UTF-8 tail, not just missing
+        // braces.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"index\":1,\"job\":\"caf\xc3").unwrap();
+        }
+        let (entries, warnings) = Journal::load_with_warnings(&path).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].job, "a");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+        assert!(warnings[0].contains("re-run"), "{warnings:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_for_append_repairs_a_torn_tail() {
+        let dir =
+            std::env::temp_dir().join(format!("vsnoop-journal-repair-{}", std::process::id()));
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut j = Journal::open(&path, true).unwrap();
+            j.append(&entry(0, "a", Ok("A".into()))).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"index\":1,\"job\":\"to").unwrap();
+        }
+        // Reopening for append (the resume path) truncates the torn
+        // line; the next entry must not be glued onto its bytes.
+        {
+            let mut j = Journal::open(&path, false).unwrap();
+            j.append(&entry(1, "b", Ok("B".into()))).unwrap();
+        }
+        let (entries, warnings) = Journal::load_with_warnings(&path).unwrap();
+        assert_eq!(warnings, Vec::<String>::new());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].job, "b");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -36,9 +36,11 @@ mod repro;
 mod scatter;
 mod supervisor;
 
+pub(crate) use cancel::with_current;
 pub use cancel::{poll_current, CancelToken, Cancelled};
 pub use job::{Job, JobCtx, JobError, JobFn, JobRecord, JobSpec};
 pub use journal::{Journal, JournalEntry};
 pub use repro::CrashReproducer;
 pub use scatter::{scatter, set_shard_workers, shard_workers};
+pub(crate) use supervisor::panic_message;
 pub use supervisor::{run_campaign, CampaignReport, RunnerConfig};

@@ -79,6 +79,7 @@ where
 
     let token = cancel::current();
     let scope = crate::obs::scope_label();
+    let tenant = crate::obs::tenant_label();
     let n = items.len();
     let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let done: Vec<Mutex<Option<std::thread::Result<T>>>> =
@@ -88,8 +89,8 @@ where
 
     std::thread::scope(|s| {
         for _ in 0..workers {
-            let (work, done, next, abort, token, f, scope) =
-                (&work, &done, &next, &abort, &token, &f, &scope);
+            let (work, done, next, abort, token, f, scope, tenant) =
+                (&work, &done, &next, &abort, &token, &f, &scope, &tenant);
             s.spawn(move || {
                 let drain = || loop {
                     if abort.load(Ordering::Relaxed) {
@@ -118,12 +119,18 @@ where
                 };
                 // Re-install the supervising job's token (and the
                 // panic-hook quieting that goes with it) on this worker,
-                // and inherit its observability scope so shard dumps
-                // land next to the job's other artifacts.
+                // and inherit its observability scope — so shard dumps
+                // land next to the job's other artifacts — and tenant
+                // label, so per-tenant accounting (warm-pool hit/miss)
+                // follows the work onto helper threads.
                 let scoped = || crate::obs::with_scope(scope, drain);
-                match token {
-                    Some(t) => cancel::with_current(t.clone(), scoped),
+                let labelled = || match tenant {
+                    Some(t) => crate::obs::with_tenant(t, scoped),
                     None => scoped(),
+                };
+                match token {
+                    Some(t) => cancel::with_current(t.clone(), labelled),
+                    None => labelled(),
                 }
             });
         }
@@ -139,7 +146,7 @@ where
     // after the failing index are discarded with it — record what that
     // partial progress was instead of dropping it silently.
     if let Some(i) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
-        if crate::obs::enabled() {
+        if crate::obs::telemetry_active() {
             let completed_after = results[i + 1..]
                 .iter()
                 .filter(|r| matches!(r, Some(Ok(_))))

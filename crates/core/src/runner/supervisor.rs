@@ -15,8 +15,9 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Once;
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use super::cancel::{self, CancelToken, Cancelled};
@@ -200,10 +201,80 @@ fn heartbeat_interval() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Campaign progress counters shared with the heartbeat thread. The
+/// dispatch loop is the only writer; the heartbeat tick only reads, so
+/// plain relaxed atomics (and one small mutex for the name list) are
+/// enough.
+struct HeartbeatState {
+    jobs_total: u64,
+    done: AtomicU64,
+    running: AtomicU64,
+    retries: AtomicU64,
+    running_names: Mutex<Vec<String>>,
+}
+
+impl HeartbeatState {
+    /// Emits one `heartbeat` telemetry record; `last`/`rounds` are the
+    /// tick's own rate-window state, advanced on every call.
+    fn emit(&self, last: &mut Instant, rounds: &mut u64) {
+        let rounds_now = crate::obs::rounds_counted();
+        let secs = last.elapsed().as_secs_f64();
+        let rounds_per_sec = if secs > 0.0 {
+            ((rounds_now - *rounds) as f64 / secs) as u64
+        } else {
+            0
+        };
+        let running_jobs: Vec<Value> = self
+            .running_names
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|n| Value::Str(n.clone()))
+            .collect();
+        let (wh, wm, we) = crate::experiments::warm_counters();
+        crate::obs::telemetry::emit(
+            "heartbeat",
+            vec![
+                ("jobs_total", Value::UInt(self.jobs_total)),
+                ("jobs_done", Value::UInt(self.done.load(Ordering::Relaxed))),
+                (
+                    "jobs_running",
+                    Value::UInt(self.running.load(Ordering::Relaxed)),
+                ),
+                ("running", Value::Arr(running_jobs)),
+                ("retries", Value::UInt(self.retries.load(Ordering::Relaxed))),
+                ("rounds_per_sec", Value::UInt(rounds_per_sec)),
+                ("rss_bytes", Value::UInt(crate::obs::current_rss_bytes())),
+                ("warm_hits", Value::UInt(wh)),
+                ("warm_misses", Value::UInt(wm)),
+                ("warm_evictions", Value::UInt(we)),
+            ],
+        );
+        *last = Instant::now();
+        *rounds = rounds_now;
+    }
+
+    fn add_running(&self, name: &str) {
+        self.running.fetch_add(1, Ordering::Relaxed);
+        self.running_names
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(name.to_string());
+    }
+
+    fn remove_running(&self, name: &str) {
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        let mut names = self.running_names.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = names.iter().position(|n| n == name) {
+            names.remove(pos);
+        }
+    }
+}
+
 /// Emits one structured job-lifecycle telemetry record (no-op when
 /// tracing is off — `emit` returns before allocating).
 fn emit_job_event(event: &str, job: &str, attempt: u32, extra: Vec<(&'static str, Value)>) {
-    if !crate::obs::enabled() {
+    if !crate::obs::telemetry_active() {
         return;
     }
     let mut fields = vec![
@@ -215,7 +286,7 @@ fn emit_job_event(event: &str, job: &str, attempt: u32, extra: Vec<(&'static str
 }
 
 /// Extracts a readable message from a panic payload.
-pub(super) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -274,19 +345,31 @@ pub fn run_campaign(
     }
     install_quiet_hook();
 
-    let mut journal = match &cfg.journal_path {
-        Some(path) => Some(Journal::open(path, !cfg.resume)?),
-        None => None,
-    };
-
-    // Resume: restore terminal results recorded by a previous run.
+    // Resume: restore terminal results recorded by a previous run. The
+    // prior journal is loaded *before* it is reopened for appending,
+    // because `Journal::open` repairs a torn trailing line (truncating
+    // it) and the warning about that lost checkpoint should still reach
+    // the operator.
     let mut records: Vec<Option<JobRecord>> = (0..jobs.len()).map(|_| None).collect();
     let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
     let now = Instant::now();
     let mut resumed = 0usize;
     let prior = match (&cfg.journal_path, cfg.resume) {
-        (Some(path), true) => Journal::load(path)?,
+        (Some(path), true) => {
+            // A crash mid-append leaves a truncated trailing line; the
+            // loader skips it (the job simply re-runs) but the operator
+            // should hear about the lost checkpoint.
+            let (prior, warnings) = Journal::load_with_warnings(path)?;
+            for w in &warnings {
+                progress(&format!("resume: {w}"));
+            }
+            prior
+        }
         _ => Vec::new(),
+    };
+    let mut journal = match &cfg.journal_path {
+        Some(path) => Some(Journal::open(path, !cfg.resume)?),
+        None => None,
     };
     for (idx, job) in jobs.iter().enumerate() {
         let hit = prior
@@ -332,17 +415,37 @@ pub fn run_campaign(
     // Wall-clock bookkeeping for journal records and telemetry: when
     // each job was first dispatched (spanning retries and backoff).
     let mut first_started: Vec<Option<Instant>> = vec![None; jobs.len()];
-    let mut retries_total = 0u64;
-
-    // Telemetry heartbeat state (all dormant when tracing is off).
-    let hb_interval = heartbeat_interval();
-    let mut hb_last = Instant::now();
-    let mut hb_rounds = crate::obs::rounds_counted();
 
     // FIFO of job indices ready to start keeps campaign order; backoff
     // re-entries are appended when their delay elapses.
     let mut done = slots.iter().filter(|s| matches!(s, Slot::Done)).count();
     let mut running = 0usize;
+
+    // Telemetry heartbeat: a side thread emits progress/rate/RSS
+    // records every interval, reading the shared counters the dispatch
+    // loop keeps current. The thread is joined (bounded) when this
+    // function returns — detaching it would leak one thread per
+    // campaign in embedders and let a late tick write into a trace
+    // directory the embedder is already tearing down.
+    let hb_state = Arc::new(HeartbeatState {
+        jobs_total: jobs.len() as u64,
+        done: AtomicU64::new(done as u64),
+        running: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        running_names: Mutex::new(Vec::new()),
+    });
+    let _heartbeat = if crate::obs::telemetry_active() {
+        let state = Arc::clone(&hb_state);
+        let mut last = Instant::now();
+        let mut rounds = crate::obs::rounds_counted();
+        Some(crate::obs::Heartbeat::spawn(
+            "campaign",
+            heartbeat_interval(),
+            move || state.emit(&mut last, &mut rounds),
+        ))
+    } else {
+        None
+    };
 
     // The terminal-result handler, shared by the normal path and the
     // watchdog's abandonment path.
@@ -386,10 +489,11 @@ pub fn run_campaign(
                     records[idx] = Some(rec);
                     slots[idx] = Slot::Done;
                     done += 1;
+                    hb_state.done.store(done as u64, Ordering::Relaxed);
                 }
                 Err(err) => {
                     if attempt <= cfg.retries {
-                        retries_total += 1;
+                        hb_state.retries.fetch_add(1, Ordering::Relaxed);
                         let shift = (attempt - 1).min(16);
                         let delay = cfg.backoff_base.saturating_mul(1u32 << shift);
                         progress(&format!(
@@ -451,6 +555,7 @@ pub fn run_campaign(
                         records[idx] = Some(rec);
                         slots[idx] = Slot::Done;
                         done += 1;
+                        hb_state.done.store(done as u64, Ordering::Relaxed);
                     }
                 }
             }
@@ -542,6 +647,7 @@ pub fn run_campaign(
                     started,
                 };
                 running += 1;
+                hb_state.add_running(&jobs[idx].spec.name);
             }
         }
 
@@ -554,6 +660,7 @@ pub fn run_campaign(
                 );
                 if current {
                     running -= 1;
+                    hb_state.remove_running(&jobs[idx].spec.name);
                     finish!(idx, attempt, outcome);
                 }
                 // Otherwise: a late result from an abandoned attempt —
@@ -561,41 +668,6 @@ pub fn run_campaign(
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx kept alive above"),
-        }
-
-        // Telemetry heartbeat: campaign progress, process-wide round
-        // rate, RSS and warm-pool counters. One cheap branch per loop
-        // iteration when tracing is off.
-        if crate::obs::enabled() && hb_last.elapsed() >= hb_interval {
-            let rounds_now = crate::obs::rounds_counted();
-            let secs = hb_last.elapsed().as_secs_f64();
-            let rounds_per_sec = if secs > 0.0 {
-                ((rounds_now - hb_rounds) as f64 / secs) as u64
-            } else {
-                0
-            };
-            let running_jobs: Vec<Value> = (0..jobs.len())
-                .filter(|&i| matches!(slots[i], Slot::Running { .. }))
-                .map(|i| Value::Str(jobs[i].spec.name.clone()))
-                .collect();
-            let (wh, wm, we) = crate::experiments::warm_counters();
-            crate::obs::telemetry::emit(
-                "heartbeat",
-                vec![
-                    ("jobs_total", Value::UInt(jobs.len() as u64)),
-                    ("jobs_done", Value::UInt(done as u64)),
-                    ("jobs_running", Value::UInt(running as u64)),
-                    ("running", Value::Arr(running_jobs)),
-                    ("retries", Value::UInt(retries_total)),
-                    ("rounds_per_sec", Value::UInt(rounds_per_sec)),
-                    ("rss_bytes", Value::UInt(crate::obs::current_rss_bytes())),
-                    ("warm_hits", Value::UInt(wh)),
-                    ("warm_misses", Value::UInt(wm)),
-                    ("warm_evictions", Value::UInt(we)),
-                ],
-            );
-            hb_last = Instant::now();
-            hb_rounds = rounds_now;
         }
 
         // Watchdog: cancel overdue attempts; abandon unresponsive ones.
@@ -634,6 +706,7 @@ pub fn run_campaign(
                     ));
                     emit_job_event("job_abandoned", &jobs[idx].spec.name, attempt, Vec::new());
                     running -= 1;
+                    hb_state.remove_running(&jobs[idx].spec.name);
                     finish!(
                         idx,
                         attempt,

@@ -1,0 +1,38 @@
+//! Always-on multi-tenant simulation service.
+//!
+//! Turns the batch campaign runner into a long-lived server: many
+//! clients submit experiment jobs over a plain TCP + JSONL protocol,
+//! an admission controller applies per-tenant quotas and bounded
+//! queueing with typed load-shedding, a fair scheduler dispatches over
+//! worker threads (each job fully supervised — deadline watchdog,
+//! panic isolation, cancellation via the same [`CancelToken`]
+//! machinery the campaign runner uses), and SIGTERM/ctrl-c trigger a
+//! graceful bounded-time drain that journals every unfinished job.
+//!
+//! The module splits into:
+//!
+//! - [`protocol`] — the wire format: request/response types and their
+//!   JSONL codec (no networking);
+//! - [`quota`] — admission control: [`TenantQuota`], the bounded
+//!   per-tenant queues, round-robin fairness (no networking, no
+//!   threads — fully unit-tested in isolation);
+//! - [`server`] — the TCP server: accept loop, connection handlers,
+//!   scheduler/watchdog/drain ([`serve`], [`Server`],
+//!   [`ServiceConfig`]);
+//! - [`signal`] — the SIGTERM/SIGINT → drain flag bridge.
+//!
+//! `SERVICE.md` at the repository root is the operator-facing spec:
+//! the full protocol grammar, the quota and backpressure semantics,
+//! and the shutdown contract. The `serve`, `client` and `loadtest`
+//! binaries in `crates/bench` are thin wrappers over this module.
+//!
+//! [`CancelToken`]: crate::runner::CancelToken
+
+pub mod protocol;
+pub mod quota;
+pub mod server;
+pub mod signal;
+
+pub use protocol::{Request, Response, ShedReason, Submit, TenantStatus};
+pub use quota::{Admission, TenantQuota};
+pub use server::{serve, JobFactory, Server, ServiceConfig, ServiceReport};

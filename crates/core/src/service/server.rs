@@ -1,0 +1,866 @@
+//! The always-on simulation server: accept loop, per-connection
+//! handlers, and the scheduler that drives admission, deadlines, and
+//! graceful drain.
+//!
+//! Threading model (all plain `std::thread` + `std::net`, no external
+//! runtime):
+//!
+//! - **accept loop** (one thread): nonblocking accept polled every
+//!   ~50ms so it can also notice shutdown (the in-process
+//!   [`Server::shutdown`] flag, the `shutdown` protocol op, or a
+//!   SIGTERM/SIGINT via [`super::signal`]); spawns one handler thread
+//!   per connection and stops accepting the moment a drain starts;
+//! - **connection handlers** (one thread each): parse JSONL requests,
+//!   run admission under the shared lock, and reply immediately
+//!   (`accepted`/`shed`/`pong`/`status`/`error`). They never execute
+//!   jobs and never block on the scheduler, so a flood of bad requests
+//!   cannot stall dispatch. Reads carry a timeout so handlers notice
+//!   the server draining even on an idle connection;
+//! - **scheduler** (one thread): round-robin dispatch out of
+//!   [`Admission`], one worker thread per running job (bounded by
+//!   `workers`), completion collection, the per-job deadline watchdog,
+//!   and the drain sequence. It is the only writer of the journal, so
+//!   journal entries land in completion order without interleaving;
+//! - **workers** (one thread per running job): install the job's
+//!   [`CancelToken`], obs scope and tenant label (so `scatter` shards
+//!   and warm-pool accounting inherit them), run the job under
+//!   `catch_unwind`, and report back over a channel.
+//!
+//! Every response a client can observe is typed; overload sheds, bad
+//! requests get `error` lines, deadlines become `timeout` outcomes and
+//! a drain becomes `cancelled` outcomes — the server never answers a
+//! request with silence and never panics on malformed input.
+//!
+//! The drain contract (also in `SERVICE.md`): stop accepting, shed new
+//! submits as `draining`, journal still-queued jobs as cancelled, give
+//! running jobs `drain_grace` to finish, then cancel their tokens and
+//! give them `cancel_grace` to unwind; whatever still hasn't polled is
+//! abandoned (journaled as cancelled) so shutdown completes in bounded
+//! time no matter what a job does.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::runner::json::Value;
+use crate::runner::{CancelToken, Cancelled, Job, JobCtx, JobError, Journal};
+
+use super::protocol::{self, Request, Submit, TenantStatus};
+use super::quota::{Admission, TenantQuota};
+
+/// Builds a runnable [`Job`] from a submit request, or a client-visible
+/// error message (unknown job name, bad parameters). The bench
+/// binaries install the campaign registry here; tests install
+/// synthetic jobs.
+pub type JobFactory = Arc<dyn Fn(&Submit) -> Result<Job, String> + Send + Sync>;
+
+/// Server tuning knobs. The defaults are sized for the integration
+/// tests and the verify smoke; the `serve` binary exposes flags for
+/// each.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Max jobs running concurrently across all tenants.
+    pub workers: usize,
+    /// Global cap on queued (admitted, undispatched) jobs.
+    pub queue_cap: usize,
+    /// Per-tenant quota.
+    pub quota: TenantQuota,
+    /// Deadline for submits that don't carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long a drain waits for running jobs to finish naturally
+    /// before cancelling their tokens.
+    pub drain_grace: Duration,
+    /// How long a cancelled job gets to unwind before it is abandoned.
+    pub cancel_grace: Duration,
+    /// Journal of every accepted job's terminal outcome (`None`
+    /// disables journaling).
+    pub journal_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_cap: 256,
+            quota: TenantQuota::default(),
+            default_deadline: Duration::from_secs(30),
+            drain_grace: Duration::from_secs(5),
+            cancel_grace: Duration::from_secs(2),
+            journal_path: None,
+        }
+    }
+}
+
+/// End-of-life counters returned by [`Server::wait`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Jobs that reached a terminal outcome (any kind).
+    pub done: u64,
+    /// Submits refused by admission.
+    pub shed: u64,
+    /// Jobs cancelled by the drain (queued evictions + token cancels +
+    /// abandons).
+    pub cancelled: u64,
+}
+
+/// A connection's write side, shared between its handler thread, the
+/// scheduler (terminal `done` responses) and subscriber pumps. Writes
+/// carry a timeout (set at accept), so a client that stops reading
+/// delays the server by a bounded amount, then loses the line.
+type ConnWriter = Arc<Mutex<TcpStream>>;
+
+/// Writes one response line, best-effort: a dead or stuck client must
+/// never take the server down with it.
+fn send_line(writer: &ConnWriter, line: &str) {
+    let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+}
+
+/// An admitted-but-undispatched job.
+struct Pending {
+    job_id: u64,
+    job: Job,
+    deadline: Duration,
+    tag: Option<String>,
+    writer: ConnWriter,
+}
+
+/// Why a running job's token was cancelled.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CancelCause {
+    Deadline,
+    Drain,
+}
+
+/// Scheduler-side record of a running job.
+struct Running {
+    tenant: String,
+    name: String,
+    seed: u64,
+    token: CancelToken,
+    deadline: Instant,
+    limit_ms: u64,
+    tag: Option<String>,
+    writer: ConnWriter,
+    cancel_cause: Option<CancelCause>,
+    cancelled_at: Option<Instant>,
+}
+
+/// What a worker thread reports back. The scheduler supplies the
+/// *meaning* of a cancellation unwind (deadline vs drain) because only
+/// it knows why the token fired.
+enum WorkerOutcome {
+    Ok(String),
+    Failed(String),
+    Panicked(String),
+    CancelUnwind,
+}
+
+/// State shared by the accept loop, connection handlers and scheduler.
+struct Shared {
+    admission: Mutex<Admission<Pending>>,
+    /// Drain trigger (in-process shutdown, `shutdown` op; the accept
+    /// loop additionally polls [`super::signal::requested`]).
+    stop: AtomicBool,
+    /// Set once the drain has completed; idle handlers exit on it.
+    done: AtomicBool,
+    next_job_id: AtomicU64,
+    cancelled: AtomicU64,
+    cfg: ServiceConfig,
+    factory: JobFactory,
+}
+
+impl Shared {
+    /// Builds a `status` response from admission + warm-pool counters.
+    fn status_line(&self) -> String {
+        let warm: HashMap<String, (u64, u64)> = crate::warm_tenant_counters()
+            .into_iter()
+            .map(|(t, h, m)| (t, (h, m)))
+            .collect();
+        let adm = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        let tenants: Vec<TenantStatus> = adm
+            .tenant_counters()
+            .into_iter()
+            .map(|(tenant, queued, running, done, shed)| {
+                let (warm_hits, warm_misses) = warm.get(&tenant).copied().unwrap_or((0, 0));
+                TenantStatus {
+                    tenant,
+                    queued,
+                    running,
+                    done,
+                    shed,
+                    warm_hits,
+                    warm_misses,
+                }
+            })
+            .collect();
+        protocol::status(
+            adm.queued_total() as u64,
+            adm.inflight_total() as u64,
+            adm.done_total(),
+            adm.shed_total(),
+            adm.draining(),
+            &tenants,
+        )
+    }
+}
+
+/// A running service instance. Dropping it does *not* stop the server;
+/// call [`shutdown`](Self::shutdown) then [`wait`](Self::wait).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    scheduler: Option<std::thread::JoinHandle<ServiceReport>>,
+}
+
+impl Server {
+    /// The bound address (useful with port 0 in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain (same path as SIGTERM).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the drain completes and returns the final
+    /// counters. Also called internally by the `serve` binary after a
+    /// signal.
+    pub fn wait(mut self) -> ServiceReport {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.scheduler
+            .take()
+            .map(|h| h.join().unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+/// Starts serving on `listener`. Returns immediately; the server runs
+/// on background threads until a drain completes.
+pub fn serve(
+    listener: TcpListener,
+    factory: JobFactory,
+    cfg: ServiceConfig,
+) -> std::io::Result<Server> {
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        admission: Mutex::new(Admission::new(cfg.queue_cap, cfg.quota)),
+        stop: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        next_job_id: AtomicU64::new(1),
+        cancelled: AtomicU64::new(0),
+        cfg: cfg.clone(),
+        factory,
+    });
+
+    // Completions flow from worker threads to the scheduler; the
+    // scheduler owns the receiver and a template sender for workers.
+    let (tx, rx) = channel::<(u64, WorkerOutcome)>();
+
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("vsnoop-svc-sched".into())
+            .spawn(move || scheduler_loop(&shared, tx, rx))?
+    };
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("vsnoop-svc-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(Server {
+        addr,
+        shared,
+        accept: Some(accept),
+        scheduler: Some(scheduler),
+    })
+}
+
+/// Accepts connections until a drain starts (in-process flag or OS
+/// signal), spawning one handler thread per connection.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || super::signal::requested() {
+            // Propagate a signal-initiated drain to the scheduler.
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Bounded I/O: a stalled client costs at most the
+                // timeout per line, never a wedged thread.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("vsnoop-svc-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Serves one connection: reads JSONL requests until EOF (or until the
+/// drain completes on an idle connection) and answers each one.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let writer: ConnWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut tap_id: Option<u64> = None;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed.
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_request(trimmed, &writer, shared, &mut tap_id);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll; any partial line read before the timeout
+                // stays in `line` and completes on a later read. Once
+                // the drain has fully completed there is nothing left
+                // this connection can be told; close it.
+                if shared.done.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(id) = tap_id {
+        crate::obs::telemetry::remove_tap(id);
+    }
+}
+
+/// Dispatches one parsed request line.
+fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id: &mut Option<u64>) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(message) => {
+            // Best-effort tag echo so even a malformed submit can be
+            // correlated by the client.
+            let tag = Value::parse(line)
+                .ok()
+                .and_then(|v| v.get("tag").and_then(Value::as_str).map(str::to_string));
+            send_line(writer, &protocol::error(&message, &tag));
+            return;
+        }
+    };
+    match request {
+        Request::Submit(submit) => handle_submit(submit, line.len(), writer, shared),
+        Request::Status => send_line(writer, &shared.status_line()),
+        Request::Ping => send_line(writer, &protocol::pong()),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            send_line(writer, &protocol::shutting_down());
+        }
+        Request::Subscribe => {
+            if tap_id.is_some() {
+                send_line(writer, &protocol::error("already subscribed", &None));
+                return;
+            }
+            send_line(writer, &protocol::subscribed());
+            // Tap → unbounded channel → pump thread → socket. The tap
+            // itself never blocks, so a slow subscriber cannot stall
+            // telemetry producers; the pump absorbs the latency and
+            // drops the subscription on write failure.
+            let (tx, rx) = channel::<String>();
+            let id = crate::obs::telemetry::add_tap(move |record| {
+                let _ = tx.send(record.to_string());
+            });
+            *tap_id = Some(id);
+            let pump_writer = Arc::clone(writer);
+            let _ = std::thread::Builder::new()
+                .name("vsnoop-svc-sub".into())
+                .spawn(move || {
+                    for record in rx {
+                        let mut stream = pump_writer.lock().unwrap_or_else(|e| e.into_inner());
+                        let ok = stream
+                            .write_all(record.as_bytes())
+                            .and_then(|()| stream.write_all(b"\n"))
+                            .and_then(|()| stream.flush())
+                            .is_ok();
+                        if !ok {
+                            crate::obs::telemetry::remove_tap(id);
+                            return;
+                        }
+                    }
+                });
+        }
+    }
+}
+
+/// Admission for one submit: build the job, offer it, answer.
+fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc<Shared>) {
+    let job = match (shared.factory)(&submit) {
+        Ok(job) => job,
+        Err(message) => {
+            send_line(writer, &protocol::error(&message, &submit.tag));
+            return;
+        }
+    };
+    let deadline = submit
+        .deadline_ms
+        .map_or(shared.cfg.default_deadline, Duration::from_millis);
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let pending = Pending {
+        job_id,
+        job,
+        deadline,
+        tag: submit.tag.clone(),
+        writer: Arc::clone(writer),
+    };
+    let offered = {
+        let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+        adm.offer(&submit.tenant, pending, bytes)
+    };
+    match offered {
+        Ok(()) => {
+            if crate::obs::telemetry_active() {
+                crate::obs::telemetry::emit(
+                    "service_admit",
+                    vec![
+                        ("job_id", Value::UInt(job_id)),
+                        ("tenant", Value::Str(submit.tenant.clone())),
+                        ("job", Value::Str(submit.job.clone())),
+                    ],
+                );
+            }
+            send_line(writer, &protocol::accepted(job_id, &submit.tag));
+        }
+        Err(reason) => {
+            if crate::obs::telemetry_active() {
+                crate::obs::telemetry::emit(
+                    "service_shed",
+                    vec![
+                        ("tenant", Value::Str(submit.tenant.clone())),
+                        ("job", Value::Str(submit.job.clone())),
+                        ("reason", Value::Str(reason.as_str().into())),
+                    ],
+                );
+            }
+            send_line(writer, &protocol::shed(reason, &submit.tag));
+        }
+    }
+}
+
+/// The scheduler: dispatch, deadlines, completions, drain.
+fn scheduler_loop(
+    shared: &Arc<Shared>,
+    tx: Sender<(u64, WorkerOutcome)>,
+    rx: Receiver<(u64, WorkerOutcome)>,
+) -> ServiceReport {
+    let mut journal = shared.cfg.journal_path.as_deref().and_then(|p| {
+        Journal::open(p, false)
+            .map_err(|e| eprintln!("service: journal {}: {e}", p.display()))
+            .ok()
+    });
+    let mut running: HashMap<u64, Running> = HashMap::new();
+
+    // Service heartbeat: queue/running/shed depth plus the process-wide
+    // RSS and warm-pool counters, emitted on the shared obs cadence and
+    // visible to subscribers even without a trace dir. The tick gates
+    // itself so an idle, untraced server does no per-interval work.
+    let _heartbeat = {
+        let shared = Arc::clone(shared);
+        crate::obs::Heartbeat::spawn("service", heartbeat_interval(), move || {
+            if !crate::obs::telemetry_active() {
+                return;
+            }
+            let (queued, inflight, done, shed, draining) = {
+                let adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                (
+                    adm.queued_total() as u64,
+                    adm.inflight_total() as u64,
+                    adm.done_total(),
+                    adm.shed_total(),
+                    adm.draining(),
+                )
+            };
+            let (warm_hits, warm_misses, warm_evictions) = crate::warm_counters();
+            crate::obs::telemetry::emit(
+                "service_heartbeat",
+                vec![
+                    ("queued", Value::UInt(queued)),
+                    ("running", Value::UInt(inflight)),
+                    ("done", Value::UInt(done)),
+                    ("shed", Value::UInt(shed)),
+                    ("draining", Value::Bool(draining)),
+                    ("rss_bytes", Value::UInt(crate::obs::current_rss_bytes())),
+                    ("warm_hits", Value::UInt(warm_hits)),
+                    ("warm_misses", Value::UInt(warm_misses)),
+                    ("warm_evictions", Value::UInt(warm_evictions)),
+                ],
+            );
+        })
+    };
+
+    let mut draining = false;
+    let mut drain_started: Option<Instant> = None;
+    let mut tokens_cancelled = false;
+
+    loop {
+        // 1. Notice a drain request and run its first step exactly once:
+        //    stop admission, journal the queued backlog as cancelled.
+        if !draining && shared.stop.load(Ordering::SeqCst) {
+            draining = true;
+            drain_started = Some(Instant::now());
+            let evicted = {
+                let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                adm.set_draining();
+                adm.evict_queued()
+            };
+            for (tenant, pending) in evicted {
+                let outcome = Err(JobError::Cancelled {
+                    reason: "drain: evicted from queue".into(),
+                });
+                finish_job(
+                    shared,
+                    &mut journal,
+                    &tenant,
+                    pending.job_id,
+                    &pending.job.spec.name,
+                    pending.job.spec.seed,
+                    &pending.tag,
+                    &pending.writer,
+                    outcome,
+                );
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                // Nothing was in flight for this job: bump only the
+                // tenant's terminal count.
+                let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                adm.finish_queued(&tenant);
+            }
+        }
+
+        // 2. Dispatch while worker slots are free (skipped once
+        //    draining — the queue is already empty then).
+        while running.len() < shared.cfg.workers {
+            let next = {
+                let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                adm.next_dispatch()
+            };
+            let Some((tenant, pending)) = next else { break };
+            dispatch(shared, &tx, &mut running, tenant, pending);
+        }
+
+        // 3. Collect one completion (bounded wait keeps the watchdog
+        //    and drain timers live even when nothing completes).
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok((job_id, outcome)) => {
+                // An abandoned job's late completion: its record is
+                // gone; drop the message.
+                if let Some(run) = running.remove(&job_id) {
+                    let outcome = interpret(outcome, &run);
+                    if matches!(
+                        outcome,
+                        Err(JobError::TimedOut { .. } | JobError::Cancelled { .. })
+                    ) {
+                        shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    finish_job(
+                        shared,
+                        &mut journal,
+                        &run.tenant,
+                        job_id,
+                        &run.name,
+                        run.seed,
+                        &run.tag,
+                        &run.writer,
+                        outcome,
+                    );
+                    let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                    adm.finish(&run.tenant);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => unreachable!("scheduler holds a sender"),
+        }
+
+        // 4. Deadline watchdog: cancel overdue tokens; abandon jobs
+        //    that ignored the cancel past `cancel_grace`.
+        let now = Instant::now();
+        let mut abandoned: Vec<u64> = Vec::new();
+        for (id, run) in running.iter_mut() {
+            if run.cancel_cause.is_none() && now >= run.deadline {
+                run.token.cancel();
+                run.cancel_cause = Some(CancelCause::Deadline);
+                run.cancelled_at = Some(now);
+            }
+            if let Some(at) = run.cancelled_at {
+                if now.duration_since(at) >= shared.cfg.cancel_grace {
+                    abandoned.push(*id);
+                }
+            }
+        }
+        for id in abandoned {
+            let run = running.remove(&id).expect("abandoned id vanished");
+            let outcome = Err(abandon_error(&run));
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            finish_job(
+                shared,
+                &mut journal,
+                &run.tenant,
+                id,
+                &run.name,
+                run.seed,
+                &run.tag,
+                &run.writer,
+                outcome,
+            );
+            let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+            adm.finish(&run.tenant);
+        }
+
+        // 5. Drain progression: natural-finish window, then cancel
+        //    everything still running; exit once nothing is left.
+        if draining {
+            if running.is_empty() {
+                break;
+            }
+            if !tokens_cancelled
+                && drain_started.is_some_and(|t| t.elapsed() >= shared.cfg.drain_grace)
+            {
+                tokens_cancelled = true;
+                let now = Instant::now();
+                for run in running.values_mut() {
+                    if run.cancel_cause.is_none() {
+                        run.token.cancel();
+                        run.cancel_cause = Some(CancelCause::Drain);
+                        run.cancelled_at = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain complete: flush and report. (Journal appends flush per
+    // line; dropping it closes the file.)
+    drop(journal);
+    let report = {
+        let adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+        ServiceReport {
+            done: adm.done_total(),
+            shed: adm.shed_total(),
+            cancelled: shared.cancelled.load(Ordering::Relaxed),
+        }
+    };
+    if crate::obs::telemetry_active() {
+        crate::obs::telemetry::emit(
+            "service_drained",
+            vec![
+                ("done", Value::UInt(report.done)),
+                ("shed", Value::UInt(report.shed)),
+                ("cancelled", Value::UInt(report.cancelled)),
+            ],
+        );
+    }
+    shared.done.store(true, Ordering::SeqCst);
+    report
+}
+
+/// Telemetry heartbeat period: `VSNOOP_HEARTBEAT_MS`, default 1000
+/// (same knob the campaign supervisor honours).
+fn heartbeat_interval() -> Duration {
+    let ms = std::env::var("VSNOOP_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(1000);
+    Duration::from_millis(ms)
+}
+
+/// Spawns the worker thread for one dispatched job and records it in
+/// the running map.
+fn dispatch(
+    shared: &Arc<Shared>,
+    tx: &Sender<(u64, WorkerOutcome)>,
+    running: &mut HashMap<u64, Running>,
+    tenant: String,
+    pending: Pending,
+) {
+    let Pending {
+        job_id,
+        job,
+        deadline,
+        tag,
+        writer,
+    } = pending;
+    let token = CancelToken::new();
+    let limit_ms = deadline.as_millis() as u64;
+    running.insert(
+        job_id,
+        Running {
+            tenant: tenant.clone(),
+            name: job.spec.name.clone(),
+            seed: job.spec.seed,
+            token: token.clone(),
+            deadline: Instant::now() + deadline,
+            limit_ms,
+            tag,
+            writer,
+            cancel_cause: None,
+            cancelled_at: None,
+        },
+    );
+    if crate::obs::telemetry_active() {
+        crate::obs::telemetry::emit(
+            "service_dispatch",
+            vec![
+                ("job_id", Value::UInt(job_id)),
+                ("tenant", Value::Str(tenant.clone())),
+                ("job", Value::Str(job.spec.name.clone())),
+            ],
+        );
+    }
+    let tx = tx.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("vsnoop-svc-job-{job_id}"))
+        .spawn(move || {
+            let ctx = JobCtx {
+                token: token.clone(),
+                attempt: 1,
+            };
+            let name = job.spec.name.clone();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                crate::runner::with_current(token.clone(), || {
+                    crate::obs::with_scope(&name, || {
+                        crate::obs::with_tenant(&tenant, || (job.run)(&ctx))
+                    })
+                })
+            }));
+            let outcome = match result {
+                Ok(Ok(output)) => WorkerOutcome::Ok(output),
+                Ok(Err(message)) => WorkerOutcome::Failed(message),
+                Err(payload) => {
+                    if payload.downcast_ref::<Cancelled>().is_some() {
+                        WorkerOutcome::CancelUnwind
+                    } else {
+                        WorkerOutcome::Panicked(crate::runner::panic_message(payload.as_ref()))
+                    }
+                }
+            };
+            // The scheduler may have abandoned us; a closed channel is
+            // simply ignored.
+            let _ = tx.send((job_id, outcome));
+        });
+    if spawned.is_err() {
+        // Thread spawn failure (resource exhaustion): fail the job
+        // through the normal path rather than leaking the slot.
+        let run = running.remove(&job_id).expect("just inserted");
+        let outcome = Err(JobError::Failed {
+            message: "service: could not spawn worker thread".into(),
+        });
+        let mut journal_none: Option<Journal> = None;
+        finish_job(
+            shared,
+            &mut journal_none,
+            &run.tenant,
+            job_id,
+            &run.name,
+            run.seed,
+            &run.tag,
+            &run.writer,
+            outcome,
+        );
+        let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+        adm.finish(&run.tenant);
+    }
+}
+
+/// Maps a worker's raw outcome to the client-visible error, using the
+/// scheduler's knowledge of *why* a cancellation unwind happened.
+fn interpret(outcome: WorkerOutcome, run: &Running) -> Result<String, JobError> {
+    match outcome {
+        WorkerOutcome::Ok(output) => Ok(output),
+        WorkerOutcome::Failed(message) => Err(JobError::Failed { message }),
+        WorkerOutcome::Panicked(message) => Err(JobError::Panicked { message }),
+        WorkerOutcome::CancelUnwind => match run.cancel_cause {
+            Some(CancelCause::Deadline) | None => Err(JobError::TimedOut {
+                limit_ms: run.limit_ms,
+            }),
+            Some(CancelCause::Drain) => Err(JobError::Cancelled {
+                reason: "drain".into(),
+            }),
+        },
+    }
+}
+
+/// The error journaled for a job abandoned after ignoring its cancel.
+fn abandon_error(run: &Running) -> JobError {
+    match run.cancel_cause {
+        Some(CancelCause::Drain) => JobError::Cancelled {
+            reason: "drain: abandoned (never polled)".into(),
+        },
+        _ => JobError::TimedOut {
+            limit_ms: run.limit_ms,
+        },
+    }
+}
+
+/// Terminal bookkeeping shared by every completion path: telemetry,
+/// journal entry, `done` response to the submitting connection.
+#[allow(clippy::too_many_arguments)]
+fn finish_job(
+    _shared: &Arc<Shared>,
+    journal: &mut Option<Journal>,
+    tenant: &str,
+    job_id: u64,
+    name: &str,
+    seed: u64,
+    tag: &Option<String>,
+    writer: &ConnWriter,
+    outcome: Result<String, JobError>,
+) {
+    if crate::obs::telemetry_active() {
+        let status = match &outcome {
+            Ok(_) => "ok".to_string(),
+            Err(e) => e.kind().to_string(),
+        };
+        crate::obs::telemetry::emit(
+            "service_done",
+            vec![
+                ("job_id", Value::UInt(job_id)),
+                ("tenant", Value::Str(tenant.to_string())),
+                ("job", Value::Str(name.to_string())),
+                ("status", Value::Str(status)),
+            ],
+        );
+    }
+    send_line(writer, &protocol::done(job_id, name, &outcome, tag));
+    if let Some(j) = journal.as_mut() {
+        let entry = protocol::journal_entry(job_id, name, seed, outcome);
+        if let Err(e) = j.append(&entry) {
+            eprintln!("service: journal append failed: {e}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal async-signal-safe shutdown flag for SIGTERM/SIGINT.
+//!
+//! The workspace builds offline with no signal-handling crate, so this
+//! installs a raw `signal(2)` handler via the libc that `std` already
+//! links. The handler does the only thing that is async-signal-safe:
+//! it stores into a process-global `AtomicBool`. The server's accept
+//! loop polls that flag (it already wakes every ~50ms for nonblocking
+//! accept) and runs the full drain sequence from normal thread
+//! context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; polled by the accept loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Signal numbers per POSIX (stable on every platform we build for).
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)` from the platform libc (linked by `std`).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The installed handler: flag-store only (async-signal-safe).
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT handlers. Idempotent; call once from
+/// the `serve` binary before entering the accept loop.
+///
+/// Only compiled in on Unix — elsewhere this is a no-op and shutdown
+/// is driven by the `shutdown` protocol op alone.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has been received (or injected).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Injects a shutdown request from normal code — the `shutdown`
+/// protocol op and tests use this to share the signal path.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests only; the serve binary exits after a drain).
+#[cfg(test)]
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_and_reset_clears() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

@@ -300,3 +300,62 @@ fn duplicate_job_names_are_rejected() {
     assert!(err.to_string().contains("twin"));
     assert_eq!(runs.load(Ordering::SeqCst), 0);
 }
+
+#[test]
+fn resume_skips_truncated_trailing_journal_line_and_reruns_that_job() {
+    let dir = scratch("resume-truncated");
+    let journal = dir.join("journal.jsonl");
+    let names = ["fig_a", "fig_b"];
+    let counters: Vec<Arc<AtomicU32>> = names.iter().map(|_| Arc::new(AtomicU32::new(0))).collect();
+    let jobs: Vec<Job> = names
+        .iter()
+        .zip(&counters)
+        .map(|(n, c)| ok_job(n, c))
+        .collect();
+
+    // Run the full campaign once so the journal holds two complete
+    // entries, then simulate a crash mid-write of the second: truncate
+    // the file part-way through the last line, cutting a multi-byte
+    // UTF-8 sequence in half for good measure.
+    let first = RunnerConfig {
+        journal_path: Some(journal.clone()),
+        ..Default::default()
+    };
+    run_campaign(&jobs, &first, &mut quiet()).unwrap();
+    let bytes = std::fs::read(&journal).unwrap();
+    let first_line_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+    let mut truncated = bytes[..first_line_end + 1].to_vec();
+    truncated.extend_from_slice(b"{\"index\":1,\"job\":\"caf\xc3");
+    std::fs::write(&journal, &truncated).unwrap();
+
+    // Resume: the complete entry is restored, the torn one is skipped
+    // with a warning and its job re-runs.
+    let second = RunnerConfig {
+        journal_path: Some(journal.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let mut progress_lines = Vec::new();
+    let report = run_campaign(&jobs, &second, &mut |line: &str| {
+        progress_lines.push(line.to_string());
+    })
+    .unwrap();
+    assert!(report.all_ok());
+    assert!(report.records[0].resumed, "intact entry restored");
+    assert!(!report.records[1].resumed, "torn entry re-ran");
+    assert_eq!(counters[0].load(Ordering::SeqCst), 1);
+    assert_eq!(counters[1].load(Ordering::SeqCst), 2, "ran again on resume");
+    assert!(
+        progress_lines
+            .iter()
+            .any(|l| l.contains("resume:") && l.contains("crash mid-write")),
+        "warning surfaced via progress: {progress_lines:?}"
+    );
+
+    // The repaired journal now holds all entries; a further resume is a
+    // no-op and parses cleanly end to end.
+    let (entries, warnings) = Journal::load_with_warnings(&journal).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert!(warnings.is_empty(), "rewritten journal is clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,508 @@
+//! End-to-end tests for the multi-tenant simulation service: real TCP
+//! connections against [`vsnoop::service::serve`] with synthetic job
+//! factories.
+//!
+//! The robustness contract under test: every request gets a typed
+//! answer (overload sheds, deadlines time out, drains cancel), the
+//! drain finishes in bounded time no matter what jobs do, `scatter`
+//! shards inside a running job observe the drain's cancellation, and
+//! everything terminal lands in the journal.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vsnoop::runner::{json::Value, poll_current, scatter, Job, JobError, Journal};
+use vsnoop::service::{serve, JobFactory, Response, Server, ServiceConfig, Submit, TenantQuota};
+
+/// A scratch directory unique to one test, cleaned before use.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vsnoop-service-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Starts a server on an ephemeral port.
+fn start(factory: JobFactory, cfg: ServiceConfig) -> Server {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    serve(listener, factory, cfg).expect("serve")
+}
+
+/// One client connection with line-oriented send/receive and a
+/// generous read deadline so a server bug fails the test instead of
+/// hanging it.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(server: &Server) -> Conn {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let writer = stream.try_clone().expect("clone");
+        Conn {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => panic!("server closed the connection"),
+                Ok(_) if line.trim().is_empty() => continue,
+                Ok(_) => return Response::parse(line.trim()).expect("parse response"),
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+    }
+
+    /// Receives until a terminal (`done`/`shed`/`error`) response,
+    /// skipping `accepted` acks.
+    fn recv_terminal(&mut self) -> Response {
+        loop {
+            match self.recv() {
+                Response::Accepted { .. } => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn submit(&mut self, tenant: &str, job: &str, deadline_ms: Option<u64>, tag: &str) {
+        let mut pairs = vec![
+            ("op", Value::Str("submit".into())),
+            ("tenant", Value::Str(tenant.into())),
+            ("job", Value::Str(job.into())),
+            ("tag", Value::Str(tag.into())),
+        ];
+        if let Some(d) = deadline_ms {
+            pairs.push(("deadline_ms", Value::UInt(d)));
+        }
+        let line = Value::obj(pairs).to_json();
+        self.send(&line);
+    }
+}
+
+/// A factory of synthetic jobs:
+///
+/// - `"quick"`: returns immediately;
+/// - `"poll"`: polls its token forever (ends only by cancellation);
+/// - `"scatter"`: fans 8 forever-polling shards out through
+///   [`scatter`], flipping `started` once the shards are running;
+/// - anything else: a factory error.
+fn test_factory(started: Arc<AtomicBool>) -> JobFactory {
+    Arc::new(move |submit: &Submit| {
+        let started = Arc::clone(&started);
+        match submit.job.as_str() {
+            "quick" => Ok(Job::new("quick", 1, Value::obj(vec![]), |_ctx| {
+                Ok("quick output\n".to_string())
+            })),
+            "poll" => Ok(Job::new("poll", 2, Value::obj(vec![]), move |_ctx| {
+                started.store(true, Ordering::SeqCst);
+                loop {
+                    poll_current();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })),
+            "scatter" => Ok(Job::new("scatter", 3, Value::obj(vec![]), move |_ctx| {
+                let started = Arc::clone(&started);
+                // Each shard polls forever; the `loop` (type `!`) is the
+                // shard's "result", so only cancellation ends the job.
+                let outputs: Vec<u64> = scatter((0..8u64).collect::<Vec<_>>(), move |i| {
+                    started.store(true, Ordering::SeqCst);
+                    let _ = i;
+                    loop {
+                        poll_current();
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                });
+                Ok(format!("{outputs:?}\n"))
+            })),
+            other => Err(format!("unknown test job {other:?}")),
+        }
+    })
+}
+
+fn wait_for(flag: &AtomicBool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !flag.load(Ordering::SeqCst) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn submit_over_tcp_returns_accepted_then_done() {
+    let server = start(test_factory(Arc::default()), ServiceConfig::default());
+    let mut conn = Conn::open(&server);
+
+    conn.submit("acme", "quick", None, "t0");
+    match conn.recv() {
+        Response::Accepted { tag, .. } => assert_eq!(tag.as_deref(), Some("t0")),
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match conn.recv() {
+        Response::Done { outcome, tag, .. } => {
+            assert_eq!(outcome.expect("job must succeed"), "quick output\n");
+            assert_eq!(tag.as_deref(), Some("t0"));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.done, 1);
+    assert_eq!(report.shed, 0);
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let server = start(test_factory(Arc::default()), ServiceConfig::default());
+    let mut conn = Conn::open(&server);
+
+    for bad in [
+        "not json at all",
+        "{}",
+        r#"{"op":"warp"}"#,
+        r#"{"op":"submit","tenant":"","job":"quick"}"#,
+    ] {
+        conn.send(bad);
+        match conn.recv() {
+            Response::Error { .. } => {}
+            other => panic!("{bad:?}: expected error, got {other:?}"),
+        }
+    }
+    // Unknown job names are factory errors, also typed.
+    conn.submit("acme", "no-such-job", None, "t1");
+    match conn.recv() {
+        Response::Error { tag, .. } => assert_eq!(tag.as_deref(), Some("t1")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The connection is still usable afterwards.
+    conn.send(r#"{"op":"ping"}"#);
+    assert_eq!(conn.recv(), Response::Pong);
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.done, 0, "nothing was ever admitted");
+}
+
+#[test]
+fn overload_sheds_typed_per_tenant_and_globally() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        queue_cap: 3,
+        quota: TenantQuota {
+            max_inflight: 1,
+            max_queued: 2,
+            max_queued_bytes: 1 << 20,
+        },
+        drain_grace: Duration::from_millis(100),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    // Occupy the single worker slot, then wait until it is actually
+    // running so later submits genuinely queue behind it.
+    conn.submit("a", "poll", None, "blocker");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "the blocker job to start");
+
+    // Tenant "a" can queue two more, then hits its per-tenant quota.
+    let mut sheds = Vec::new();
+    for i in 0..3 {
+        conn.submit("a", "quick", None, &format!("a{i}"));
+        match conn.recv() {
+            Response::Accepted { .. } => {}
+            Response::Shed {
+                reason, retryable, ..
+            } => {
+                assert!(retryable, "load sheds must invite a retry");
+                sheds.push(reason);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(sheds, ["tenant_queue_full"]);
+
+    // The global queue (cap 3) now holds 2; tenant "b" gets one in and
+    // then hits the global cap.
+    let mut b_sheds = Vec::new();
+    for i in 0..2 {
+        conn.submit("b", "quick", None, &format!("b{i}"));
+        match conn.recv() {
+            Response::Accepted { .. } => {}
+            Response::Shed { reason, .. } => b_sheds.push(reason),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(b_sheds, ["queue_full"]);
+
+    // Drain: the blocker is cancelled, the queued jobs are evicted, and
+    // every accepted submit still gets its terminal `done` line.
+    server.shutdown();
+    let mut terminal = 0;
+    while terminal < 4 {
+        match conn.recv() {
+            Response::Done { .. } => terminal += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let report = server.wait();
+    assert_eq!(report.done, 4, "blocker + 3 queued");
+    assert_eq!(report.shed, 2);
+}
+
+#[test]
+fn deadline_cancels_job_as_timeout() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    conn.submit("acme", "poll", Some(150), "t");
+    let t0 = Instant::now();
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => {
+            let (kind, message) = outcome.expect_err("the poll job cannot succeed");
+            assert_eq!(kind, "timeout");
+            assert!(message.contains("150"), "deadline in message: {message}");
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    // Cooperative cancellation: the job polls, so it unwinds right
+    // after the deadline — long before the abandon path (5s) would.
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "timeout took {:?}",
+        t0.elapsed()
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Satellite: a drain must cut through `scatter` fan-outs. The running
+/// job's shards each poll the job token that the service cancelled, so
+/// the whole fan-out unwinds within the drain + cancel grace — and the
+/// journal records the partial campaign: completed jobs as `ok`, the
+/// cancelled job and the evicted queued job as `cancelled`.
+#[test]
+fn drain_cancels_scatter_shards_within_grace_and_journals_partials() {
+    let dir = scratch("drain-scatter");
+    let journal_path = dir.join("service.jsonl");
+    vsnoop::runner::set_shard_workers(4);
+
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        drain_grace: Duration::from_millis(150),
+        cancel_grace: Duration::from_secs(10),
+        journal_path: Some(journal_path.clone()),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    // A completed job, a running scatter job, and a queued job.
+    conn.submit("acme", "quick", None, "done-first");
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+        other => panic!("unexpected {other:?}"),
+    }
+    conn.submit("acme", "scatter", None, "sharded");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "scatter shards to start");
+    conn.submit("acme", "quick", None, "stuck-in-queue");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+
+    // Drain. The shards poll every ~2ms, so the fan-out must unwind
+    // right after drain_grace expires — nowhere near the 10s abandon
+    // window, which is the proof the shards *observed* the token.
+    let t0 = Instant::now();
+    server.shutdown();
+    let mut outcomes = Vec::new();
+    while outcomes.len() < 2 {
+        match conn.recv() {
+            Response::Done { outcome, tag, .. } => {
+                outcomes.push((tag.unwrap_or_default(), outcome));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "drain took {elapsed:?}; shards did not observe cancellation within grace"
+    );
+    for (tag, outcome) in &outcomes {
+        let (kind, message) = outcome.clone().expect_err("drained jobs are cancelled");
+        assert_eq!(kind, "cancelled", "{tag}: {message}");
+        assert!(
+            !message.contains("abandoned"),
+            "{tag} was abandoned instead of unwinding: {message}"
+        );
+    }
+
+    let report = server.wait();
+    assert_eq!(report.done, 3);
+    assert_eq!(report.cancelled, 2, "one running, one evicted");
+
+    // The journal holds the partial campaign.
+    let (entries, warnings) = Journal::load_with_warnings(&journal_path).expect("journal loads");
+    assert!(warnings.is_empty(), "clean journal: {warnings:?}");
+    assert_eq!(entries.len(), 3);
+    let by_name = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.job == name)
+            .unwrap_or_else(|| panic!("journal entry for {name}"))
+    };
+    assert_eq!(by_name("quick").outcome.as_deref(), Ok("quick output\n"));
+    assert!(matches!(
+        by_name("scatter").outcome,
+        Err(JobError::Cancelled { .. })
+    ));
+    let evicted = entries
+        .iter()
+        .filter(|e| matches!(&e.outcome, Err(JobError::Cancelled { reason }) if reason.contains("evicted")))
+        .count();
+    assert_eq!(evicted, 1, "the queued job was journaled as evicted");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn subscriber_sees_job_lifecycle_telemetry() {
+    let server = start(test_factory(Arc::default()), ServiceConfig::default());
+
+    let mut sub = Conn::open(&server);
+    sub.send(r#"{"op":"subscribe"}"#);
+    assert_eq!(sub.recv(), Response::Subscribed);
+
+    let mut conn = Conn::open(&server);
+    conn.submit("acme", "quick", None, "t");
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The subscriber connection now carries raw telemetry records; the
+    // submit must have produced the admit → dispatch → done sequence.
+    let mut seen = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !seen.contains(&"service_done".to_string()) {
+        assert!(Instant::now() < deadline, "telemetry not seen: {seen:?}");
+        let mut line = String::new();
+        match sub.reader.read_line(&mut line) {
+            Ok(0) => panic!("subscriber connection closed"),
+            Ok(_) => {
+                let v = Value::parse(line.trim()).expect("telemetry is valid JSON");
+                if let Some(event) = v.get("event").and_then(Value::as_str) {
+                    seen.push(event.to_string());
+                }
+            }
+            Err(e) => panic!("subscriber read: {e}"),
+        }
+    }
+    for expected in ["service_admit", "service_dispatch", "service_done"] {
+        assert!(
+            seen.contains(&expected.to_string()),
+            "missing {expected} in {seen:?}"
+        );
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_op_drains_and_sheds_late_submits_as_draining() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        drain_grace: Duration::from_millis(300),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    // Keep one job running so the drain stays observable while the
+    // late submit goes in.
+    conn.submit("acme", "poll", None, "blocker");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "the blocker job to start");
+
+    conn.send(r#"{"op":"shutdown"}"#);
+    assert_eq!(conn.recv(), Response::ShuttingDown);
+
+    // Wait until the scheduler has flipped admission into draining, so
+    // the late submit's outcome is deterministic.
+    loop {
+        conn.send(r#"{"op":"status"}"#);
+        let Response::Status(v) = conn.recv() else {
+            panic!("expected status")
+        };
+        if v.get("draining").and_then(Value::as_bool) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    conn.submit("late", "quick", None, "late");
+    match conn.recv() {
+        Response::Shed {
+            reason, retryable, ..
+        } => {
+            assert_eq!(reason, "draining");
+            assert!(!retryable, "a draining server is going away; don't retry");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The blocker still gets its terminal answer.
+    match conn.recv() {
+        Response::Done { outcome, .. } => {
+            let (kind, _) = outcome.expect_err("drained job is cancelled");
+            assert_eq!(kind, "cancelled");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let report = server.wait();
+    assert_eq!(report.done, 1);
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.cancelled, 1);
+}

@@ -126,4 +126,54 @@ test -s "$VIOL_DIR/flight-forced-violation.jsonl"
 head -1 "$VIOL_DIR/flight-forced-violation.jsonl" | grep -q '"reason":"violation"'
 grep -q '"event":"checker_violation"' "$VIOL_DIR/telemetry.jsonl"
 
+echo "==> service smoke (two tenants, SIGTERM drain, served == direct)"
+# Start the always-on server, run two tenants' artifact jobs through it,
+# then SIGTERM it while a third job is in flight. The drain must be
+# clean (exit 0, counters line), the in-flight job must be journaled as
+# cancelled, and the completed jobs' outputs must be byte-identical to
+# a direct `all --only ...` campaign at the same scale (SERVICE.md).
+SVC_DIR=target/campaign/verify-service
+rm -rf "$SVC_DIR"
+mkdir -p "$SVC_DIR"
+VSNOOP_SCALE=quick ./target/release/serve --addr 127.0.0.1:0 \
+  --journal "$SVC_DIR/journal.jsonl" \
+  --drain-grace-ms 300 --cancel-grace-ms 2000 \
+  > "$SVC_DIR/serve.out" 2> "$SVC_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$SVC_DIR/serve.out" 2>/dev/null && break
+  sleep 0.1
+done
+SVC_ADDR=$(awk '/^listening on /{print $3; exit}' "$SVC_DIR/serve.out")
+[ -n "$SVC_ADDR" ] # the server came up
+./target/release/client --addr "$SVC_ADDR" --tenant acme \
+  --submit fig2 --out "$SVC_DIR/acme" --strict > /dev/null
+./target/release/client --addr "$SVC_ADDR" --tenant globex \
+  --submit table2 --out "$SVC_DIR/globex" --strict > /dev/null
+# Third tenant: a long spin the drain will have to cancel mid-flight.
+./target/release/client --addr "$SVC_ADDR" --tenant initech \
+  --submit spin --spin-ms 60000 > "$SVC_DIR/spin.out" &
+SPIN_CLIENT_PID=$!
+sleep 0.5
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" # clean drain: serve exits 0 after SIGTERM
+wait "$SPIN_CLIENT_PID" # the cancelled submit still got a typed answer
+grep -q '^drained: ' "$SVC_DIR/serve.out"
+grep -q 'cancelled' "$SVC_DIR/spin.out"
+grep -q '"job":"spin"' "$SVC_DIR/journal.jsonl"
+grep -q 'cancelled' "$SVC_DIR/journal.jsonl"
+# Byte-identity: served outputs vs the same campaign run directly.
+DIRECT_DIR=target/campaign/verify-service-direct
+rm -rf "$DIRECT_DIR"
+VSNOOP_SCALE=quick ./target/release/all --only fig2 --only table2 \
+  --dir "$DIRECT_DIR" > /dev/null 2>&1
+cat "$SVC_DIR/acme/fig2.txt" "$SVC_DIR/globex/table2.txt" \
+  | cmp - "$DIRECT_DIR/campaign.txt"
+
+echo "==> service smoke (overload sheds typed, no hangs)"
+# Saturate tiny queues with a client herd; every submit must get a
+# typed answer (accepted/shed/done) and at least some must shed.
+./target/release/loadtest --clients 8 --tenants 4 --jobs 4 --spin-ms 1 \
+  --overload > /dev/null
+
 echo "verify.sh: ALL CHECKS PASSED"
