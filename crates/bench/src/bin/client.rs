@@ -16,15 +16,24 @@
 //! `table2: shed tenant_queue_full`, ...) in submit order, plus a
 //! summary. Exit 0 when every submit got a terminal answer (even a
 //! shed or a cancellation — those are the protocol working as
-//! designed); `--strict` demands every job end `ok`. Transport
-//! failures (server gone, malformed response) exit 1.
+//! designed); `--strict` demands every job end `ok`.
+//!
+//! Every submit carries an idempotency key derived from a
+//! per-invocation nonce and the submit index. When the connection is
+//! cut mid-flight the client reconnects with exponential backoff and
+//! resends only the unsettled submits under the same keys; the server
+//! dedups against its write-ahead log, so retries never duplicate
+//! work and the saved outputs stay byte-identical to an uninterrupted
+//! run. Transport failures only exit 1 after the retry budget is
+//! exhausted.
 //!
 //! `--subscribe N` prints N live telemetry records and exits.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use vsnoop::runner::json::Value;
 use vsnoop::service::Response;
@@ -158,60 +167,106 @@ fn subscribe(addr: &str, n: u64) -> Result<(), String> {
     Ok(())
 }
 
-fn submit_all(cli: &Cli) -> Result<bool, String> {
+/// Retry budget for the submission loop. Sixty attempts at the
+/// capped backoff is ~30 s of reconnecting — enough to ride out a
+/// server restart, small enough that a dead server fails the run.
+const MAX_ATTEMPTS: u32 = 60;
+const BACKOFF_START_MS: u64 = 25;
+const BACKOFF_CAP_MS: u64 = 500;
+/// A read that stalls this long is treated as a lost connection.
+/// Resubmission is safe under the idempotency keys, so a false
+/// positive only costs a reconnect.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-invocation nonce for idempotency keys. Two concurrent clients
+/// must not collide; a re-executed client *should* get fresh keys
+/// (it is a new request, not a retry of the old one).
+fn invocation_nonce() -> u64 {
+    let pid = u64::from(std::process::id());
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    pid.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ nanos
+}
+
+fn submit_line(cli: &Cli, index: usize, job: &str, nonce: u64) -> String {
+    let mut params: Vec<(&'static str, Value)> = Vec::new();
+    if let Some(w) = cli.warmup {
+        params.push(("warmup", Value::UInt(w)));
+    }
+    if let Some(m) = cli.measure {
+        params.push(("measure", Value::UInt(m)));
+    }
+    if let Some(s) = cli.seed {
+        params.push(("scale_seed", Value::UInt(s)));
+    }
+    if let Some(ms) = cli.spin_ms {
+        params.push(("ms", Value::UInt(ms)));
+    }
+    // Tags are the submit *index*: two submits of the same job name
+    // must stay distinguishable.
+    let mut pairs = vec![
+        ("op", Value::Str("submit".into())),
+        ("tenant", Value::Str(cli.tenant.clone())),
+        ("job", Value::Str(job.to_string())),
+        ("params", Value::obj(params)),
+        ("tag", Value::Str(index.to_string())),
+        ("idem_key", Value::Str(format!("cli-{nonce:016x}-{index}"))),
+    ];
+    if let Some(d) = cli.deadline_ms {
+        pairs.push(("deadline_ms", Value::UInt(d)));
+    }
+    Value::obj(pairs).to_json()
+}
+
+/// One connection's worth of work: send every unsettled submit, then
+/// read until all are settled. `Err` means the transport died (or a
+/// retryable server error asked for a resend) and the caller should
+/// reconnect; `outcomes` keeps whatever was settled so far.
+fn run_session(
+    cli: &Cli,
+    nonce: u64,
+    outcomes: &mut [Option<(bool, String)>],
+) -> Result<(), String> {
     let stream = TcpStream::connect(&cli.addr).map_err(|e| format!("connect {}: {e}", cli.addr))?;
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream);
 
+    let mut pending = 0usize;
     for (i, job) in cli.jobs.iter().enumerate() {
-        let mut params: Vec<(&'static str, Value)> = Vec::new();
-        if let Some(w) = cli.warmup {
-            params.push(("warmup", Value::UInt(w)));
+        if outcomes[i].is_some() {
+            continue;
         }
-        if let Some(m) = cli.measure {
-            params.push(("measure", Value::UInt(m)));
-        }
-        if let Some(s) = cli.seed {
-            params.push(("scale_seed", Value::UInt(s)));
-        }
-        if let Some(ms) = cli.spin_ms {
-            params.push(("ms", Value::UInt(ms)));
-        }
-        // Tags are the submit *index*: two submits of the same job name
-        // must stay distinguishable.
-        let mut pairs = vec![
-            ("op", Value::Str("submit".into())),
-            ("tenant", Value::Str(cli.tenant.clone())),
-            ("job", Value::Str(job.clone())),
-            ("params", Value::obj(params)),
-            ("tag", Value::Str(i.to_string())),
-        ];
-        if let Some(d) = cli.deadline_ms {
-            pairs.push(("deadline_ms", Value::UInt(d)));
-        }
-        let line = Value::obj(pairs).to_json();
+        pending += 1;
+        let line = submit_line(cli, i, job, nonce);
         writeln!(writer, "{line}").map_err(|e| format!("send {job}: {e}"))?;
     }
     writer.flush().map_err(|e| e.to_string())?;
 
-    // Submit index -> outcome, printed in submit order at the end so
-    // output is deterministic even when completions interleave.
-    let mut outcomes: Vec<Option<(bool, String)>> = vec![None; cli.jobs.len()];
-    let mut pending = cli.jobs.len();
     let mut line = String::new();
     while pending > 0 {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return Err("server closed the connection mid-run".into()),
             Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err("read timed out".into());
+            }
             Err(e) => return Err(format!("read: {e}")),
         }
         if line.trim().is_empty() {
             continue;
         }
         let resp = Response::parse(line.trim())?;
-        let mut settle = |tag: Option<String>, outcome: (bool, String)| {
+        let mut settle = |outcomes: &mut [Option<(bool, String)>],
+                          tag: &Option<String>,
+                          outcome: (bool, String)| {
             let Some(slot) = tag
+                .as_deref()
                 .and_then(|t| t.parse::<usize>().ok())
                 .and_then(|i| outcomes.get_mut(i))
             else {
@@ -230,32 +285,83 @@ fn submit_all(cli: &Cli) -> Result<bool, String> {
                 tag,
             } => {
                 let retry = if retryable { "" } else { " (not retryable)" };
-                settle(tag, (false, format!("shed {reason}{retry}")));
+                settle(outcomes, &tag, (false, format!("shed {reason}{retry}")));
             }
             Response::Done { outcome, tag, .. } => match outcome {
                 Ok(output) => {
+                    let already = tag
+                        .as_deref()
+                        .and_then(|t| t.parse::<usize>().ok())
+                        .and_then(|i| outcomes.get(i))
+                        .is_some_and(Option::is_some);
                     let name = tag
                         .as_deref()
                         .and_then(|t| t.parse::<usize>().ok())
                         .and_then(|i| cli.jobs.get(i))
                         .cloned()
                         .unwrap_or_default();
-                    if let Some(dir) = &cli.out {
+                    if let (false, Some(dir)) = (already, &cli.out) {
                         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                         std::fs::write(dir.join(format!("{name}.txt")), &output)
                             .map_err(|e| format!("write {name}.txt: {e}"))?;
                     }
-                    settle(tag, (true, format!("ok ({} bytes)", output.len())));
+                    settle(
+                        outcomes,
+                        &tag,
+                        (true, format!("ok ({} bytes)", output.len())),
+                    );
                 }
                 Err((kind, message)) => {
-                    settle(tag, (false, format!("{kind}: {message}")));
+                    settle(outcomes, &tag, (false, format!("{kind}: {message}")));
                 }
             },
-            Response::Error { message, tag } => {
-                settle(tag, (false, format!("error: {message}")));
+            Response::Error {
+                message,
+                retryable,
+                tag,
+                ..
+            } => {
+                if retryable {
+                    // e.g. wal_failed: the submit was not accepted.
+                    // Leave the slot unsettled; the caller reconnects
+                    // and resends it under the same idempotency key.
+                    return Err(format!("retryable server error: {message}"));
+                }
+                if tag.is_none() {
+                    return Err(format!("server error: {message}"));
+                }
+                settle(outcomes, &tag, (false, format!("error: {message}")));
             }
             other => return Err(format!("unexpected response {other:?}")),
         }
+    }
+    Ok(())
+}
+
+fn submit_all(cli: &Cli) -> Result<bool, String> {
+    let nonce = invocation_nonce();
+    // Submit index -> outcome, printed in submit order at the end so
+    // output is deterministic even when completions interleave.
+    let mut outcomes: Vec<Option<(bool, String)>> = vec![None; cli.jobs.len()];
+    let mut backoff = BACKOFF_START_MS;
+    let mut reconnects = 0u32;
+    for attempt in 0..MAX_ATTEMPTS {
+        match run_session(cli, nonce, &mut outcomes) {
+            Ok(()) => break,
+            Err(e) => {
+                if attempt + 1 == MAX_ATTEMPTS {
+                    return Err(format!("giving up after {MAX_ATTEMPTS} attempts: {e}"));
+                }
+                reconnects += 1;
+                eprintln!("client: {e}; retrying (attempt {})", attempt + 2);
+                let jitter = (nonce ^ u64::from(attempt)) % (backoff / 2 + 1);
+                std::thread::sleep(Duration::from_millis(backoff + jitter));
+                backoff = (backoff * 2).min(BACKOFF_CAP_MS);
+            }
+        }
+    }
+    if reconnects > 0 {
+        eprintln!("client: finished after {reconnects} reconnect(s)");
     }
 
     let mut all_ok = true;

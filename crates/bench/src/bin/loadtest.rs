@@ -5,16 +5,23 @@
 //! loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]
 //!          [--workers N] [--queue-cap N] [--max-inflight N]
 //!          [--max-queued N] [--deadline-ms N] [--overload]
+//!          [--chaos] [--chaos-seed N] [--no-wal]
 //! ```
 //!
 //! Runs the same harness the `perf` binary's `service` bin measures
 //! (`vsnoop_bench::service_load`), so a local soak and the gated perf
 //! number describe the same scenario. `--overload` shrinks the queues
 //! until most submits shed, verifying that saturation produces typed
-//! rejections rather than hangs.
+//! rejections rather than hangs. `--chaos` routes every client
+//! through a fault-injecting proxy (torn frames, stalls, cuts,
+//! resets; deterministic per `--chaos-seed`) and switches the clients
+//! to their retrying mode — the run must still answer every request
+//! exactly once. `--no-wal` drops the write-ahead log for a
+//! best-effort soak.
 //!
 //! Exits 1 if any request went unanswered (a hang or transport loss),
-//! or if `--overload` produced no sheds.
+//! if `--overload` produced no sheds, or if `--chaos` injected no
+//! faults (a proxy misconfiguration would otherwise pass vacuously).
 
 use std::process::ExitCode;
 
@@ -24,6 +31,8 @@ use vsnoop_bench::service_load::{run_load, LoadOptions};
 fn parse_cli() -> Result<(LoadOptions, bool), String> {
     let mut opts = LoadOptions::default();
     let mut overload = false;
+    let mut chaos = false;
+    let mut chaos_seed = 42u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -57,11 +66,18 @@ fn parse_cli() -> Result<(LoadOptions, bool), String> {
                 opts.deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")?)?;
             }
             "--overload" => overload = true,
+            "--chaos" => chaos = true,
+            "--chaos-seed" => {
+                chaos = true;
+                chaos_seed = parse_u64("--chaos-seed", value("--chaos-seed")?)?;
+            }
+            "--no-wal" => opts.wal = false,
             "--help" | "-h" => {
                 return Err(
                     "usage: loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]\n\
                      \u{20}               [--workers N] [--queue-cap N] [--max-inflight N]\n\
-                     \u{20}               [--max-queued N] [--deadline-ms N] [--overload]"
+                     \u{20}               [--max-queued N] [--deadline-ms N] [--overload]\n\
+                     \u{20}               [--chaos] [--chaos-seed N] [--no-wal]"
                         .into(),
                 );
             }
@@ -76,6 +92,9 @@ fn parse_cli() -> Result<(LoadOptions, bool), String> {
             max_queued: 2,
             max_queued_bytes: opts.quota.max_queued_bytes,
         };
+    }
+    if chaos {
+        opts.chaos_seed = Some(chaos_seed);
     }
     Ok((opts, overload))
 }
@@ -106,6 +125,12 @@ fn main() -> ExitCode {
     for (reason, n) in &report.shed {
         println!("  shed {reason}: {n}");
     }
+    if opts.chaos_seed.is_some() {
+        println!(
+            "chaos: faults={} client reconnects={}",
+            report.chaos_faults, report.reconnects
+        );
+    }
     println!(
         "latency p50={:.2}ms p99={:.2}ms max={:.2}ms  throughput={:.0} req/s  elapsed={:.2}s",
         report.p50_ms, report.p99_ms, report.max_ms, report.requests_per_sec, report.elapsed_s
@@ -118,6 +143,10 @@ fn main() -> ExitCode {
     }
     if overload && report.shed_total() == 0 {
         eprintln!("LOADTEST FAIL: overload produced no sheds");
+        return ExitCode::FAILURE;
+    }
+    if opts.chaos_seed.is_some() && report.chaos_faults == 0 {
+        eprintln!("LOADTEST FAIL: chaos mode injected no faults");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

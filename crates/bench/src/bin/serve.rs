@@ -11,7 +11,17 @@
 //!       [--max-inflight N] [--max-queued N] [--max-queued-bytes N]
 //!       [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]
 //!       [--journal FILE] [--trace-dir DIR]
+//!       [--state-dir DIR] [--no-recover] [--no-sync]
+//!       [--max-frame-bytes N]
 //! ```
+//!
+//! `--state-dir DIR` makes the server crash-safe: accepted submits are
+//! fsynced to `DIR/wal.jsonl` before they are acknowledged, the job
+//! journal defaults to `DIR/journal.jsonl`, and on startup any job
+//! that was accepted but not finished by a previous process is
+//! re-enqueued (disable replay with `--no-recover`, trade durability
+//! for speed with `--no-sync`). See `SERVICE.md` § Durability &
+//! recovery.
 //!
 //! Prints one `listening on <addr>` line to stdout once ready (scripts
 //! wait for it), then blocks until a drain completes and prints the
@@ -37,6 +47,7 @@ fn parse_cli() -> Result<Cli, String> {
         addr: "127.0.0.1:7878".to_string(),
         cfg: ServiceConfig::default(),
     };
+    let mut state_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -83,6 +94,13 @@ fn parse_cli() -> Result<Cli, String> {
                 )?);
             }
             "--journal" => cli.cfg.journal_path = Some(PathBuf::from(value("--journal")?)),
+            "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--no-recover" => cli.cfg.recover = false,
+            "--no-sync" => cli.cfg.sync = false,
+            "--max-frame-bytes" => {
+                cli.cfg.max_frame_bytes =
+                    parse_u64("--max-frame-bytes", value("--max-frame-bytes")?)?.max(256) as usize;
+            }
             "--trace-dir" => {
                 // Handled by init_obs(); consume the value here too.
                 let _ = value("--trace-dir")?;
@@ -91,10 +109,19 @@ fn parse_cli() -> Result<Cli, String> {
                 return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
                      \u{20}            [--max-inflight N] [--max-queued N] [--max-queued-bytes N]\n\
                      \u{20}            [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]\n\
-                     \u{20}            [--journal FILE] [--trace-dir DIR]"
+                     \u{20}            [--journal FILE] [--trace-dir DIR]\n\
+                     \u{20}            [--state-dir DIR] [--no-recover] [--no-sync]\n\
+                     \u{20}            [--max-frame-bytes N]"
                     .into());
             }
             other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    if let Some(dir) = state_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("--state-dir {}: {e}", dir.display()))?;
+        cli.cfg.wal_path = Some(dir.join("wal.jsonl"));
+        if cli.cfg.journal_path.is_none() {
+            cli.cfg.journal_path = Some(dir.join("journal.jsonl"));
         }
     }
     Ok(cli)
@@ -128,8 +155,8 @@ fn main() -> ExitCode {
     let _ = std::io::stdout().flush();
     let report = server.wait();
     println!(
-        "drained: done={} shed={} cancelled={}",
-        report.done, report.shed, report.cancelled
+        "drained: done={} shed={} cancelled={} recovered={}",
+        report.done, report.shed, report.cancelled, report.recovered
     );
     ExitCode::SUCCESS
 }

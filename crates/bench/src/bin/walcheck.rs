@@ -1,0 +1,237 @@
+//! Reconciles a durable server's write-ahead log against its journal.
+//!
+//! The kill-9 smoke in `scripts/verify.sh` runs this after the final
+//! drain to prove the durability contract from `SERVICE.md`: **no
+//! accepted job is ever lost, and no job's side effects are ever
+//! duplicated**. Exit 0 means every invariant held; each violation
+//! prints one `WALCHECK FAIL:` line and the process exits 1.
+//!
+//! ```text
+//! walcheck --wal FILE --journal FILE [--min-jobs N] [--expect-recovered]
+//! ```
+//!
+//! Checked invariants, over the WAL as left by the last (drained)
+//! server process:
+//!
+//! 1. **Nothing lost** — every `accepted` record has a matching
+//!    terminal `done` record (the replayed pending set is empty).
+//! 2. **Nothing duplicated** — no job id appears in more than one
+//!    `accepted` or more than one `done` record, and no idempotency
+//!    key maps to two different job ids.
+//! 3. **Journal agrees** — every WAL-terminal job id has exactly one
+//!    journal entry, and its outcome status (ok vs failed) matches
+//!    the WAL's. (The journal may also hold entries for job ids the
+//!    compacted WAL has aged out; those are fine.)
+//!
+//! `--min-jobs N` additionally demands at least N terminal jobs — a
+//! smoke that lost *all* its traffic would otherwise pass vacuously.
+//! `--expect-recovered` demands at least one `recovered` marker, so a
+//! kill-9 smoke fails loudly if the kill landed after everything had
+//! already finished (nothing was actually recovered).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vsnoop::runner::Journal;
+use vsnoop::service::{Wal, WalRecord};
+
+struct Cli {
+    wal: PathBuf,
+    journal: PathBuf,
+    min_jobs: u64,
+    expect_recovered: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut wal = None;
+    let mut journal = None;
+    let mut min_jobs = 0u64;
+    let mut expect_recovered = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--wal" => wal = Some(PathBuf::from(value("--wal")?)),
+            "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--min-jobs" => {
+                min_jobs = value("--min-jobs")?
+                    .parse()
+                    .map_err(|e| format!("--min-jobs: {e}"))?;
+            }
+            "--expect-recovered" => expect_recovered = true,
+            "--help" | "-h" => {
+                return Err("usage: walcheck --wal FILE --journal FILE \
+                            [--min-jobs N] [--expect-recovered]"
+                    .into());
+            }
+            other => return Err(format!("unknown argument: {other} (try --help)")),
+        }
+    }
+    Ok(Cli {
+        wal: wal.ok_or("--wal is required")?,
+        journal: journal.ok_or("--journal is required")?,
+        min_jobs,
+        expect_recovered,
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let records = match Wal::load(&cli.wal) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("walcheck: read {}: {e}", cli.wal.display());
+            return ExitCode::from(2);
+        }
+    };
+    let entries = match Journal::load(&cli.journal) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("walcheck: read {}: {e}", cli.journal.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        eprintln!("WALCHECK FAIL: {msg}");
+        failures += 1;
+    };
+
+    // Fold the log: per-id accepted/done counts, key -> ids.
+    let mut accepted: HashMap<u64, u64> = HashMap::new();
+    let mut done_ok: HashMap<u64, bool> = HashMap::new();
+    let mut done_dups: Vec<u64> = Vec::new();
+    let mut keys: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut recovered = 0u64;
+    for record in &records {
+        match record {
+            WalRecord::Accepted {
+                job_id, idem_key, ..
+            } => {
+                *accepted.entry(*job_id).or_insert(0) += 1;
+                if let Some(k) = idem_key {
+                    let ids = keys.entry(k.clone()).or_default();
+                    if !ids.contains(job_id) {
+                        ids.push(*job_id);
+                    }
+                }
+            }
+            WalRecord::Done { job_id, outcome } => {
+                if done_ok.insert(*job_id, outcome.is_ok()).is_some() {
+                    done_dups.push(*job_id);
+                }
+            }
+            WalRecord::Recovered { .. } => recovered += 1,
+        }
+    }
+
+    // 1. Nothing lost: accepted implies terminal.
+    let mut lost: Vec<u64> = accepted
+        .keys()
+        .filter(|id| !done_ok.contains_key(id))
+        .copied()
+        .collect();
+    lost.sort_unstable();
+    if !lost.is_empty() {
+        fail(format!(
+            "{} accepted job(s) never reached a terminal outcome: {lost:?}",
+            lost.len()
+        ));
+    }
+
+    // 2. Nothing duplicated.
+    let mut accept_dups: Vec<u64> = accepted
+        .iter()
+        .filter(|&(_, n)| *n > 1)
+        .map(|(id, _)| *id)
+        .collect();
+    accept_dups.sort_unstable();
+    if !accept_dups.is_empty() {
+        fail(format!(
+            "job id(s) accepted more than once: {accept_dups:?}"
+        ));
+    }
+    done_dups.sort_unstable();
+    done_dups.dedup();
+    if !done_dups.is_empty() {
+        fail(format!(
+            "job id(s) with more than one terminal record (re-executed?): {done_dups:?}"
+        ));
+    }
+    for (key, ids) in &keys {
+        if ids.len() > 1 {
+            fail(format!(
+                "idempotency key {key:?} maps to {} distinct jobs {ids:?} — \
+                 a retry was re-executed instead of deduplicated",
+                ids.len()
+            ));
+        }
+    }
+
+    // 3. Journal agrees with the WAL on every terminal job.
+    let mut journal_count: HashMap<u64, u64> = HashMap::new();
+    let mut journal_ok: HashMap<u64, bool> = HashMap::new();
+    for e in &entries {
+        let id = e.index as u64;
+        *journal_count.entry(id).or_insert(0) += 1;
+        journal_ok.insert(id, e.outcome.is_ok());
+    }
+    for (id, ok) in &done_ok {
+        match journal_count.get(id) {
+            None => fail(format!(
+                "job {id} is terminal in the WAL but missing from the journal"
+            )),
+            Some(1) => {
+                if journal_ok.get(id) != Some(ok) {
+                    fail(format!("job {id}: WAL says ok={ok}, journal disagrees"));
+                }
+            }
+            Some(n) => fail(format!(
+                "job {id} has {n} journal entries (side effects duplicated)"
+            )),
+        }
+    }
+
+    // Anti-vacuity gates for the smoke.
+    let terminal = done_ok.len() as u64;
+    if terminal < cli.min_jobs {
+        fail(format!(
+            "only {terminal} terminal job(s), --min-jobs {} demanded",
+            cli.min_jobs
+        ));
+    }
+    if cli.expect_recovered && recovered == 0 {
+        fail(
+            "no `recovered` marker in the WAL — the kill did not interrupt anything, \
+             so the smoke proved nothing"
+                .to_string(),
+        );
+    }
+
+    println!(
+        "walcheck: {} WAL record(s), {} accepted, {terminal} terminal, \
+         {recovered} recovered, {} journal entr(ies), {} key(s): {}",
+        records.len(),
+        accepted.len(),
+        entries.len(),
+        keys.len(),
+        if failures == 0 { "OK" } else { "FAIL" }
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -106,6 +106,7 @@ mod tests {
             params,
             deadline_ms: None,
             tag: None,
+            idem_key: None,
         }
     }
 

@@ -20,7 +20,7 @@ use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use vsnoop::runner::json::Value;
-use vsnoop::service::{serve, Response, ServiceConfig, TenantQuota};
+use vsnoop::service::{serve, ChaosConfig, ChaosProxy, Response, ServiceConfig, TenantQuota};
 
 use crate::service_jobs::registry_factory;
 
@@ -43,6 +43,14 @@ pub struct LoadOptions {
     pub quota: TenantQuota,
     /// Per-request deadline.
     pub deadline_ms: u64,
+    /// Run the server with its write-ahead log (in a scratch state
+    /// dir). On by default so the loadtest and the `service` perf bin
+    /// both measure the service *with* its durability cost.
+    pub wal: bool,
+    /// Route every client through a fault-injecting [`ChaosProxy`]
+    /// seeded here; clients switch to reconnect-and-retry submission
+    /// keyed on idempotency keys. `None` connects directly.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for LoadOptions {
@@ -60,6 +68,8 @@ impl Default for LoadOptions {
                 max_queued_bytes: 1 << 20,
             },
             deadline_ms: 10_000,
+            wal: true,
+            chaos_seed: None,
         }
     }
 }
@@ -90,6 +100,12 @@ pub struct LoadReport {
     pub requests_per_sec: f64,
     /// `VmHWM` after the soak, bytes.
     pub peak_rss_bytes: u64,
+    /// Client reconnects performed (chaos mode; 0 otherwise).
+    pub reconnects: u64,
+    /// Faults the chaos proxy injected (fragments + stalls + cuts +
+    /// resets; 0 without chaos). A "chaos" soak that injected nothing
+    /// proves nothing, so the caller should assert this is > 0.
+    pub chaos_faults: u64,
 }
 
 impl LoadReport {
@@ -108,6 +124,7 @@ struct ClientTally {
     ok: u64,
     failed: u64,
     unanswered: u64,
+    reconnects: u64,
 }
 
 /// Runs one client: pipelines `jobs` submits, reads until all are
@@ -210,6 +227,135 @@ fn run_client(
     tally
 }
 
+/// Runs one client against a *hostile* link (the chaos proxy):
+/// pipelines submits carrying idempotency keys, and on any transport
+/// fault reconnects with exponential backoff + jitter and resubmits
+/// every unsettled job under its original key. The server dedups, so
+/// a job whose `accepted` (or `done`) was eaten by the proxy is
+/// answered from the original run — never run twice.
+fn run_client_chaos(
+    addr: std::net::SocketAddr,
+    tenant: String,
+    jobs: usize,
+    spin_ms: u64,
+    deadline_ms: u64,
+    nonce: u64,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut settled: Vec<Option<bool>> = vec![None; jobs]; // Some(ok?)
+    let mut started: Vec<Option<Instant>> = vec![None; jobs];
+    let mut backoff_ms: u64 = 25;
+    let max_attempts = 60;
+    for attempt in 0..max_attempts {
+        if settled.iter().all(Option::is_some) {
+            break;
+        }
+        if attempt > 0 {
+            tally.reconnects += 1;
+            // Exponential backoff with deterministic per-client jitter.
+            let jitter = (nonce ^ attempt) % (backoff_ms / 2 + 1);
+            std::thread::sleep(Duration::from_millis(backoff_ms + jitter));
+            backoff_ms = (backoff_ms * 2).min(500);
+        }
+        let Ok(stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        // A read timeout bounds how long a swallowed response can
+        // stall the client; timeout → reconnect and resubmit.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let Ok(mut writer) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(stream);
+        let mut sent_ok = true;
+        for i in 0..jobs {
+            if settled[i].is_some() {
+                continue;
+            }
+            if started[i].is_none() {
+                started[i] = Some(Instant::now());
+            }
+            let line = Value::obj([
+                ("op", Value::Str("submit".into())),
+                ("tenant", Value::Str(tenant.clone())),
+                ("job", Value::Str("spin".into())),
+                ("params", Value::obj([("ms", Value::UInt(spin_ms))])),
+                ("deadline_ms", Value::UInt(deadline_ms)),
+                ("tag", Value::Str(i.to_string())),
+                ("idem_key", Value::Str(format!("lt-{nonce}-{tenant}-{i}"))),
+            ])
+            .to_json();
+            if writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                sent_ok = false;
+                break;
+            }
+        }
+        if sent_ok {
+            let _ = writer.flush();
+        }
+        let mut line = String::new();
+        while settled.iter().any(Option::is_none) {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // transport fault: reconnect
+                Ok(_) => {}
+            }
+            let Ok(resp) = Response::parse(line.trim()) else {
+                continue; // a torn frame the proxy glued; ignore
+            };
+            // Terminal verdict for the tagged slot; `None` means keep
+            // waiting (accepted) or resubmit later (retryable error).
+            enum Verdict {
+                Ok,
+                Failed,
+                Shed(String),
+            }
+            let (tag, verdict) = match resp {
+                Response::Done { tag, outcome, .. } => {
+                    let v = if outcome.is_ok() {
+                        Verdict::Ok
+                    } else {
+                        Verdict::Failed
+                    };
+                    (tag, Some(v))
+                }
+                Response::Shed { tag, reason, .. } => (tag, Some(Verdict::Shed(reason))),
+                Response::Error { tag, retryable, .. } => {
+                    // Retryable (e.g. wal_failed): leave unsettled,
+                    // the next reconnect resends under the same key.
+                    (tag, (!retryable).then_some(Verdict::Failed))
+                }
+                _ => (None, None),
+            };
+            let Some(verdict) = verdict else { continue };
+            let Some(i) = tag.and_then(|t| t.parse::<usize>().ok()) else {
+                continue;
+            };
+            if i < jobs && settled[i].is_none() {
+                let shed = matches!(verdict, Verdict::Shed(_));
+                settled[i] = Some(matches!(verdict, Verdict::Ok));
+                match verdict {
+                    Verdict::Ok => tally.ok += 1,
+                    Verdict::Failed => tally.failed += 1,
+                    Verdict::Shed(reason) => tally.sheds.push(reason),
+                }
+                if !shed {
+                    if let Some(t0) = started[i] {
+                        tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+            }
+        }
+    }
+    tally.unanswered = settled.iter().filter(|s| s.is_none()).count() as u64;
+    tally
+}
+
 /// Percentile by nearest-rank on a sorted slice.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -224,6 +370,15 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<LoadReport, String> {
     let listener =
         TcpListener::bind(("127.0.0.1", 0)).map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+    // Per-run nonce: scopes idempotency keys so two soaks against one
+    // state dir cannot collide, and seeds client backoff jitter.
+    let nonce = std::process::id() as u64
+        ^ std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+    let state_dir = opts
+        .wal
+        .then(|| std::env::temp_dir().join(format!("vsnoop-load-{nonce:016x}")));
     let cfg = ServiceConfig {
         workers: opts.workers,
         queue_cap: opts.queue_cap,
@@ -232,22 +387,60 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
         drain_grace: Duration::from_secs(5),
         cancel_grace: Duration::from_secs(2),
         journal_path: None,
+        wal_path: state_dir.as_ref().map(|d| d.join("wal.jsonl")),
+        ..ServiceConfig::default()
     };
     let server = serve(listener, registry_factory(), cfg).map_err(|e| format!("serve: {e}"))?;
     let addr = server.local_addr();
+    let proxy = match opts.chaos_seed {
+        Some(seed) => Some(
+            ChaosProxy::start(
+                "127.0.0.1:0",
+                ChaosConfig {
+                    upstream: addr.to_string(),
+                    seed,
+                    ..ChaosConfig::default()
+                },
+            )
+            .map_err(|e| format!("chaos proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    let dial = proxy.as_ref().map_or(addr, ChaosProxy::addr);
     progress(&format!(
-        "serving on {addr}: {} clients x {} submits over {} tenants",
-        opts.clients, opts.jobs_per_client, opts.tenants
+        "serving on {addr}{}: {} clients x {} submits over {} tenants{}",
+        match opts.chaos_seed {
+            Some(seed) => format!(" via chaos proxy {dial} (seed {seed})"),
+            None => String::new(),
+        },
+        opts.clients,
+        opts.jobs_per_client,
+        opts.tenants,
+        if opts.wal { ", WAL on" } else { "" },
     ));
 
     let t0 = Instant::now();
+    let chaos = opts.chaos_seed.is_some();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..opts.clients)
             .map(|i| {
                 let tenant = format!("tenant{}", i % opts.tenants.max(1));
                 let (jobs, spin_ms, deadline_ms) =
                     (opts.jobs_per_client, opts.spin_ms, opts.deadline_ms);
-                s.spawn(move || run_client(addr, tenant, jobs, spin_ms, deadline_ms))
+                s.spawn(move || {
+                    if chaos {
+                        run_client_chaos(
+                            dial,
+                            tenant,
+                            jobs,
+                            spin_ms,
+                            deadline_ms,
+                            nonce ^ (i as u64) << 32,
+                        )
+                    } else {
+                        run_client(dial, tenant, jobs, spin_ms, deadline_ms)
+                    }
+                })
             })
             .collect();
         handles
@@ -264,6 +457,20 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
     progress("clients done; draining server");
     server.shutdown();
     let _ = server.wait();
+    let chaos_faults = match proxy {
+        Some(p) => {
+            let r = p.stop();
+            progress(&format!(
+                "chaos: {} connections, {} fragments, {} stalls, {} cuts, {} resets",
+                r.connections, r.fragments, r.stalls, r.cuts, r.resets
+            ));
+            r.fragments + r.stalls + r.cuts + r.resets
+        }
+        None => 0,
+    };
+    if let Some(dir) = &state_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     let mut latencies: Vec<f64> = tallies
         .iter()
@@ -295,6 +502,8 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
             0.0
         },
         peak_rss_bytes: peak_rss_bytes(),
+        reconnects: tallies.iter().map(|t| t.reconnects).sum(),
+        chaos_faults,
     })
 }
 
@@ -342,12 +551,42 @@ mod tests {
             queue_cap: 64,
             quota: TenantQuota::default(),
             deadline_ms: 5_000,
+            ..LoadOptions::default()
         };
         let report = run_load(&opts, &mut |_| {}).expect("soak runs");
         assert_eq!(report.requests, 12);
         assert_eq!(report.ok, 12, "all jobs complete: {report:?}");
         assert_eq!(report.unanswered, 0);
         assert!(report.p99_ms > 0.0);
+    }
+
+    #[test]
+    fn chaos_soak_loses_nothing_and_duplicates_nothing() {
+        // Every submit rides a hostile link (torn frames, stalls,
+        // cuts, resets) yet must settle exactly once: ok for every
+        // request, zero unanswered, and the proxy must actually have
+        // injected faults for the run to count as a chaos soak.
+        let opts = LoadOptions {
+            clients: 6,
+            tenants: 2,
+            jobs_per_client: 4,
+            spin_ms: 1,
+            workers: 4,
+            queue_cap: 64,
+            quota: TenantQuota::default(),
+            deadline_ms: 10_000,
+            wal: true,
+            chaos_seed: Some(42),
+        };
+        let report = run_load(&opts, &mut |_| {}).expect("chaos soak runs");
+        assert_eq!(report.unanswered, 0, "no request may be lost: {report:?}");
+        assert_eq!(report.requests, 24);
+        assert_eq!(
+            report.ok + report.failed + report.shed_total(),
+            report.requests,
+            "each request settles exactly once: {report:?}"
+        );
+        assert!(report.chaos_faults > 0, "proxy must inject faults");
     }
 
     #[test]
@@ -367,6 +606,7 @@ mod tests {
                 max_queued_bytes: 1 << 20,
             },
             deadline_ms: 5_000,
+            ..LoadOptions::default()
         };
         let report = run_load(&opts, &mut |_| {}).expect("soak runs");
         assert_eq!(report.unanswered, 0, "no request may go unanswered");

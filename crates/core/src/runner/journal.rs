@@ -143,6 +143,9 @@ impl JournalEntry {
 pub struct Journal {
     path: PathBuf,
     writer: BufWriter<File>,
+    /// `fdatasync` each appended entry (the durable-service path);
+    /// batch campaign runs keep the cheap flush-only default.
+    sync: bool,
 }
 
 impl Journal {
@@ -155,6 +158,19 @@ impl Journal {
     ///
     /// Propagates filesystem errors.
     pub fn open(path: &Path, fresh: bool) -> std::io::Result<Journal> {
+        Self::open_with_sync(path, fresh, false)
+    }
+
+    /// Like [`Journal::open`], but with `sync` every append also
+    /// `fdatasync`s, so a terminal outcome survives power loss — not
+    /// just process death. The service journal opens with `sync`;
+    /// campaign runs stay flush-only (a lost checkpoint there only
+    /// re-runs one job, which is not worth an fsync per entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_with_sync(path: &Path, fresh: bool, sync: bool) -> std::io::Result<Journal> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -170,6 +186,7 @@ impl Journal {
         Ok(Journal {
             path: path.to_path_buf(),
             writer: BufWriter::new(file),
+            sync,
         })
     }
 
@@ -198,7 +215,9 @@ impl Journal {
     }
 
     /// Appends one entry and flushes it to the OS, so a SIGKILL
-    /// immediately afterwards cannot lose it.
+    /// immediately afterwards cannot lose it. When the journal was
+    /// opened with sync (see [`Journal::open_with_sync`]), the entry
+    /// is also `fdatasync`ed to stable storage before returning.
     ///
     /// # Errors
     ///
@@ -206,7 +225,11 @@ impl Journal {
     pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
         self.writer.write_all(entry.to_json_line().as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()
+        self.writer.flush()?;
+        if self.sync {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
     /// Loads all parseable entries from a journal file. A half-written

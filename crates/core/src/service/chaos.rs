@@ -1,0 +1,483 @@
+//! Fault-injecting TCP proxy for soaking the durability contract.
+//!
+//! Sits between a client and the service and mangles the byte stream
+//! in the ways real networks and dying processes do:
+//!
+//! - **fragment** — forwards a chunk one small piece at a time with
+//!   pauses between pieces, so the peer sees torn frames and partial
+//!   writes (a JSONL line split mid-escape, a response delivered one
+//!   byte per read);
+//! - **stall** — stops forwarding for a while (slow-loris: the
+//!   connection is alive but silent);
+//! - **cut** — forwards a *prefix* of the chunk, then closes both
+//!   directions (the client saw half a response line and then EOF);
+//! - **reset** — drops the connection abruptly without forwarding the
+//!   chunk at all.
+//!
+//! Every fault decision comes from a [`SmallRng`] seeded from
+//! `seed ^ connection-id ^ direction`, so a chaos soak replays
+//! identically for a given `--seed`. The proxy never parses the
+//! protocol — it is byte-level on purpose, so faults land at arbitrary
+//! offsets, not at polite frame boundaries.
+//!
+//! The upstream address can be re-resolved per connection from a file
+//! ([`ChaosConfig::upstream_file`]): the kill-9-and-recover smoke
+//! restarts the server on a fresh port and just rewrites the file,
+//! while clients keep dialing the (stable) proxy address.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for the fault injector. Probabilities are per forwarded
+/// chunk, evaluated independently in the order fragment → stall →
+/// cut → reset (at most one fault fires per chunk).
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Fixed upstream address (`host:port`). Ignored when
+    /// [`upstream_file`](ChaosConfig::upstream_file) is set.
+    pub upstream: String,
+    /// Re-resolve the upstream per connection from this file's
+    /// (trimmed) contents — lets a smoke restart the server on a new
+    /// port mid-soak without touching the clients.
+    pub upstream_file: Option<PathBuf>,
+    /// Base RNG seed; each connection/direction derives its own
+    /// deterministic stream from it.
+    pub seed: u64,
+    /// Probability a chunk is forwarded in torn pieces.
+    pub p_fragment: f64,
+    /// Probability of a slow-loris stall before forwarding.
+    pub p_stall: f64,
+    /// Probability the connection is cut after a prefix of the chunk.
+    pub p_cut: f64,
+    /// Probability the connection is dropped without forwarding.
+    pub p_reset: f64,
+    /// Stall duration.
+    pub stall: Duration,
+    /// Pause between torn pieces of a fragmented chunk.
+    pub fragment_pause: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            upstream: String::new(),
+            upstream_file: None,
+            seed: 1,
+            p_fragment: 0.10,
+            p_stall: 0.02,
+            p_cut: 0.01,
+            p_reset: 0.01,
+            stall: Duration::from_millis(150),
+            fragment_pause: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What the proxy did, for smoke logs: without nonzero fault counters
+/// a "chaos" soak proves nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Bytes forwarded (both directions).
+    pub bytes_forwarded: u64,
+    /// Chunks forwarded in torn pieces.
+    pub fragments: u64,
+    /// Slow-loris stalls injected.
+    pub stalls: u64,
+    /// Connections cut mid-chunk.
+    pub cuts: u64,
+    /// Connections reset without forwarding.
+    pub resets: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    bytes_forwarded: AtomicU64,
+    fragments: AtomicU64,
+    stalls: AtomicU64,
+    cuts: AtomicU64,
+    resets: AtomicU64,
+}
+
+/// A running chaos proxy; dropping it does *not* stop the threads —
+/// call [`stop`](ChaosProxy::stop).
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (use port 0 for an ephemeral port) and starts
+    /// proxying every connection to the configured upstream with
+    /// fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(listen: &str, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || accept_loop(listener, cfg, stop, counters))
+                .expect("spawn chaos accept thread")
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address (what clients should dial).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the fault counters so far.
+    pub fn report(&self) -> ChaosReport {
+        ChaosReport {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            bytes_forwarded: self.counters.bytes_forwarded.load(Ordering::Relaxed),
+            fragments: self.counters.fragments.load(Ordering::Relaxed),
+            stalls: self.counters.stalls.load(Ordering::Relaxed),
+            cuts: self.counters.cuts.load(Ordering::Relaxed),
+            resets: self.counters.resets.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down the accept thread, and returns the
+    /// final report. In-flight pump threads notice within their read
+    /// timeout and exit on their own.
+    pub fn stop(mut self) -> ChaosReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.report()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: ChaosConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut conn_id: u64 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                conn_id += 1;
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let upstream_addr = match &cfg.upstream_file {
+                    Some(path) => match std::fs::read_to_string(path) {
+                        Ok(s) => s.trim().to_string(),
+                        Err(_) => {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                    },
+                    None => cfg.upstream.clone(),
+                };
+                let upstream = match TcpStream::connect(&upstream_addr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Upstream down (e.g. between kill -9 and
+                        // restart): drop the client; it retries.
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                };
+                spawn_pumps(client, upstream, &cfg, conn_id, &stop, &counters);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_pumps(
+    client: TcpStream,
+    upstream: TcpStream,
+    cfg: &ChaosConfig,
+    conn_id: u64,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    let pairs = [
+        (client.try_clone(), upstream.try_clone(), 0u64), // client -> upstream
+        (upstream.try_clone(), client.try_clone(), 1u64), // upstream -> client
+    ];
+    for (src, dst, dir) in pairs {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            return;
+        };
+        let cfg = cfg.clone();
+        let stop = Arc::clone(stop);
+        let counters = Arc::clone(counters);
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ conn_id.rotate_left(17) ^ dir);
+        let _ = std::thread::Builder::new()
+            .name(format!("chaos-pump-{conn_id}-{dir}"))
+            .spawn(move || pump(src, dst, cfg, rng, stop, counters));
+    }
+}
+
+/// Forwards `src` → `dst` chunk by chunk, injecting at most one fault
+/// per chunk. Exits on EOF, on any socket error, or when the proxy is
+/// stopped (noticed via the read timeout).
+fn pump(
+    src: TcpStream,
+    dst: TcpStream,
+    cfg: ChaosConfig,
+    mut rng: SmallRng,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut src = src;
+    let mut dst_w = &dst;
+    let _ = src.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let chunk = &buf[..n];
+        if rng.gen_bool(cfg.p_reset) {
+            counters.resets.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        if rng.gen_bool(cfg.p_cut) {
+            counters.cuts.fetch_add(1, Ordering::Relaxed);
+            let keep = rng.gen_range(0usize..n);
+            if keep > 0 && dst_w.write_all(&chunk[..keep]).is_ok() {
+                counters
+                    .bytes_forwarded
+                    .fetch_add(keep as u64, Ordering::Relaxed);
+                let _ = dst_w.flush();
+            }
+            break;
+        }
+        if rng.gen_bool(cfg.p_stall) {
+            counters.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(cfg.stall);
+        }
+        let forwarded = if rng.gen_bool(cfg.p_fragment) && n > 1 {
+            counters.fragments.fetch_add(1, Ordering::Relaxed);
+            let mut off = 0;
+            let mut ok = true;
+            while off < n {
+                let piece = rng.gen_range(1usize..(n - off).min(7) + 1);
+                if dst_w.write_all(&chunk[off..off + piece]).is_err() || dst_w.flush().is_err() {
+                    ok = false;
+                    break;
+                }
+                off += piece;
+                if off < n {
+                    std::thread::sleep(cfg.fragment_pause);
+                }
+            }
+            ok.then_some(off)
+        } else {
+            (dst_w.write_all(chunk).is_ok() && dst_w.flush().is_ok()).then_some(n)
+        };
+        match forwarded {
+            Some(sent) => {
+                counters
+                    .bytes_forwarded
+                    .fetch_add(sent as u64, Ordering::Relaxed);
+            }
+            None => break,
+        }
+    }
+    // Tear down both directions so the peer pump exits too: a
+    // half-proxied connection would otherwise hang the client.
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// Plain echo server: one line in, same line out.
+    fn echo_server() -> (std::net::SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        std::thread::spawn(move || {
+                            let mut reader = BufReader::new(conn.try_clone().unwrap());
+                            let mut w = conn;
+                            let mut line = String::new();
+                            while {
+                                line.clear();
+                                reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false)
+                            } {
+                                if w.write_all(line.as_bytes()).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    #[test]
+    fn clean_config_passes_lines_through_unchanged() {
+        let (up_addr, up_stop) = echo_server();
+        let cfg = ChaosConfig {
+            upstream: up_addr.to_string(),
+            p_fragment: 0.0,
+            p_stall: 0.0,
+            p_cut: 0.0,
+            p_reset: 0.0,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", cfg).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"hello world\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(conn.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert_eq!(line, "hello world\n");
+        drop(conn);
+        let report = proxy.stop();
+        assert_eq!(report.connections, 1);
+        assert!(report.bytes_forwarded >= 24, "both directions counted");
+        up_stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn fragmentation_tears_frames_but_preserves_bytes() {
+        let (up_addr, up_stop) = echo_server();
+        let cfg = ChaosConfig {
+            upstream: up_addr.to_string(),
+            seed: 7,
+            p_fragment: 1.0,
+            p_stall: 0.0,
+            p_cut: 0.0,
+            p_reset: 0.0,
+            fragment_pause: Duration::from_micros(100),
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", cfg).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        for i in 0..20 {
+            let msg = format!("line-{i}-{}\n", "x".repeat(64));
+            conn.write_all(msg.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, msg, "torn forwarding must still be lossless");
+        }
+        drop(conn);
+        let report = proxy.stop();
+        assert!(report.fragments > 0, "fragment fault must actually fire");
+        up_stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn reset_fault_drops_the_connection() {
+        let (up_addr, up_stop) = echo_server();
+        let cfg = ChaosConfig {
+            upstream: up_addr.to_string(),
+            seed: 3,
+            p_fragment: 0.0,
+            p_stall: 0.0,
+            p_cut: 0.0,
+            p_reset: 1.0,
+            ..ChaosConfig::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", cfg).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"doomed\n").unwrap();
+        let mut out = Vec::new();
+        // Either an EOF (clean drop) or a read error (RST) — but never
+        // the echoed line.
+        let _ = conn.read_to_end(&mut out);
+        assert!(out.is_empty(), "reset must not forward the chunk");
+        let report = proxy.stop();
+        assert!(report.resets >= 1);
+        up_stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        // Same seed + same traffic → same fault counters.
+        let run = |seed: u64| {
+            let (up_addr, up_stop) = echo_server();
+            let cfg = ChaosConfig {
+                upstream: up_addr.to_string(),
+                seed,
+                p_fragment: 0.5,
+                p_stall: 0.0,
+                p_cut: 0.0,
+                p_reset: 0.0,
+                fragment_pause: Duration::from_micros(50),
+                ..ChaosConfig::default()
+            };
+            let proxy = ChaosProxy::start("127.0.0.1:0", cfg).unwrap();
+            let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            for i in 0..12 {
+                conn.write_all(format!("ping-{i}\n").as_bytes()).unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+            }
+            drop(conn);
+            let report = proxy.stop();
+            up_stop.store(true, Ordering::SeqCst);
+            report.fragments
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

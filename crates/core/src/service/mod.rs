@@ -19,7 +19,12 @@
 //! - [`server`] — the TCP server: accept loop, connection handlers,
 //!   scheduler/watchdog/drain ([`serve`], [`Server`],
 //!   [`ServiceConfig`]);
-//! - [`signal`] — the SIGTERM/SIGINT → drain flag bridge.
+//! - [`signal`] — the SIGTERM/SIGINT → drain flag bridge;
+//! - [`wal`] — the crash-safe write-ahead submission log behind the
+//!   no-loss/no-duplication durability contract ([`Wal`],
+//!   [`WalRecord`], replay + startup compaction);
+//! - [`chaos`] — a fault-injecting TCP proxy (torn frames, stalls,
+//!   resets, drops; seeded) for soaking the durability contract.
 //!
 //! `SERVICE.md` at the repository root is the operator-facing spec:
 //! the full protocol grammar, the quota and backpressure semantics,
@@ -28,11 +33,15 @@
 //!
 //! [`CancelToken`]: crate::runner::CancelToken
 
+pub mod chaos;
 pub mod protocol;
 pub mod quota;
 pub mod server;
 pub mod signal;
+pub mod wal;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosReport};
 pub use protocol::{Request, Response, ShedReason, Submit, TenantStatus};
 pub use quota::{Admission, TenantQuota};
 pub use server::{serve, JobFactory, Server, ServiceConfig, ServiceReport};
+pub use wal::{PendingRecovery, Wal, WalRecord, WalState};

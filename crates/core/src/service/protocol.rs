@@ -89,6 +89,12 @@ pub struct Submit {
     /// Client correlation tag, echoed on every response this request
     /// triggers.
     pub tag: Option<String>,
+    /// Client idempotency key. Two submits with the same key are the
+    /// *same logical request*: the server runs the job once and
+    /// answers later duplicates with the original job id/outcome (the
+    /// retrying client derives these from a per-invocation nonce so a
+    /// resend after a dropped connection can never double-run a job).
+    pub idem_key: Option<String>,
 }
 
 impl Request {
@@ -122,6 +128,10 @@ impl Request {
                     params: v.get("params").cloned().unwrap_or(Value::Null),
                     deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
                     tag: v.get("tag").and_then(Value::as_str).map(str::to_string),
+                    idem_key: v
+                        .get("idem_key")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
                 }))
             }
             "status" => Ok(Request::Status),
@@ -200,6 +210,22 @@ pub fn error(message: &str, tag: &Option<String>) -> String {
     let mut pairs = vec![
         ("ok", Value::Bool(false)),
         ("type", Value::Str("error".into())),
+        ("message", Value::Str(message.to_string())),
+    ];
+    push_tag(&mut pairs, tag);
+    Value::obj(pairs).to_json()
+}
+
+/// `error` with a machine-readable `code` and an explicit `retryable`
+/// flag, for faults a client program must branch on (`oversized_frame`
+/// is permanent; `wal_failed` is worth retrying — the job was admitted
+/// but its durability record could not be written).
+pub fn error_coded(message: &str, code: &str, retryable: bool, tag: &Option<String>) -> String {
+    let mut pairs = vec![
+        ("ok", Value::Bool(false)),
+        ("type", Value::Str("error".into())),
+        ("code", Value::Str(code.to_string())),
+        ("retryable", Value::Bool(retryable)),
         ("message", Value::Str(message.to_string())),
     ];
     push_tag(&mut pairs, tag);
@@ -325,6 +351,12 @@ pub enum Response {
     Error {
         /// Human-readable message.
         message: String,
+        /// Machine-readable code, when the server attached one
+        /// (`oversized_frame`, `wal_failed`, `subscriber_lagged`).
+        code: Option<String>,
+        /// Whether retrying the request can succeed. Plain validation
+        /// errors default to `false` — resending bad JSON stays bad.
+        retryable: bool,
         /// Echoed client tag.
         tag: Option<String>,
     },
@@ -405,6 +437,8 @@ impl Response {
                     .and_then(Value::as_str)
                     .unwrap_or("")
                     .to_string(),
+                code: v.get("code").and_then(Value::as_str).map(str::to_string),
+                retryable: v.get("retryable").and_then(Value::as_bool).unwrap_or(false),
                 tag,
             }),
             "pong" => Ok(Response::Pong),
@@ -453,6 +487,44 @@ mod tests {
         assert_eq!(s.params.get("warmup").and_then(Value::as_u64), Some(10));
         assert_eq!(s.deadline_ms, Some(500));
         assert_eq!(s.tag.as_deref(), Some("t1"));
+        assert_eq!(s.idem_key, None, "idem_key is optional");
+    }
+
+    #[test]
+    fn submit_carries_idempotency_key() {
+        let line = r#"{"op":"submit","tenant":"acme","job":"fig2","idem_key":"run9-3"}"#;
+        let Request::Submit(s) = Request::parse(line).unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(s.idem_key.as_deref(), Some("run9-3"));
+    }
+
+    #[test]
+    fn coded_errors_round_trip() {
+        let line = error_coded("frame too large", "oversized_frame", false, &None);
+        match Response::parse(&line).unwrap() {
+            Response::Error {
+                message,
+                code,
+                retryable,
+                ..
+            } => {
+                assert_eq!(message, "frame too large");
+                assert_eq!(code.as_deref(), Some("oversized_frame"));
+                assert!(!retryable);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Plain errors have no code and are not retryable.
+        match Response::parse(&error("bad JSON", &None)).unwrap() {
+            Response::Error {
+                code, retryable, ..
+            } => {
+                assert_eq!(code, None);
+                assert!(!retryable);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

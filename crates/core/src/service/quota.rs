@@ -153,6 +153,19 @@ impl<T> Admission<T> {
         Ok(())
     }
 
+    /// Re-enqueues a job recovered from the write-ahead log under its
+    /// original tenant accounting, **bypassing the shed checks**: the
+    /// job was already admitted (and its acceptance acknowledged to
+    /// the client) before the crash, so refusing it now would break
+    /// the no-loss contract. Quota caps still bind for *new* work; the
+    /// restored backlog simply counts against them.
+    pub fn restore(&mut self, tenant: &str, job: T, bytes: usize) {
+        let state = self.tenants.entry(tenant.to_string()).or_default();
+        state.queue.push(Queued { job, bytes });
+        state.queued_bytes += bytes;
+        self.queued_total += 1;
+    }
+
     /// Picks the next job to dispatch, or `None` if every tenant with
     /// queued work is at its in-flight quota (or nothing is queued).
     ///
@@ -345,6 +358,23 @@ mod tests {
         assert_eq!(evicted, vec![("a".into(), 1), ("b".into(), 2)]);
         assert_eq!(a.queued_total(), 0);
         assert_eq!(a.next_dispatch(), None);
+    }
+
+    #[test]
+    fn restore_bypasses_caps_but_counts_against_them() {
+        let mut a = Admission::new(1, quota(8, 1, 5));
+        a.offer("t", 1, 5).unwrap();
+        // Recovery ignores the global cap, the tenant depth cap and
+        // the byte cap — this work was admitted before the crash.
+        a.restore("t", 2, 10);
+        a.restore("u", 3, 1);
+        assert_eq!(a.queued_total(), 3);
+        // New offers now see the restored backlog in every counter.
+        assert_eq!(a.offer("t", 4, 1), Err(ShedReason::QueueFull));
+        let order: Vec<i32> = std::iter::from_fn(|| a.next_dispatch())
+            .map(|(_, job)| job)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2], "restored jobs dispatch normally");
     }
 
     #[test]

@@ -38,13 +38,13 @@
 //! abandoned (journaled as cancelled) so shutdown completes in bounded
 //! time no matter what a job does.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -53,6 +53,7 @@ use crate::runner::{CancelToken, Cancelled, Job, JobCtx, JobError, Journal};
 
 use super::protocol::{self, Request, Submit, TenantStatus};
 use super::quota::{Admission, TenantQuota};
+use super::wal::{Wal, WalRecord, WalState};
 
 /// Builds a runnable [`Job`] from a submit request, or a client-visible
 /// error message (unknown job name, bad parameters). The bench
@@ -81,6 +82,31 @@ pub struct ServiceConfig {
     /// Journal of every accepted job's terminal outcome (`None`
     /// disables journaling).
     pub journal_path: Option<PathBuf>,
+    /// Write-ahead submission log (`None` disables durability): every
+    /// `accepted` is fsynced here before the client sees it, and every
+    /// terminal outcome before its `done`.
+    pub wal_path: Option<PathBuf>,
+    /// Replay the WAL on startup, re-enqueueing non-terminal jobs
+    /// under their original tenants (no-op without a WAL, or on a
+    /// fresh log). On by default: an operator who configures a WAL
+    /// wants the jobs in it to run.
+    pub recover: bool,
+    /// `fdatasync` WAL appends (group-committed) and journal terminal
+    /// entries. Off trades power-loss durability for speed — crash
+    /// safety against process death (kill -9) is retained either way,
+    /// since both logs flush per line.
+    pub sync: bool,
+    /// Longest request line accepted, in bytes; longer frames get a
+    /// typed `oversized_frame` error and are discarded without ever
+    /// being buffered whole.
+    pub max_frame_bytes: usize,
+    /// Completed idempotency-key entries retained for dedup (oldest
+    /// evicted first; also the compaction bound for completed pairs
+    /// kept in the WAL across restarts).
+    pub idem_cap: usize,
+    /// Telemetry records buffered per subscriber before it is declared
+    /// lagged and disconnected.
+    pub sub_buffer: usize,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +119,12 @@ impl Default for ServiceConfig {
             drain_grace: Duration::from_secs(5),
             cancel_grace: Duration::from_secs(2),
             journal_path: None,
+            wal_path: None,
+            recover: true,
+            sync: true,
+            max_frame_bytes: 64 * 1024,
+            idem_cap: 1024,
+            sub_buffer: 256,
         }
     }
 }
@@ -107,6 +139,8 @@ pub struct ServiceReport {
     /// Jobs cancelled by the drain (queued evictions + token cancels +
     /// abandons).
     pub cancelled: u64,
+    /// Jobs re-enqueued from the write-ahead log at startup.
+    pub recovered: u64,
 }
 
 /// A connection's write side, shared between its handler thread, the
@@ -125,13 +159,17 @@ fn send_line(writer: &ConnWriter, line: &str) {
         .and_then(|()| stream.flush());
 }
 
-/// An admitted-but-undispatched job.
+/// An admitted-but-undispatched job. `writer` is `None` for jobs
+/// re-enqueued from the WAL at startup — their submitting connection
+/// died with the old process; a resubmit with the same idempotency key
+/// re-attaches via the waiter list.
 struct Pending {
     job_id: u64,
     job: Job,
     deadline: Duration,
     tag: Option<String>,
-    writer: ConnWriter,
+    idem_key: Option<String>,
+    writer: Option<ConnWriter>,
 }
 
 /// Why a running job's token was cancelled.
@@ -150,7 +188,8 @@ struct Running {
     deadline: Instant,
     limit_ms: u64,
     tag: Option<String>,
-    writer: ConnWriter,
+    idem_key: Option<String>,
+    writer: Option<ConnWriter>,
     cancel_cause: Option<CancelCause>,
     cancelled_at: Option<Instant>,
 }
@@ -165,6 +204,65 @@ enum WorkerOutcome {
     CancelUnwind,
 }
 
+/// One idempotency key's lifecycle. Keys move `InFlight` → `Done` and
+/// are then retained (bounded by `idem_cap`) so a late resubmission
+/// gets the original outcome instead of a second run.
+enum IdemState {
+    /// The keyed job is queued or running under this id.
+    InFlight { job_id: u64 },
+    Done {
+        job_id: u64,
+        job: String,
+        outcome: Result<String, JobError>,
+    },
+}
+
+/// The idempotency-key table: key → lifecycle state, with FIFO
+/// eviction of completed entries once past the cap. In-flight entries
+/// are never evicted — they are exactly the keys a reconnecting client
+/// is about to resend.
+#[derive(Default)]
+struct IdemMap {
+    entries: HashMap<String, IdemState>,
+    done_order: VecDeque<String>,
+}
+
+impl IdemMap {
+    /// Marks `key` completed, evicting the oldest completed entries
+    /// beyond `cap`.
+    fn record_done(
+        &mut self,
+        key: String,
+        job_id: u64,
+        job: String,
+        outcome: Result<String, JobError>,
+        cap: usize,
+    ) {
+        self.entries.insert(
+            key.clone(),
+            IdemState::Done {
+                job_id,
+                job,
+                outcome,
+            },
+        );
+        self.done_order.push_back(key);
+        while self.done_order.len() > cap {
+            if let Some(old) = self.done_order.pop_front() {
+                if matches!(self.entries.get(&old), Some(IdemState::Done { .. })) {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Extra connections waiting on a job's terminal outcome: resubmits of
+/// an in-flight idempotency key (typically a client that reconnected
+/// after losing the original connection). Each waiter gets the `done`
+/// line with its own tag.
+type Waiters = HashMap<u64, Vec<(ConnWriter, Option<String>)>>;
+
 /// State shared by the accept loop, connection handlers and scheduler.
 struct Shared {
     admission: Mutex<Admission<Pending>>,
@@ -175,6 +273,15 @@ struct Shared {
     done: AtomicBool,
     next_job_id: AtomicU64,
     cancelled: AtomicU64,
+    recovered: AtomicU64,
+    /// Lock order where both are held: `idem` before `waiters`. That
+    /// makes "saw InFlight → registered waiter" atomic against the
+    /// scheduler's "record done → drain waiters", closing the window
+    /// where a resubmit could register after the drain and wait
+    /// forever.
+    idem: Mutex<IdemMap>,
+    waiters: Mutex<Waiters>,
+    wal: Option<Wal>,
     cfg: ServiceConfig,
     factory: JobFactory,
 }
@@ -250,6 +357,12 @@ impl Server {
 
 /// Starts serving on `listener`. Returns immediately; the server runs
 /// on background threads until a drain completes.
+///
+/// When a WAL is configured, startup first replays it (unless
+/// `recover` is off), compacts it, and re-enqueues every non-terminal
+/// job under its original tenant and job id — all *before* the accept
+/// loop starts, so recovered work is ahead of new submits and job-id
+/// allocation resumes above the high-water mark.
 pub fn serve(
     listener: TcpListener,
     factory: JobFactory,
@@ -257,15 +370,99 @@ pub fn serve(
 ) -> std::io::Result<Server> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    // --- WAL replay + compaction (before any thread starts). ---
+    let mut wal = None;
+    let mut state = WalState::default();
+    if let Some(path) = &cfg.wal_path {
+        if cfg.recover {
+            state = Wal::replay(path)?;
+            Wal::compact(path, &state, cfg.idem_cap)?;
+        }
+        wal = Some(Wal::open(path, cfg.sync)?);
+    }
+    let mut idem = IdemMap::default();
+    for (key, rec) in std::mem::take(&mut state.completed) {
+        idem.record_done(key, rec.job_id, rec.job, rec.outcome, cfg.idem_cap);
+    }
+
     let shared = Arc::new(Shared {
         admission: Mutex::new(Admission::new(cfg.queue_cap, cfg.quota)),
         stop: AtomicBool::new(false),
         done: AtomicBool::new(false),
-        next_job_id: AtomicU64::new(1),
+        next_job_id: AtomicU64::new(state.max_job_id + 1),
         cancelled: AtomicU64::new(0),
+        recovered: AtomicU64::new(0),
+        idem: Mutex::new(idem),
+        waiters: Mutex::new(Waiters::new()),
+        wal,
         cfg: cfg.clone(),
         factory,
     });
+
+    // --- Re-enqueue the recovered backlog. Jobs whose factory no
+    // longer recognizes them (registry changed across the restart)
+    // are terminally failed instead — durably, so they never replay
+    // again — and journaled by the scheduler at startup.
+    let mut unbuildable: Vec<(String, u64, String, Option<String>, JobError)> = Vec::new();
+    for p in state.pending {
+        let submit = Submit {
+            tenant: p.tenant.clone(),
+            job: p.job.clone(),
+            params: p.params.clone(),
+            deadline_ms: p.deadline_ms,
+            tag: None,
+            idem_key: p.idem_key.clone(),
+        };
+        match (shared.factory)(&submit) {
+            Ok(job) => {
+                if let Some(key) = &p.idem_key {
+                    let mut idem = shared.idem.lock().unwrap_or_else(|e| e.into_inner());
+                    idem.entries
+                        .insert(key.clone(), IdemState::InFlight { job_id: p.job_id });
+                }
+                let pending = Pending {
+                    job_id: p.job_id,
+                    job,
+                    deadline: p
+                        .deadline_ms
+                        .map_or(cfg.default_deadline, Duration::from_millis),
+                    tag: None,
+                    idem_key: p.idem_key.clone(),
+                    writer: None,
+                };
+                {
+                    let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
+                    adm.restore(&p.tenant, pending, p.bytes as usize);
+                }
+                if let Some(w) = &shared.wal {
+                    w.append(&WalRecord::Recovered { job_id: p.job_id })?;
+                }
+                if crate::obs::telemetry_active() {
+                    crate::obs::telemetry::emit(
+                        "service_recovered",
+                        vec![
+                            ("job_id", Value::UInt(p.job_id)),
+                            ("tenant", Value::Str(p.tenant.clone())),
+                            ("job", Value::Str(p.job.clone())),
+                        ],
+                    );
+                }
+                shared.recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                unbuildable.push((
+                    p.tenant.clone(),
+                    p.job_id,
+                    p.job.clone(),
+                    p.idem_key.clone(),
+                    JobError::Failed {
+                        message: format!("recovery: job no longer buildable: {message}"),
+                    },
+                ));
+            }
+        }
+    }
 
     // Completions flow from worker threads to the scheduler; the
     // scheduler owns the receiver and a template sender for workers.
@@ -275,7 +472,7 @@ pub fn serve(
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("vsnoop-svc-sched".into())
-            .spawn(move || scheduler_loop(&shared, tx, rx))?
+            .spawn(move || scheduler_loop(&shared, tx, rx, unbuildable))?
     };
 
     let accept = {
@@ -321,6 +518,76 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// One step of the bounded frame reader.
+enum Frame {
+    /// A complete line landed in the caller's buffer.
+    Line,
+    /// A line exceeded the frame cap; its bytes were discarded as they
+    /// streamed in (never buffered whole) and the terminating newline
+    /// has been consumed.
+    Oversized,
+    /// Read timeout with no complete line (partial bytes are kept).
+    Idle,
+    /// EOF or a hard socket error.
+    Closed,
+}
+
+/// Reads up to one `\n`-terminated frame into `line`, enforcing `max`
+/// bytes. Unlike `read_line`, an over-long frame costs O(max) memory,
+/// not O(frame): once the cap is crossed the rest of the line streams
+/// through a fixed-size buffer straight to the floor (`discarding`
+/// carries that state across idle timeouts).
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    max: usize,
+    discarding: &mut bool,
+) -> Frame {
+    loop {
+        let (consumed, result) = {
+            let buf = match reader.fill_buf() {
+                Ok([]) => return Frame::Closed,
+                Ok(buf) => buf,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Frame::Idle;
+                }
+                Err(_) => return Frame::Closed,
+            };
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let overflow = *discarding || line.len() + pos > max;
+                    if overflow {
+                        *discarding = false;
+                        line.clear();
+                        (pos + 1, Some(Frame::Oversized))
+                    } else {
+                        line.extend_from_slice(&buf[..pos]);
+                        (pos + 1, Some(Frame::Line))
+                    }
+                }
+                None => {
+                    if !*discarding {
+                        if line.len() + buf.len() > max {
+                            *discarding = true;
+                            line.clear();
+                        } else {
+                            line.extend_from_slice(buf);
+                        }
+                    }
+                    (buf.len(), None)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if let Some(frame) = result {
+            return frame;
+        }
+    }
+}
+
 /// Serves one connection: reads JSONL requests until EOF (or until the
 /// drain completes on an idle connection) and answers each one.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
@@ -329,22 +596,36 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
     let mut tap_id: Option<u64> = None;
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF: client closed.
-            Ok(_) => {
-                let trimmed = line.trim();
+        match read_frame(
+            &mut reader,
+            &mut line,
+            shared.cfg.max_frame_bytes,
+            &mut discarding,
+        ) {
+            Frame::Line => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
                 if !trimmed.is_empty() {
                     handle_request(trimmed, &writer, shared, &mut tap_id);
                 }
                 line.clear();
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
+            Frame::Oversized => {
+                send_line(
+                    &writer,
+                    &protocol::error_coded(
+                        &format!("request line exceeds {} bytes", shared.cfg.max_frame_bytes),
+                        "oversized_frame",
+                        false,
+                        &None,
+                    ),
+                );
+            }
+            Frame::Idle => {
                 // Idle poll; any partial line read before the timeout
                 // stays in `line` and completes on a later read. Once
                 // the drain has fully completed there is nothing left
@@ -353,7 +634,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
             }
-            Err(_) => break,
+            Frame::Closed => break,
         }
     }
     if let Some(id) = tap_id {
@@ -389,38 +670,119 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
                 return;
             }
             send_line(writer, &protocol::subscribed());
-            // Tap → unbounded channel → pump thread → socket. The tap
-            // itself never blocks, so a slow subscriber cannot stall
-            // telemetry producers; the pump absorbs the latency and
-            // drops the subscription on write failure.
-            let (tx, rx) = channel::<String>();
+            // Tap → *bounded* channel → pump thread → socket. The tap
+            // never blocks (telemetry producers hold the tap lock while
+            // emitting, so a stalled subscriber must cost them nothing):
+            // when the buffer is full the tap just raises the lagged
+            // flag. The pump notices, emits `subscriber_lagged`, and
+            // disconnects the subscription — the tap closure itself
+            // cannot call `remove_tap`, which takes the lock `emit` is
+            // already holding when it invokes taps.
+            let (tx, rx) = sync_channel::<String>(shared.cfg.sub_buffer);
+            let lagged = Arc::new(AtomicBool::new(false));
+            let lag_flag = Arc::clone(&lagged);
             let id = crate::obs::telemetry::add_tap(move |record| {
-                let _ = tx.send(record.to_string());
+                if lag_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Err(TrySendError::Full(_)) = tx.try_send(record.to_string()) {
+                    lag_flag.store(true, Ordering::Relaxed);
+                }
             });
             *tap_id = Some(id);
             let pump_writer = Arc::clone(writer);
             let _ = std::thread::Builder::new()
                 .name("vsnoop-svc-sub".into())
-                .spawn(move || {
-                    for record in rx {
-                        let mut stream = pump_writer.lock().unwrap_or_else(|e| e.into_inner());
-                        let ok = stream
-                            .write_all(record.as_bytes())
-                            .and_then(|()| stream.write_all(b"\n"))
-                            .and_then(|()| stream.flush())
-                            .is_ok();
-                        if !ok {
-                            crate::obs::telemetry::remove_tap(id);
-                            return;
+                .spawn(move || loop {
+                    if lagged.load(Ordering::Relaxed) {
+                        crate::obs::telemetry::remove_tap(id);
+                        if crate::obs::telemetry_active() {
+                            crate::obs::telemetry::emit(
+                                "subscriber_lagged",
+                                vec![("tap", Value::UInt(id))],
+                            );
                         }
+                        send_line(
+                            &pump_writer,
+                            &protocol::error_coded(
+                                "subscriber lagged; subscription dropped",
+                                "subscriber_lagged",
+                                true,
+                                &None,
+                            ),
+                        );
+                        return;
+                    }
+                    match rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(record) => {
+                            let mut stream = pump_writer.lock().unwrap_or_else(|e| e.into_inner());
+                            let ok = stream
+                                .write_all(record.as_bytes())
+                                .and_then(|()| stream.write_all(b"\n"))
+                                .and_then(|()| stream.flush())
+                                .is_ok();
+                            if !ok {
+                                crate::obs::telemetry::remove_tap(id);
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        // Tap removed elsewhere (connection closed).
+                        Err(RecvTimeoutError::Disconnected) => return,
                     }
                 });
         }
     }
 }
 
-/// Admission for one submit: build the job, offer it, answer.
+/// Admission for one submit: dedup on the idempotency key, build the
+/// job, offer it, make the acceptance durable, answer.
+///
+/// Durability ordering: the WAL `accepted` record is written *and
+/// fsynced* before the `accepted` line goes out — a client that has
+/// seen `accepted` owns a job that survives any crash. If the WAL
+/// write fails the client gets a retryable `wal_failed` error instead
+/// (the job still runs, and a keyed retry dedups against it, so the
+/// failure degrades durability without breaking no-duplication).
 fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc<Shared>) {
+    // Idempotency dedup first: a duplicate must be answered from the
+    // original run even when the server is draining or the queue is
+    // full — the original acceptance already promised the work.
+    if let Some(key) = &submit.idem_key {
+        let idem = shared.idem.lock().unwrap_or_else(|e| e.into_inner());
+        match idem.entries.get(key) {
+            Some(IdemState::Done {
+                job_id,
+                job,
+                outcome,
+            }) => {
+                let (job_id, line) = (*job_id, protocol::done(*job_id, job, outcome, &submit.tag));
+                drop(idem);
+                emit_idem_hit(shared, job_id, &submit, "done");
+                send_line(writer, &protocol::accepted(job_id, &submit.tag));
+                send_line(writer, &line);
+                return;
+            }
+            Some(IdemState::InFlight { job_id }) => {
+                let job_id = *job_id;
+                // Still holding `idem`: the scheduler cannot record
+                // this key done (it takes `idem` first), so the waiter
+                // we register below is guaranteed to be drained.
+                {
+                    let mut waiters = shared.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    waiters
+                        .entry(job_id)
+                        .or_default()
+                        .push((Arc::clone(writer), submit.tag.clone()));
+                }
+                drop(idem);
+                emit_idem_hit(shared, job_id, &submit, "in_flight");
+                send_line(writer, &protocol::accepted(job_id, &submit.tag));
+                return;
+            }
+            None => {}
+        }
+    }
     let job = match (shared.factory)(&submit) {
         Ok(job) => job,
         Err(message) => {
@@ -432,12 +794,50 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
         .deadline_ms
         .map_or(shared.cfg.default_deadline, Duration::from_millis);
     let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    if let Some(key) = &submit.idem_key {
+        let mut idem = shared.idem.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing duplicate may have won between our peek and now;
+        // defer to it exactly as the peek would have.
+        match idem.entries.get(key) {
+            Some(IdemState::Done {
+                job_id,
+                job,
+                outcome,
+            }) => {
+                let (existing, line) =
+                    (*job_id, protocol::done(*job_id, job, outcome, &submit.tag));
+                drop(idem);
+                emit_idem_hit(shared, existing, &submit, "race");
+                send_line(writer, &protocol::accepted(existing, &submit.tag));
+                send_line(writer, &line);
+                return;
+            }
+            Some(IdemState::InFlight { job_id }) => {
+                let existing = *job_id;
+                {
+                    let mut waiters = shared.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                    waiters
+                        .entry(existing)
+                        .or_default()
+                        .push((Arc::clone(writer), submit.tag.clone()));
+                }
+                drop(idem);
+                emit_idem_hit(shared, existing, &submit, "race");
+                send_line(writer, &protocol::accepted(existing, &submit.tag));
+                return;
+            }
+            None => {}
+        }
+        idem.entries
+            .insert(key.clone(), IdemState::InFlight { job_id });
+    }
     let pending = Pending {
         job_id,
         job,
         deadline,
         tag: submit.tag.clone(),
-        writer: Arc::clone(writer),
+        idem_key: submit.idem_key.clone(),
+        writer: Some(Arc::clone(writer)),
     };
     let offered = {
         let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
@@ -445,6 +845,30 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
     };
     match offered {
         Ok(()) => {
+            if let Some(w) = &shared.wal {
+                let record = WalRecord::Accepted {
+                    job_id,
+                    tenant: submit.tenant.clone(),
+                    job: submit.job.clone(),
+                    params: submit.params.clone(),
+                    deadline_ms: submit.deadline_ms,
+                    idem_key: submit.idem_key.clone(),
+                    bytes: bytes as u64,
+                };
+                if let Err(e) = w.append(&record) {
+                    eprintln!("service: wal append failed for job {job_id}: {e}");
+                    send_line(
+                        writer,
+                        &protocol::error_coded(
+                            "acceptance could not be made durable; retry",
+                            "wal_failed",
+                            true,
+                            &submit.tag,
+                        ),
+                    );
+                    return;
+                }
+            }
             if crate::obs::telemetry_active() {
                 crate::obs::telemetry::emit(
                     "service_admit",
@@ -458,6 +882,15 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
             send_line(writer, &protocol::accepted(job_id, &submit.tag));
         }
         Err(reason) => {
+            // The key never entered flight: forget it so a later
+            // (post-backoff) retry is a fresh submission.
+            if let Some(key) = &submit.idem_key {
+                let mut idem = shared.idem.lock().unwrap_or_else(|e| e.into_inner());
+                if matches!(idem.entries.get(key), Some(IdemState::InFlight { job_id: id }) if *id == job_id)
+                {
+                    idem.entries.remove(key);
+                }
+            }
             if crate::obs::telemetry_active() {
                 crate::obs::telemetry::emit(
                     "service_shed",
@@ -473,18 +906,54 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
     }
 }
 
+/// Telemetry for a deduplicated (idempotency-key) submit.
+fn emit_idem_hit(shared: &Arc<Shared>, job_id: u64, submit: &Submit, phase: &str) {
+    let _ = shared;
+    if crate::obs::telemetry_active() {
+        crate::obs::telemetry::emit(
+            "service_idem_hit",
+            vec![
+                ("job_id", Value::UInt(job_id)),
+                ("tenant", Value::Str(submit.tenant.clone())),
+                ("job", Value::Str(submit.job.clone())),
+                ("phase", Value::Str(phase.to_string())),
+            ],
+        );
+    }
+}
+
 /// The scheduler: dispatch, deadlines, completions, drain.
 fn scheduler_loop(
     shared: &Arc<Shared>,
     tx: Sender<(u64, WorkerOutcome)>,
     rx: Receiver<(u64, WorkerOutcome)>,
+    unbuildable: Vec<(String, u64, String, Option<String>, JobError)>,
 ) -> ServiceReport {
     let mut journal = shared.cfg.journal_path.as_deref().and_then(|p| {
-        Journal::open(p, false)
+        Journal::open_with_sync(p, false, shared.cfg.sync)
             .map_err(|e| eprintln!("service: journal {}: {e}", p.display()))
             .ok()
     });
     let mut running: HashMap<u64, Running> = HashMap::new();
+
+    // Recovered jobs whose factory rejected them (the registry changed
+    // across the restart): give them a durable terminal outcome right
+    // away — "exactly one terminal outcome per accepted job" has to
+    // hold even for work that can no longer run.
+    for (tenant, job_id, name, idem_key, err) in unbuildable {
+        finish_job(
+            shared,
+            &mut journal,
+            &tenant,
+            job_id,
+            &name,
+            0,
+            &None,
+            &idem_key,
+            &None,
+            Err(err),
+        );
+    }
 
     // Service heartbeat: queue/running/shed depth plus the process-wide
     // RSS and warm-pool counters, emitted on the shared obs cadence and
@@ -551,6 +1020,7 @@ fn scheduler_loop(
                     &pending.job.spec.name,
                     pending.job.spec.seed,
                     &pending.tag,
+                    &pending.idem_key,
                     &pending.writer,
                     outcome,
                 );
@@ -595,6 +1065,7 @@ fn scheduler_loop(
                         &run.name,
                         run.seed,
                         &run.tag,
+                        &run.idem_key,
                         &run.writer,
                         outcome,
                     );
@@ -634,6 +1105,7 @@ fn scheduler_loop(
                 &run.name,
                 run.seed,
                 &run.tag,
+                &run.idem_key,
                 &run.writer,
                 outcome,
             );
@@ -672,6 +1144,7 @@ fn scheduler_loop(
             done: adm.done_total(),
             shed: adm.shed_total(),
             cancelled: shared.cancelled.load(Ordering::Relaxed),
+            recovered: shared.recovered.load(Ordering::Relaxed),
         }
     };
     if crate::obs::telemetry_active() {
@@ -681,6 +1154,7 @@ fn scheduler_loop(
                 ("done", Value::UInt(report.done)),
                 ("shed", Value::UInt(report.shed)),
                 ("cancelled", Value::UInt(report.cancelled)),
+                ("recovered", Value::UInt(report.recovered)),
             ],
         );
     }
@@ -713,6 +1187,7 @@ fn dispatch(
         job,
         deadline,
         tag,
+        idem_key,
         writer,
     } = pending;
     let token = CancelToken::new();
@@ -727,6 +1202,7 @@ fn dispatch(
             deadline: Instant::now() + deadline,
             limit_ms,
             tag,
+            idem_key,
             writer,
             cancel_cause: None,
             cancelled_at: None,
@@ -789,6 +1265,7 @@ fn dispatch(
             &run.name,
             run.seed,
             &run.tag,
+            &run.idem_key,
             &run.writer,
             outcome,
         );
@@ -828,17 +1305,24 @@ fn abandon_error(run: &Running) -> JobError {
 }
 
 /// Terminal bookkeeping shared by every completion path: telemetry,
-/// journal entry, `done` response to the submitting connection.
+/// WAL `done` record, journal entry, idempotency-map completion,
+/// `done` responses to the submitting connection and every waiter.
+///
+/// Ordering is the durability contract's other half: the outcome is
+/// made durable (WAL fsync, journal) *before* any client sees `done`,
+/// so an outcome a client has observed can never be re-run after a
+/// restart — that would duplicate the job's side effects.
 #[allow(clippy::too_many_arguments)]
 fn finish_job(
-    _shared: &Arc<Shared>,
+    shared: &Arc<Shared>,
     journal: &mut Option<Journal>,
     tenant: &str,
     job_id: u64,
     name: &str,
     seed: u64,
     tag: &Option<String>,
-    writer: &ConnWriter,
+    idem_key: &Option<String>,
+    writer: &Option<ConnWriter>,
     outcome: Result<String, JobError>,
 ) {
     if crate::obs::telemetry_active() {
@@ -856,11 +1340,43 @@ fn finish_job(
             ],
         );
     }
-    send_line(writer, &protocol::done(job_id, name, &outcome, tag));
+    if let Some(w) = &shared.wal {
+        let record = WalRecord::Done {
+            job_id,
+            outcome: outcome.clone(),
+        };
+        if let Err(e) = w.append(&record) {
+            eprintln!("service: wal done append failed for job {job_id}: {e}");
+        }
+    }
     if let Some(j) = journal.as_mut() {
-        let entry = protocol::journal_entry(job_id, name, seed, outcome);
+        let entry = protocol::journal_entry(job_id, name, seed, outcome.clone());
         if let Err(e) = j.append(&entry) {
             eprintln!("service: journal append failed: {e}");
         }
+    }
+    // Record completion in the idem map *before* collecting waiters
+    // (same idem → waiters lock order as submit-side registration): a
+    // duplicate submit either sees InFlight and lands in the waiter
+    // list we are about to drain, or sees Done and answers itself.
+    let waiting = {
+        if let Some(key) = idem_key {
+            let mut idem = shared.idem.lock().unwrap_or_else(|e| e.into_inner());
+            idem.record_done(
+                key.clone(),
+                job_id,
+                name.to_string(),
+                outcome.clone(),
+                shared.cfg.idem_cap,
+            );
+        }
+        let mut waiters = shared.waiters.lock().unwrap_or_else(|e| e.into_inner());
+        waiters.remove(&job_id).unwrap_or_default()
+    };
+    if let Some(w) = writer {
+        send_line(w, &protocol::done(job_id, name, &outcome, tag));
+    }
+    for (w, waiter_tag) in waiting {
+        send_line(&w, &protocol::done(job_id, name, &outcome, &waiter_tag));
     }
 }

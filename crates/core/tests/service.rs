@@ -16,7 +16,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vsnoop::runner::{json::Value, poll_current, scatter, Job, JobError, Journal};
-use vsnoop::service::{serve, JobFactory, Response, Server, ServiceConfig, Submit, TenantQuota};
+use vsnoop::service::{
+    serve, JobFactory, Response, Server, ServiceConfig, Submit, TenantQuota, Wal, WalRecord,
+};
 
 /// A scratch directory unique to one test, cleaned before use.
 fn scratch(test: &str) -> PathBuf {
@@ -93,6 +95,19 @@ impl Conn {
             pairs.push(("deadline_ms", Value::UInt(d)));
         }
         let line = Value::obj(pairs).to_json();
+        self.send(&line);
+    }
+
+    /// Like [`Conn::submit`], with an idempotency key attached.
+    fn submit_keyed(&mut self, tenant: &str, job: &str, key: &str, tag: &str) {
+        let line = Value::obj(vec![
+            ("op", Value::Str("submit".into())),
+            ("tenant", Value::Str(tenant.into())),
+            ("job", Value::Str(job.into())),
+            ("tag", Value::Str(tag.into())),
+            ("idem_key", Value::Str(key.into())),
+        ])
+        .to_json();
         self.send(&line);
     }
 }
@@ -505,4 +520,353 @@ fn shutdown_op_drains_and_sheds_late_submits_as_draining() {
     assert_eq!(report.done, 1);
     assert_eq!(report.shed, 1);
     assert_eq!(report.cancelled, 1);
+}
+
+/// Tentpole: a WAL left by a crashed process (an `accepted` record
+/// with no terminal `done`) is replayed on startup — the job runs to
+/// a durable terminal outcome under its original id, numbering
+/// resumes above the high-water mark, and completions retained by the
+/// WAL keep answering idempotent resubmissions from before the crash.
+#[test]
+fn restart_replays_wal_pending_jobs_and_keeps_idempotency() {
+    let dir = scratch("wal-recovery");
+    let wal_path = dir.join("wal.jsonl");
+    let journal_path = dir.join("journal.jsonl");
+
+    // Hand-write the log of a crashed server: job 3 finished (keyed,
+    // so its completion is retained for dedup), job 7 was accepted but
+    // never reached a terminal record.
+    let crashed = [
+        WalRecord::Accepted {
+            job_id: 3,
+            tenant: "acme".into(),
+            job: "quick".into(),
+            params: Value::Null,
+            deadline_ms: None,
+            idem_key: Some("k-done".into()),
+            bytes: 10,
+        },
+        WalRecord::Done {
+            job_id: 3,
+            outcome: Ok("old output\n".into()),
+        },
+        WalRecord::Accepted {
+            job_id: 7,
+            tenant: "acme".into(),
+            job: "quick".into(),
+            params: Value::Null,
+            deadline_ms: None,
+            idem_key: Some("k-pending".into()),
+            bytes: 10,
+        },
+    ];
+    let mut text = String::new();
+    for r in &crashed {
+        text.push_str(&r.to_json_line());
+        text.push('\n');
+    }
+    std::fs::write(&wal_path, text).expect("seed wal");
+
+    let cfg = ServiceConfig {
+        wal_path: Some(wal_path.clone()),
+        journal_path: Some(journal_path.clone()),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::default()), cfg);
+    let mut conn = Conn::open(&server);
+
+    // The crashed completion still answers its idempotency key — with
+    // the original output, not a re-execution.
+    conn.submit_keyed("acme", "quick", "k-done", "replay");
+    match conn.recv() {
+        Response::Accepted { job_id, tag } => {
+            assert_eq!(job_id, 3);
+            assert_eq!(tag.as_deref(), Some("replay"));
+        }
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match conn.recv() {
+        Response::Done {
+            job_id, outcome, ..
+        } => {
+            assert_eq!(job_id, 3);
+            assert_eq!(outcome.expect("replayed ok"), "old output\n");
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // A resubmission of the *recovered* job dedups against it too
+    // (whether it is still in flight or already finished), and never
+    // runs it a second time.
+    conn.submit_keyed("acme", "quick", "k-pending", "dup");
+    match conn.recv() {
+        Response::Accepted { job_id, .. } => assert_eq!(job_id, 7),
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match conn.recv() {
+        Response::Done {
+            job_id,
+            outcome,
+            tag,
+            ..
+        } => {
+            assert_eq!(job_id, 7);
+            assert_eq!(outcome.expect("recovered job succeeds"), "quick output\n");
+            assert_eq!(tag.as_deref(), Some("dup"));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // Fresh submissions number above the recovered high-water mark.
+    conn.submit("acme", "quick", None, "fresh");
+    match conn.recv() {
+        Response::Accepted { job_id, .. } => {
+            assert!(
+                job_id > 7,
+                "id {job_id} must not collide with recovered ids"
+            );
+        }
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.recovered, 1, "exactly job 7 was re-enqueued");
+
+    // The journal holds the recovered job's terminal outcome under its
+    // original id, exactly once.
+    let entries = Journal::load(&journal_path).expect("journal loads");
+    let for_seven: Vec<_> = entries.iter().filter(|e| e.index == 7).collect();
+    assert_eq!(for_seven.len(), 1, "{entries:?}");
+    assert!(for_seven[0].outcome.is_ok());
+
+    // And the final WAL has no pending work left: nothing was lost.
+    let state = Wal::replay(&wal_path).expect("wal replays");
+    assert!(state.pending.is_empty(), "{:?}", state.pending);
+    assert!(state.max_job_id > 7);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole: a duplicate submit with the same idempotency key — the
+/// retry of a client that never saw its answer — executes the job
+/// once. The duplicate gets the original result, echoed under its own
+/// tag, even from a different connection; a duplicate that lands while
+/// the job is still in flight is parked and answered on completion.
+#[test]
+fn idempotent_resubmission_executes_once_and_answers_every_caller() {
+    let dir = scratch("idem-once");
+    let executions = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    let factory: JobFactory = {
+        let (executions, release, started) = (
+            Arc::clone(&executions),
+            Arc::clone(&release),
+            Arc::clone(&started),
+        );
+        Arc::new(move |submit: &Submit| {
+            let (executions, release, started) = (
+                Arc::clone(&executions),
+                Arc::clone(&release),
+                Arc::clone(&started),
+            );
+            match submit.job.as_str() {
+                "gated" => Ok(Job::new("gated", 1, Value::obj(vec![]), move |_ctx| {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    started.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        poll_current();
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Ok("gated output\n".to_string())
+                })),
+                other => Err(format!("unknown test job {other:?}")),
+            }
+        })
+    };
+    let cfg = ServiceConfig {
+        wal_path: Some(dir.join("wal.jsonl")),
+        ..ServiceConfig::default()
+    };
+    let server = start(factory, cfg);
+
+    let mut first = Conn::open(&server);
+    first.submit_keyed("acme", "gated", "the-key", "first");
+    let original_id = match first.recv() {
+        Response::Accepted { job_id, .. } => job_id,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    wait_for(&started, "the gated job to start");
+
+    // Duplicate while in flight, from a second connection: parked, not
+    // re-executed.
+    let mut second = Conn::open(&server);
+    second.submit_keyed("acme", "gated", "the-key", "second");
+    match second.recv() {
+        Response::Accepted { job_id, tag } => {
+            assert_eq!(job_id, original_id, "the duplicate maps to the same job");
+            assert_eq!(tag.as_deref(), Some("second"));
+        }
+        other => panic!("expected accepted, got {other:?}"),
+    }
+
+    release.store(true, Ordering::SeqCst);
+    for (conn, tag) in [(&mut first, "first"), (&mut second, "second")] {
+        match conn.recv() {
+            Response::Done {
+                job_id,
+                outcome,
+                tag: got,
+                ..
+            } => {
+                assert_eq!(job_id, original_id);
+                assert_eq!(outcome.expect("job succeeds"), "gated output\n");
+                assert_eq!(got.as_deref(), Some(tag), "each caller keeps its own tag");
+            }
+            other => panic!("{tag}: expected done, got {other:?}"),
+        }
+    }
+
+    // Duplicate after completion: replayed from the idempotency map.
+    let mut third = Conn::open(&server);
+    third.submit_keyed("acme", "gated", "the-key", "third");
+    match third.recv() {
+        Response::Accepted { job_id, .. } => assert_eq!(job_id, original_id),
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match third.recv() {
+        Response::Done { outcome, tag, .. } => {
+            assert_eq!(outcome.expect("replayed ok"), "gated output\n");
+            assert_eq!(tag.as_deref(), Some("third"));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "three submits, one execution"
+    );
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a request line longer than `max_frame_bytes` is answered
+/// with a typed, non-retryable `oversized_frame` error — one error for
+/// the whole frame, however many reads it spanned — and the connection
+/// stays usable for well-behaved frames afterwards.
+#[test]
+fn oversized_frames_get_typed_error_and_the_connection_survives() {
+    let cfg = ServiceConfig {
+        max_frame_bytes: 1024,
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::default()), cfg);
+    let mut conn = Conn::open(&server);
+
+    // 64 KiB of garbage on one line: far past the cap, so the server
+    // must stream it to the floor rather than buffer it.
+    let huge = "x".repeat(64 * 1024);
+    conn.send(&huge);
+    match conn.recv() {
+        Response::Error {
+            code,
+            retryable,
+            message,
+            ..
+        } => {
+            assert_eq!(code.as_deref(), Some("oversized_frame"), "{message}");
+            assert!(!retryable, "resending an oversized frame cannot help");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Exactly one error for the frame, and the connection still works.
+    conn.send(r#"{"op":"ping"}"#);
+    assert_eq!(conn.recv(), Response::Pong);
+    conn.submit("acme", "quick", None, "after");
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Satellite: a subscriber that stops reading cannot wedge the server.
+/// Its pump buffer is bounded; on overflow the server disconnects the
+/// subscriber with a typed `subscriber_lagged` error instead of
+/// blocking telemetry emitters or buffering without bound.
+#[test]
+fn lagged_subscriber_is_disconnected_with_typed_error() {
+    let cfg = ServiceConfig {
+        sub_buffer: 4,
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::default()), cfg);
+
+    let mut sub = Conn::open(&server);
+    sub.send(r#"{"op":"subscribe"}"#);
+    assert_eq!(sub.recv(), Response::Subscribed);
+
+    // Burst far more telemetry than the 4-record buffer holds while
+    // the subscriber reads nothing. Emits are microseconds apart, so
+    // the pump — a socket write per record, eventually blocking on the
+    // unread socket — cannot keep up, and the tap must drop to the
+    // lagged path rather than block this (emitting) thread.
+    for i in 0..50_000u64 {
+        vsnoop::obs::telemetry::emit("spam", vec![("i", Value::UInt(i))]);
+    }
+
+    // The subscriber's stream: buffered telemetry records, then the
+    // typed error. (The TCP connection itself stays open — only the
+    // subscription is dropped.)
+    let mut saw_lagged = false;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut line = String::new();
+    while !saw_lagged {
+        assert!(Instant::now() < deadline, "no lagged error seen");
+        line.clear();
+        match sub.reader.read_line(&mut line) {
+            Ok(0) => panic!("connection closed without the typed error"),
+            Ok(_) if line.trim().is_empty() => continue,
+            Ok(_) => {
+                let v = Value::parse(line.trim()).expect("valid JSON on subscriber stream");
+                if v.get("type").and_then(Value::as_str) == Some("error") {
+                    assert_eq!(
+                        v.get("code").and_then(Value::as_str),
+                        Some("subscriber_lagged"),
+                        "{line}"
+                    );
+                    assert_eq!(
+                        v.get("retryable").and_then(Value::as_bool),
+                        Some(true),
+                        "resubscribing is allowed: {line}"
+                    );
+                    saw_lagged = true;
+                }
+            }
+            Err(e) => panic!("subscriber read: {e}"),
+        }
+    }
+
+    // The server itself is unaffected.
+    let mut conn = Conn::open(&server);
+    conn.send(r#"{"op":"ping"}"#);
+    assert_eq!(conn.recv(), Response::Pong);
+    conn.submit("acme", "quick", None, "after");
+    match conn.recv_terminal() {
+        Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    server.shutdown();
+    server.wait();
 }

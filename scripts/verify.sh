@@ -176,4 +176,79 @@ echo "==> service smoke (overload sheds typed, no hangs)"
 ./target/release/loadtest --clients 8 --tenants 4 --jobs 4 --spin-ms 1 \
   --overload > /dev/null
 
+echo "==> service smoke (chaos proxy soak: seeded faults, nothing lost)"
+# Every client dials through a fault-injecting proxy (torn frames,
+# stalls, cuts, resets — deterministic for the seed) with the WAL on.
+# The retrying clients must still get every request answered exactly
+# once, and the run fails if the proxy injected no faults. The log is
+# kept as a CI artifact.
+CHAOS_LOG=target/campaign/verify-chaos.log
+./target/release/loadtest --clients 6 --tenants 3 --jobs 4 --spin-ms 1 \
+  --chaos --chaos-seed 42 > "$CHAOS_LOG" 2>&1
+grep -q '^chaos: faults=' "$CHAOS_LOG"
+
+echo "==> durability smoke (kill -9 mid-flight, recover, reconcile)"
+# The full crash-safety contract (SERVICE.md "Durability & recovery"):
+# kill -9 a durable server with jobs in flight, restart it on the same
+# state dir, and require (a) the retrying clients to come out whole
+# with --strict, (b) walcheck to reconcile WAL vs journal — every
+# accepted job terminal exactly once, at least one job actually
+# recovered — and (c) the served artifact outputs to be byte-identical
+# to the direct campaign run, crash and all.
+DUR_DIR=target/campaign/verify-durable
+rm -rf "$DUR_DIR"
+mkdir -p "$DUR_DIR"
+VSNOOP_SCALE=quick ./target/release/serve --addr 127.0.0.1:0 \
+  --state-dir "$DUR_DIR/state" \
+  --drain-grace-ms 300 --cancel-grace-ms 2000 \
+  > "$DUR_DIR/serve1.out" 2> "$DUR_DIR/serve1.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$DUR_DIR/serve1.out" 2>/dev/null && break
+  sleep 0.1
+done
+DUR_ADDR=$(awk '/^listening on /{print $3; exit}' "$DUR_DIR/serve1.out")
+[ -n "$DUR_ADDR" ] # the server came up
+# Two tenants; each submits a slow spin (in flight at the kill) plus a
+# real artifact saved with --out for the byte-identity check.
+./target/release/client --addr "$DUR_ADDR" --tenant acme \
+  --submit spin --submit fig2 --spin-ms 1500 \
+  --out "$DUR_DIR/acme" --strict > "$DUR_DIR/acme.out" 2> "$DUR_DIR/acme.err" &
+CLIENT_A_PID=$!
+./target/release/client --addr "$DUR_ADDR" --tenant globex \
+  --submit spin --submit table2 --spin-ms 1500 \
+  --out "$DUR_DIR/globex" --strict > "$DUR_DIR/globex.out" 2> "$DUR_DIR/globex.err" &
+CLIENT_B_PID=$!
+# The WAL is fsynced before each `accepted` ack, so once it holds all
+# four accepted records the spins are mid-flight. Kill without mercy.
+for _ in $(seq 1 100); do
+  [ "$(grep -c '"rec":"accepted"' "$DUR_DIR/state/wal.jsonl" 2>/dev/null)" -ge 4 ] && break
+  sleep 0.1
+done
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# Restart on the same address and state dir: replays the WAL,
+# re-enqueues the unfinished jobs, dedups the clients' resubmissions.
+VSNOOP_SCALE=quick ./target/release/serve --addr "$DUR_ADDR" \
+  --state-dir "$DUR_DIR/state" \
+  --drain-grace-ms 300 --cancel-grace-ms 2000 \
+  > "$DUR_DIR/serve2.out" 2> "$DUR_DIR/serve2.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "$DUR_DIR/serve2.out" 2>/dev/null && break
+  sleep 0.1
+done
+wait "$CLIENT_A_PID" # strict: every job ok despite the crash
+wait "$CLIENT_B_PID"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" # clean drain after recovery
+grep -q '^drained: ' "$DUR_DIR/serve2.out"
+# Reconcile: nothing lost, nothing duplicated, something was recovered.
+./target/release/walcheck \
+  --wal "$DUR_DIR/state/wal.jsonl" --journal "$DUR_DIR/state/journal.jsonl" \
+  --min-jobs 4 --expect-recovered
+# Byte identity across the crash (DIRECT_DIR ran fig2+table2 above).
+cat "$DUR_DIR/acme/fig2.txt" "$DUR_DIR/globex/table2.txt" \
+  | cmp - "$DIRECT_DIR/campaign.txt"
+
 echo "verify.sh: ALL CHECKS PASSED"
