@@ -21,6 +21,20 @@
 //!   tracing overhead. It has no entry in the committed baseline, so
 //!   `--check` never gates on it; compare it against `storm` in the
 //!   same run instead.
+//! * `storm_par1` / `storm_par2` / `storm_par4` / `storm_par8` — the
+//!   *parallel-eligible* storm: the same paper machine and 0.1 ms
+//!   migration storm, but fault-free, checker off, vsnoop-base — the
+//!   profile the batched data-oriented engine accepts (faults and the
+//!   checker are inherently serial, so the checkered `storm` bin cannot
+//!   parallelize). The four bins differ only in
+//!   `Simulator::set_engine_workers`; `storm_par1` pins the serial path
+//!   as the in-run denominator of the reported `storm_par_speedup`
+//!   (storm_par8 vs storm_par1 steps/sec). Worker scaling is bounded by
+//!   physical cores: the committed baseline was captured on a 1-CPU
+//!   container (`nproc` = 1), where all four bins necessarily time the
+//!   same — the ≥3x speedup target at 8 workers is only observable on a
+//!   multi-core host (16-core reference), so `--check` gates each bin
+//!   against its own same-host baseline rather than against the ratio.
 //! * `pinned` — fault-free vsnoop-base with pinned vCPUs: the filtered
 //!   fast path (small destination sets).
 //! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
@@ -34,7 +48,15 @@
 //!   scenario: 32 concurrent clients over 4 tenants submitting short
 //!   cancellable jobs to an in-process server): completed requests/sec
 //!   is the gated throughput, and the bin's JSON carries the p99
-//!   request latency in `p99_ms` alongside its RSS delta.
+//!   request latency in `p99_ms` alongside its RSS delta. The committed
+//!   baseline for this bin is **measured, then de-rated by 25%**
+//!   (throughput floor = 0.75 x the best of repeated measured runs;
+//!   the recorded `p99_ms` is likewise the measured p99 padded +25%):
+//!   the soak schedules real threads against wall-clock deadlines, so
+//!   its run-to-run variance is far above the simulator bins', and a
+//!   raw best-run baseline would flake `--check` on a loaded host. The
+//!   de-rate is deliberately wider than the default 20% `--tolerance`
+//!   so the effective gate is the headroom margin, not the tolerance.
 //! * `campaign_serial` — the identical report set with reuse off and
 //!   one shard worker: the legacy serial path. `campaign` vs
 //!   `campaign_serial` is the measured end-to-end speedup of the
@@ -140,8 +162,9 @@ fn parse_cli() -> Result<Cli, String> {
                     "usage: perf [--out FILE] [--check FILE] [--tolerance PCT] [--rounds N]\n\
                      \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list] \
                      [--trace-dir DIR]\n\
-                     bins: storm, storm_unchecked, storm_traced, pinned, broadcast, campaign, \
-                     campaign_serial, service"
+                     bins: storm, storm_unchecked, storm_traced, storm_par1, storm_par2, \
+                     storm_par4, storm_par8, pinned, broadcast, campaign, campaign_serial, \
+                     service"
                         .into(),
                 );
             }
@@ -255,6 +278,9 @@ struct BinSpec {
     /// Force the observability layer on for this bin (trace files under
     /// `target/perf-trace/`), so its throughput measures the hooks' cost.
     traced: bool,
+    /// Worker count for the batched parallel engine
+    /// ([`Simulator::set_engine_workers`]); 1 pins the serial path.
+    workers: usize,
     drive: Drive,
 }
 
@@ -268,6 +294,7 @@ fn bins() -> Vec<BinSpec> {
             faults: true,
             checker: true,
             traced: false,
+            workers: 1,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -279,6 +306,7 @@ fn bins() -> Vec<BinSpec> {
             faults: true,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -290,6 +318,55 @@ fn bins() -> Vec<BinSpec> {
             faults: true,
             checker: true,
             traced: true,
+            workers: 1,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_par1",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 1,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_par2",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 2,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_par4",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 4,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_par8",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 8,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -301,6 +378,7 @@ fn bins() -> Vec<BinSpec> {
             faults: false,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -309,6 +387,7 @@ fn bins() -> Vec<BinSpec> {
             faults: false,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -317,6 +396,7 @@ fn bins() -> Vec<BinSpec> {
             faults: false,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Campaign { reuse: true },
         },
         BinSpec {
@@ -325,6 +405,7 @@ fn bins() -> Vec<BinSpec> {
             faults: false,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Campaign { reuse: false },
         },
         BinSpec {
@@ -333,6 +414,7 @@ fn bins() -> Vec<BinSpec> {
             faults: false,
             checker: false,
             traced: false,
+            workers: 1,
             drive: Drive::Service,
         },
     ]
@@ -527,6 +609,7 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     let rss_before = peak_rss_bytes();
     let cfg = SystemConfig::paper_default();
     let mut sim = Simulator::new(cfg, spec.policy, ContentPolicy::Broadcast);
+    sim.set_engine_workers(spec.workers);
     if spec.faults {
         sim.set_fault_plan(FaultPlan::all(seed));
     }
@@ -627,6 +710,16 @@ fn campaign_speedup(results: &[BinResult]) -> Option<f64> {
     (fast.best_elapsed_s > 0.0).then(|| serial.best_elapsed_s / fast.best_elapsed_s)
 }
 
+/// The `storm_par8` / `storm_par1` steps/sec ratio, when both ran: the
+/// batched parallel engine's measured scaling on *this* host (1.0-ish
+/// on a single-core container; the ≥3x target applies to the 16-core
+/// reference host).
+fn storm_par_speedup(results: &[BinResult]) -> Option<f64> {
+    let get = |n: &str| results.iter().find(|r| r.name == n);
+    let (par, serial) = (get("storm_par8")?, get("storm_par1")?);
+    (serial.steps_per_sec > 0.0).then(|| par.steps_per_sec / serial.steps_per_sec)
+}
+
 fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
     let mut fields = vec![
         ("schema", Value::Str(SCHEMA.into())),
@@ -640,6 +733,9 @@ fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
     ];
     if let Some(speedup) = campaign_speedup(results) {
         fields.push(("campaign_speedup", Value::Float(speedup)));
+    }
+    if let Some(speedup) = storm_par_speedup(results) {
+        fields.push(("storm_par_speedup", Value::Float(speedup)));
     }
     Value::obj(fields)
 }
@@ -728,6 +824,7 @@ fn main() -> ExitCode {
             let faults = spec.faults;
             let checker = spec.checker;
             let traced = spec.traced;
+            let workers = spec.workers;
             let drive = spec.drive;
             let (rounds, warmup, reps) = (cli.rounds, cli.warmup, cli.reps);
             let sink = Arc::clone(&results);
@@ -738,6 +835,7 @@ fn main() -> ExitCode {
                     faults,
                     checker,
                     traced,
+                    workers,
                     drive,
                 };
                 let r = run_bin(&spec, rounds, warmup, reps, seed);
@@ -786,6 +884,9 @@ fn main() -> ExitCode {
     println!("peak RSS: {} MiB", peak_rss_bytes() / (1024 * 1024));
     if let Some(speedup) = campaign_speedup(&results) {
         println!("campaign speedup (warm reuse + sharding vs serial): {speedup:.2}x");
+    }
+    if let Some(speedup) = storm_par_speedup(&results) {
+        println!("storm_par speedup (batched engine, 8 workers vs serial): {speedup:.2}x");
     }
     if let Some(out) = &cli.out {
         if let Some(dir) = out.parent() {

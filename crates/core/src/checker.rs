@@ -52,6 +52,10 @@ pub enum InvariantKind {
     MapValidity,
     /// A vCPU-map register missing a core its VM currently runs on.
     MapCoverage,
+    /// A statistics counter saturated instead of wrapping (e.g. the
+    /// network byte-links tally); metrics derived from it are a lower
+    /// bound, not an exact value.
+    CounterSaturated,
 }
 
 /// One detected invariant violation.
@@ -205,6 +209,20 @@ impl InvariantChecker {
                 detail,
             });
         }
+    }
+
+    /// Records a [`InvariantKind::CounterSaturated`] violation for a
+    /// saturated statistics counter. The simulator calls this (latched,
+    /// once per counter) when it observes e.g.
+    /// `TrafficStats::overflowed`, so saturation shows up in the same
+    /// violation stream as coherence breaks instead of only as a silently
+    /// clamped metric.
+    pub fn note_counter_saturated(&mut self, cycle: u64, counter: &str) {
+        self.record(
+            cycle,
+            InvariantKind::CounterSaturated,
+            format!("{counter} saturated at u64::MAX; derived metrics are lower bounds"),
+        );
     }
 
     /// Called after every coherence transaction: checks the hard

@@ -53,6 +53,14 @@ pub enum SimError {
         /// The block in question.
         block: BlockAddr,
     },
+    /// A statistics counter saturated instead of wrapping; every metric
+    /// derived from it is a lower bound from this point on. Recorded
+    /// once per counter in the diagnostics log (and, when the invariant
+    /// checker is enabled, as a `CounterSaturated` violation).
+    CounterSaturated {
+        /// Which counter saturated (e.g. `"network traffic byte-links"`).
+        counter: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -79,6 +87,12 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "core {core}: L1 hit on {block:?} absent from L2; treated as miss"
+                )
+            }
+            SimError::CounterSaturated { counter } => {
+                write!(
+                    f,
+                    "{counter} counter saturated at u64::MAX; derived metrics are lower bounds"
                 )
             }
         }

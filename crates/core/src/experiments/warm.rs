@@ -264,11 +264,7 @@ pub fn warm_reuse_enabled() -> bool {
 }
 
 fn warm_cap() -> usize {
-    std::env::var("VSNOOP_WARM_CAP")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_WARM_CAP)
+    crate::knob::env_positive_usize("VSNOOP_WARM_CAP").unwrap_or(DEFAULT_WARM_CAP)
 }
 
 /// Per-key slot: the `OnceLock` makes concurrent warmers of one key

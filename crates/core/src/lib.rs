@@ -49,6 +49,7 @@ mod energy;
 mod error;
 pub mod experiments;
 pub mod fault;
+pub mod knob;
 pub mod obs;
 mod policy;
 mod region_filter;

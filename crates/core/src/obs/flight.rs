@@ -151,11 +151,7 @@ thread_local! {
 /// Ring capacity: `VSNOOP_FLIGHT_CAP` (minimum 1), else
 /// [`DEFAULT_FLIGHT_CAP`]. Read when a thread's ring is first created.
 pub fn flight_capacity() -> usize {
-    std::env::var("VSNOOP_FLIGHT_CAP")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_FLIGHT_CAP)
+    crate::knob::env_positive_usize("VSNOOP_FLIGHT_CAP").unwrap_or(DEFAULT_FLIGHT_CAP)
 }
 
 /// Records one transaction event into this thread's ring.

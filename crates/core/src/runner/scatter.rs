@@ -50,11 +50,7 @@ pub fn shard_workers() -> usize {
     if n > 0 {
         return n;
     }
-    if let Some(n) = std::env::var("VSNOOP_SHARD_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
+    if let Some(n) = crate::knob::env_positive_usize("VSNOOP_SHARD_WORKERS") {
         return n;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())

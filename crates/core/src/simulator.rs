@@ -47,6 +47,12 @@ use crate::vcpu_map::{VcpuMap, VcpuMapFile};
 #[path = "reference_path.rs"]
 mod reference_path;
 
+/// The data-oriented parallel engine (staged phases over block-address
+/// shards; see its module docs). A child module of `simulator` so the
+/// transcription twins can reach the `Simulator` internals directly.
+#[path = "engine.rs"]
+mod engine;
+
 /// The coherence engine behind a [`Simulator`]: the optimized
 /// allocation-free [`TokenProtocol`], or the frozen pre-optimization
 /// [`ReferenceProtocol`] (selected via
@@ -230,6 +236,11 @@ pub struct Simulator {
     /// Latch so the flight recorder is dumped at most once per simulator
     /// on the first checker violation.
     flight_dumped: bool,
+    /// Per-instance worker-count override for the parallel engine; when
+    /// unset the `VSNOOP_ENGINE_WORKERS` knob (default 1) decides.
+    engine_workers: Option<usize>,
+    /// Latch so a saturated traffic counter is diagnosed once.
+    traffic_overflow_reported: bool,
 }
 
 /// One deferred vCPU-map register update (map-sync-delay fault).
@@ -339,6 +350,8 @@ impl Simulator {
             diagnostics_total: 0,
             epochs: None,
             flight_dumped: false,
+            engine_workers: None,
+            traffic_overflow_reported: false,
             cfg,
             policy,
             content_policy,
@@ -406,6 +419,7 @@ impl Simulator {
     /// Forces a full-machine invariant sweep now (e.g. at the end of a
     /// soak phase). No-op when the checker is disabled.
     pub fn run_checker_sweep(&mut self) {
+        self.surface_traffic_overflow();
         let trusted = self.maps_trusted();
         let Some(mut ch) = self.checker.take() else {
             return;
@@ -696,10 +710,50 @@ impl Simulator {
         }
     }
 
+    /// Pins the parallel engine's worker count for this simulator,
+    /// overriding the `VSNOOP_ENGINE_WORKERS` environment knob. `1`
+    /// forces the serial path; higher counts take effect only for runs
+    /// the batched engine can execute bit-identically (see its
+    /// eligibility gate) — everything else stays serial regardless.
+    pub fn set_engine_workers(&mut self, workers: usize) {
+        self.engine_workers = Some(workers.max(1));
+    }
+
+    /// Worker count in force: instance override, else the
+    /// `VSNOOP_ENGINE_WORKERS` knob, else 1 (serial).
+    fn resolved_engine_workers(&self) -> usize {
+        self.engine_workers
+            .or_else(|| crate::knob::env_positive_usize("VSNOOP_ENGINE_WORKERS"))
+            .unwrap_or(1)
+    }
+
+    /// Surfaces a saturated network-traffic counter as a typed
+    /// diagnostic (and a checker violation when the checker is on),
+    /// once per simulator: every byte-derived metric is a lower bound
+    /// from the saturation point on, silently-correct-looking output
+    /// would hide that.
+    fn surface_traffic_overflow(&mut self) {
+        if self.traffic_overflow_reported || !self.net.traffic().overflowed() {
+            return;
+        }
+        self.traffic_overflow_reported = true;
+        const COUNTER: &str = "network traffic byte-links";
+        self.diagnose(SimError::CounterSaturated { counter: COUNTER });
+        if let Some(ch) = self.checker.as_mut() {
+            ch.note_counter_saturated(self.cycle, COUNTER);
+        }
+    }
+
     /// Runs `rounds` rounds, each issuing one access per core from
     /// `workload`.
     pub fn run<W: SystemWorkload>(&mut self, workload: &mut W, rounds: u64) {
         self.refresh_friends(workload);
+        let workers = self.resolved_engine_workers();
+        if workers > 1 && engine::eligible(self) {
+            engine::run_batched(self, workload, rounds, None, workers);
+            self.surface_traffic_overflow();
+            return;
+        }
         for _ in 0..rounds {
             // Deadline checkpoint for supervised campaign jobs; a plain
             // thread-local read outside of them.
@@ -716,6 +770,7 @@ impl Simulator {
             }
             self.obs_round_tick();
         }
+        self.surface_traffic_overflow();
     }
 
     /// Runs with a periodic cross-VM vCPU shuffle: every
@@ -731,6 +786,18 @@ impl Simulator {
     ) {
         assert!(period_cycles > 0, "migration period must be positive");
         self.refresh_friends(workload);
+        let workers = self.resolved_engine_workers();
+        if workers > 1 && engine::eligible(self) {
+            engine::run_batched(
+                self,
+                workload,
+                rounds,
+                Some((period_cycles, &mut pick)),
+                workers,
+            );
+            self.surface_traffic_overflow();
+            return;
+        }
         let mut next_migration = self.cycle + period_cycles;
         let mut migration_no = 0u64;
         for _ in 0..rounds {
@@ -757,6 +824,7 @@ impl Simulator {
             }
             self.obs_round_tick();
         }
+        self.surface_traffic_overflow();
     }
 
     /// Exchanges the physical cores of two vCPUs, maintaining vCPU maps
@@ -1150,7 +1218,7 @@ impl Simulator {
             let tokens_moved: u32;
             let outcome = if access.write {
                 let w = self.protocol.fast_mut().write_miss_masked(
-                    &mut self.l2,
+                    self.l2.as_mut_slice(),
                     c,
                     delivered,
                     block,
@@ -1178,7 +1246,7 @@ impl Simulator {
                 }
             } else {
                 let r = self.protocol.fast_mut().read_miss_masked(
-                    &mut self.l2,
+                    self.l2.as_mut_slice(),
                     c,
                     delivered,
                     block,

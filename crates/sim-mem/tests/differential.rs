@@ -208,7 +208,8 @@ fn masked_and_slice_apis_agree() {
         let dests: Vec<usize> = (0..CORES).filter(|&c| subset & (1 << c) != 0).collect();
         if rng.below(2) == 0 {
             let w1 = a.write_miss(&mut a_caches, requester, &dests, block, true, tag);
-            let w2 = b.write_miss_masked(&mut b_caches, requester, subset, block, true, tag);
+            let w2 =
+                b.write_miss_masked(b_caches.as_mut_slice(), requester, subset, block, true, tag);
             assert_eq!(w1.success, w2.success, "step {step}");
             assert_eq!(
                 w1.invalidated,
@@ -232,7 +233,7 @@ fn masked_and_slice_apis_agree() {
                 ReadMode::Strict,
             );
             let r2 = b.read_miss_masked(
-                &mut b_caches,
+                b_caches.as_mut_slice(),
                 requester,
                 subset,
                 block,

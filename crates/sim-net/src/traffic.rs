@@ -25,13 +25,19 @@ pub struct TrafficStats {
     byte_links: u64,
     per_kind_byte_links: [u64; MessageKind::ALL.len()],
     per_kind_messages: [u64; MessageKind::ALL.len()],
+    /// Latched when any counter would have exceeded `u64::MAX`; the
+    /// counters saturate instead of wrapping, and consumers (the runtime
+    /// invariant checker, report writers) surface this flag as a typed
+    /// error rather than silently publishing a wrapped metric.
+    overflowed: bool,
 }
 
 impl TrafficStats {
     /// Records one message of `kind` crossing `hops` links.
     ///
     /// Zero-hop (local) deliveries consume no link bandwidth and add no
-    /// traffic, but are still counted as messages.
+    /// traffic, but are still counted as messages. Shares the checked
+    /// saturating accumulation of [`TrafficStats::record_batch`].
     pub fn record(&mut self, kind: MessageKind, hops: u32) {
         self.record_batch(kind, u64::from(hops), 1);
     }
@@ -45,21 +51,43 @@ impl TrafficStats {
     /// per-unicast contributions exactly (no rounding is involved), so
     /// batching is invisible to the Table IV byte-links metric.
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if the byte-links counter overflows.
+    /// All accumulation is checked: a contribution that would exceed
+    /// `u64::MAX` (in the multiply or in any running counter) saturates
+    /// and latches [`TrafficStats::overflowed`] instead of wrapping (the
+    /// previous behaviour wrapped in release builds and panicked on the
+    /// multiply), so a long soak degrades to a flagged saturated metric
+    /// rather than a silently wrong one.
     pub fn record_batch(&mut self, kind: MessageKind, total_hops: u64, messages: u64) {
-        let contribution = u64::from(kind.bytes())
-            .checked_mul(total_hops)
-            .expect("byte-links contribution overflow");
-        debug_assert!(
-            self.byte_links.checked_add(contribution).is_some(),
-            "byte_links counter overflow"
-        );
-        self.byte_links = self.byte_links.wrapping_add(contribution);
+        let contribution = match u64::from(kind.bytes()).checked_mul(total_hops) {
+            Some(c) => c,
+            None => {
+                self.overflowed = true;
+                u64::MAX
+            }
+        };
+        self.byte_links = self.add_checked(self.byte_links, contribution);
         self.per_kind_byte_links[kind.index()] =
-            self.per_kind_byte_links[kind.index()].wrapping_add(contribution);
-        self.per_kind_messages[kind.index()] += messages;
+            self.add_checked(self.per_kind_byte_links[kind.index()], contribution);
+        self.per_kind_messages[kind.index()] =
+            self.add_checked(self.per_kind_messages[kind.index()], messages);
+    }
+
+    /// `a + b`, saturating and latching the overflow flag on wrap.
+    fn add_checked(&mut self, a: u64, b: u64) -> u64 {
+        match a.checked_add(b) {
+            Some(v) => v,
+            None => {
+                self.overflowed = true;
+                u64::MAX
+            }
+        }
+    }
+
+    /// Whether any counter has saturated instead of wrapping. Once set,
+    /// the flag stays set (and survives [`TrafficStats::merge`]), so a
+    /// single check at reporting time covers the whole run.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
     }
 
     /// Total byte-links accumulated.
@@ -82,12 +110,17 @@ impl TrafficStats {
         self.per_kind_messages[kind.index()]
     }
 
-    /// Merges another statistics block into this one.
+    /// Merges another statistics block into this one, with the same
+    /// checked saturating accumulation as [`TrafficStats::record_batch`];
+    /// a latched overflow flag on either side is propagated.
     pub fn merge(&mut self, other: &TrafficStats) {
-        self.byte_links += other.byte_links;
+        self.overflowed |= other.overflowed;
+        self.byte_links = self.add_checked(self.byte_links, other.byte_links);
         for i in 0..self.per_kind_byte_links.len() {
-            self.per_kind_byte_links[i] += other.per_kind_byte_links[i];
-            self.per_kind_messages[i] += other.per_kind_messages[i];
+            self.per_kind_byte_links[i] =
+                self.add_checked(self.per_kind_byte_links[i], other.per_kind_byte_links[i]);
+            self.per_kind_messages[i] =
+                self.add_checked(self.per_kind_messages[i], other.per_kind_messages[i]);
         }
     }
 
@@ -150,22 +183,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "contribution overflow")]
-    fn absurd_hop_total_is_rejected() {
+    fn absurd_hop_total_saturates_and_flags() {
+        // The multiply alone overflows: previously this path panicked via
+        // `expect`; now it saturates and latches the flag.
         let mut t = TrafficStats::default();
         t.record_batch(MessageKind::Data, u64::MAX / 2, 1);
+        assert!(t.overflowed());
+        assert_eq!(t.byte_links(), u64::MAX);
+        assert_eq!(t.messages(), 1, "message count still accumulates");
     }
 
-    #[cfg(debug_assertions)]
     #[test]
-    #[should_panic(expected = "byte_links counter overflow")]
-    fn accumulated_overflow_is_caught_in_debug() {
+    fn accumulated_overflow_saturates_in_all_builds() {
+        // Contributions that each fit in u64 but whose sum does not:
+        // previously this wrapped silently in release builds.
         let mut t = TrafficStats::default();
-        // Two contributions that each fit in u64 but whose sum does not.
         let third = u64::MAX / u64::from(MessageKind::Data.bytes()) / 2;
         t.record_batch(MessageKind::Data, third, 1);
         t.record_batch(MessageKind::Data, third, 1);
+        assert!(!t.overflowed());
+        let before = t.byte_links();
         t.record_batch(MessageKind::Data, third, 1);
+        assert!(t.overflowed());
+        assert_eq!(t.byte_links(), u64::MAX, "saturates, never wraps");
+        assert!(t.byte_links() >= before);
+    }
+
+    #[test]
+    fn record_and_record_batch_share_the_checked_path() {
+        // `record` is defined as a 1-message batch, so a saturated state
+        // reached through either entry point looks identical.
+        let mut a = TrafficStats {
+            byte_links: u64::MAX - 1,
+            ..Default::default()
+        };
+        let mut b = a;
+        a.record(MessageKind::Request, 1);
+        b.record_batch(MessageKind::Request, 1, 1);
+        assert_eq!(a, b);
+        assert!(a.overflowed() && b.overflowed());
+    }
+
+    #[test]
+    fn merge_propagates_overflow_flag() {
+        let mut sat = TrafficStats::default();
+        sat.record_batch(MessageKind::Data, u64::MAX / 2, 1);
+        let mut clean = TrafficStats::default();
+        clean.record(MessageKind::Request, 1);
+        clean.merge(&sat);
+        assert!(clean.overflowed());
+        assert_eq!(clean.byte_links(), u64::MAX);
     }
 
     #[test]
