@@ -332,6 +332,17 @@ fn run_session(
                 }
                 settle(outcomes, &tag, (false, format!("error: {message}")));
             }
+            Response::Progress {
+                job_id,
+                job,
+                elapsed_ms,
+                ..
+            } => {
+                // Mid-run streaming: surface liveness on stderr so
+                // stdout (campaign output) stays byte-identical to a
+                // direct run.
+                eprintln!("client: job {job_id} ({job}) running, {elapsed_ms}ms elapsed");
+            }
             other => return Err(format!("unexpected response {other:?}")),
         }
     }

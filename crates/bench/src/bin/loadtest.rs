@@ -4,8 +4,9 @@
 //! ```text
 //! loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]
 //!          [--workers N] [--queue-cap N] [--max-inflight N]
-//!          [--max-queued N] [--deadline-ms N] [--overload]
-//!          [--chaos] [--chaos-seed N] [--no-wal]
+//!          [--max-queued N] [--pipeline-limit N] [--progress-ms N]
+//!          [--deadline-ms N] [--overload] [--chaos] [--chaos-seed N]
+//!          [--no-wal]
 //! ```
 //!
 //! Runs the same harness the `perf` binary's `service` bin measures
@@ -17,7 +18,10 @@
 //! resets; deterministic per `--chaos-seed`) and switches the clients
 //! to their retrying mode — the run must still answer every request
 //! exactly once. `--no-wal` drops the write-ahead log for a
-//! best-effort soak.
+//! best-effort soak. `--pipeline-limit` caps how many submits a single
+//! connection may have in flight before the reactor sheds with the
+//! retryable `pipeline_full` reason; `--progress-ms` streams periodic
+//! `progress` frames for running jobs (0 disables them).
 //!
 //! Exits 1 if any request went unanswered (a hang or transport loss),
 //! if `--overload` produced no sheds, or if `--chaos` injected no
@@ -62,6 +66,13 @@ fn parse_cli() -> Result<(LoadOptions, bool), String> {
             "--max-queued" => {
                 opts.quota.max_queued = parse_u64("--max-queued", value("--max-queued")?)? as usize;
             }
+            "--pipeline-limit" => {
+                opts.pipeline_limit =
+                    parse_u64("--pipeline-limit", value("--pipeline-limit")?)?.max(1) as usize;
+            }
+            "--progress-ms" => {
+                opts.progress_ms = Some(parse_u64("--progress-ms", value("--progress-ms")?)?);
+            }
             "--deadline-ms" => {
                 opts.deadline_ms = parse_u64("--deadline-ms", value("--deadline-ms")?)?;
             }
@@ -76,8 +87,9 @@ fn parse_cli() -> Result<(LoadOptions, bool), String> {
                 return Err(
                     "usage: loadtest [--clients N] [--tenants N] [--jobs N] [--spin-ms N]\n\
                      \u{20}               [--workers N] [--queue-cap N] [--max-inflight N]\n\
-                     \u{20}               [--max-queued N] [--deadline-ms N] [--overload]\n\
-                     \u{20}               [--chaos] [--chaos-seed N] [--no-wal]"
+                     \u{20}               [--max-queued N] [--pipeline-limit N] [--progress-ms N]\n\
+                     \u{20}               [--deadline-ms N] [--overload] [--chaos]\n\
+                     \u{20}               [--chaos-seed N] [--no-wal]"
                         .into(),
                 );
             }
@@ -130,6 +142,9 @@ fn main() -> ExitCode {
             "chaos: faults={} client reconnects={}",
             report.chaos_faults, report.reconnects
         );
+    }
+    if opts.progress_ms.is_some_and(|ms| ms > 0) {
+        println!("progress frames: {}", report.progress_frames);
     }
     println!(
         "latency p50={:.2}ms p99={:.2}ms max={:.2}ms  throughput={:.0} req/s  elapsed={:.2}s",

@@ -35,6 +35,12 @@
 //!   same — the ≥3x speedup target at 8 workers is only observable on a
 //!   multi-core host (16-core reference), so `--check` gates each bin
 //!   against its own same-host baseline rather than against the ratio.
+//!   Like the campaign pair, the four bins run at their own pinned
+//!   window length (`PERF_PAR_ROUNDS`, default 20 000, independent of
+//!   `--rounds`): the scoped worker pool is spawned per window, so a
+//!   short `PERF_ROUNDS` smoke amortizes that fixed cost over too few
+//!   rounds and reads systematically low against the committed
+//!   full-length baseline.
 //! * `pinned` — fault-free vsnoop-base with pinned vCPUs: the filtered
 //!   fast path (small destination sets).
 //! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
@@ -57,6 +63,16 @@
 //!   raw best-run baseline would flake `--check` on a loaded host. The
 //!   de-rate is deliberately wider than the default 20% `--tolerance`
 //!   so the effective gate is the headroom margin, not the tolerance.
+//! * `service_conns` — the high-concurrency connection soak: 512
+//!   concurrent client connections over 8 tenants, two zero-spin
+//!   submits each, against the reactor's single event loop. The gated
+//!   `steps_per_sec` is completed requests/sec, and `p99_ms` is gated
+//!   too (a bin with a baseline `p99_ms` fails `--check` when the
+//!   measured p99 exceeds it by more than the tolerance). Because the
+//!   jobs are zero-work, this bin times the connection layer itself —
+//!   accept storm, frame assembly, pipelined dispatch and outbox
+//!   flushing — not the scheduler. Baseline de-rated 25% like
+//!   `service`.
 //! * `campaign_serial` — the identical report set with reuse off and
 //!   one shard worker: the legacy serial path. `campaign` vs
 //!   `campaign_serial` is the measured end-to-end speedup of the
@@ -164,7 +180,7 @@ fn parse_cli() -> Result<Cli, String> {
                      [--trace-dir DIR]\n\
                      bins: storm, storm_unchecked, storm_traced, storm_par1, storm_par2, \
                      storm_par4, storm_par8, pinned, broadcast, campaign, campaign_serial, \
-                     service"
+                     service, service_conns"
                         .into(),
                 );
             }
@@ -266,8 +282,11 @@ enum Drive {
     Campaign {
         reuse: bool,
     },
-    /// The multi-tenant service soak (see [`run_service_bin`]).
-    Service,
+    /// The multi-tenant service soak (see [`run_service_bin`]);
+    /// `conns` switches to the 512-connection reactor soak.
+    Service {
+        conns: bool,
+    },
 }
 
 struct BinSpec {
@@ -415,21 +434,56 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
-            drive: Drive::Service,
+            drive: Drive::Service { conns: false },
+        },
+        BinSpec {
+            name: "service_conns",
+            policy: FilterPolicy::VsnoopBase, // unused: the soak runs synthetic jobs
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 1,
+            drive: Drive::Service { conns: true },
         },
     ]
 }
 
-/// Runs the service soak bin: the `loadtest` default scenario (32
-/// clients x 4 tenants), `reps` times, keeping the window with the
+/// Runs a service soak bin, `reps` times, keeping the window with the
 /// highest completed-request throughput. "Steps" are terminal
 /// non-shed requests, so `steps_per_sec` gates end-to-end service
 /// throughput; the p99 request latency of the best window rides along
-/// in the JSON.
-fn run_service_bin(reps: u32) -> BinResult {
+/// in the JSON (and is itself gated when the baseline records one).
+///
+/// `service` is the `loadtest` default scenario (32 clients x 4
+/// tenants, 2 ms spin jobs): end-to-end service throughput including
+/// real work. `service_conns` (`conns`) is the connection-layer soak:
+/// 512 concurrent connections over 8 tenants submitting zero-spin
+/// jobs, so the reactor — accept, frame assembly, pipelining, outbox
+/// flushing — dominates the measurement, with quotas opened wide
+/// enough that healthy runs shed nothing.
+fn run_service_bin(reps: u32, conns: bool) -> BinResult {
+    use vsnoop::service::TenantQuota;
     use vsnoop_bench::service_load::{run_load, LoadOptions};
 
-    let opts = LoadOptions::default();
+    let opts = if conns {
+        LoadOptions {
+            clients: 512,
+            tenants: 8,
+            jobs_per_client: 2,
+            spin_ms: 0,
+            workers: 4,
+            queue_cap: 2048,
+            quota: TenantQuota {
+                max_inflight: 8,
+                max_queued: 512,
+                max_queued_bytes: 1 << 22,
+            },
+            deadline_ms: 60_000,
+            ..LoadOptions::default()
+        }
+    } else {
+        LoadOptions::default()
+    };
     let rss_before = peak_rss_bytes();
     let mut best: Option<vsnoop_bench::service_load::LoadReport> = None;
     for _ in 0..reps {
@@ -448,7 +502,7 @@ fn run_service_bin(reps: u32) -> BinResult {
     let best = best.expect("reps >= 1");
     let completed = best.ok + best.failed;
     BinResult {
-        name: "service",
+        name: if conns { "service_conns" } else { "service" },
         rounds: best.requests,
         reps,
         steps: completed,
@@ -586,9 +640,19 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     if let Drive::Campaign { reuse } = spec.drive {
         return run_campaign_bin(reuse, reps, seed);
     }
-    if matches!(spec.drive, Drive::Service) {
-        return run_service_bin(reps);
+    if let Drive::Service { conns } = spec.drive {
+        return run_service_bin(reps, conns);
     }
+    // The parallel-engine bins spawn their scoped worker pool once per
+    // timed window, so steps/sec only compares against a baseline taken
+    // at the same window length — pin it (`PERF_PAR_ROUNDS`, default
+    // 20 000), the same convention as the campaign pair, so a short
+    // `PERF_ROUNDS` smoke still gates them at full scale.
+    let cli_rounds = if spec.name.starts_with("storm_par") {
+        env_u64("PERF_PAR_ROUNDS", 20_000)
+    } else {
+        cli_rounds
+    };
     // `storm_traced`: force the observability layer on for the duration
     // of this bin only, restoring the prior state afterwards so later
     // bins keep measuring the untraced hot path.
@@ -620,7 +684,7 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     let drive = |sim: &mut Simulator, wl: &mut dyn DriveWorkload, rounds: u64| match spec.drive {
         Drive::Plain => wl.run_plain(sim, rounds),
         Drive::Migration { period_cycles, .. } => wl.run_migration(sim, rounds, period_cycles),
-        Drive::Campaign { .. } | Drive::Service => {
+        Drive::Campaign { .. } | Drive::Service { .. } => {
             unreachable!("handled by run_campaign_bin / run_service_bin")
         }
     };
@@ -628,7 +692,7 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     // shuffling new pairs instead of replaying the first ones.
     let picker_seed = match spec.drive {
         Drive::Migration { seed: s, .. } => seed ^ s,
-        Drive::Plain | Drive::Campaign { .. } | Drive::Service => 0,
+        Drive::Plain | Drive::Campaign { .. } | Drive::Service { .. } => 0,
     };
     let mut wl = DrivenWorkload {
         wl: &mut wl,
@@ -741,7 +805,10 @@ fn report_json(results: &[BinResult], rounds: u64, reps: u32) -> Value {
 }
 
 /// Compares `current` against a baseline file; returns the list of bins
-/// whose steps/sec regressed beyond `tolerance_pct`.
+/// whose steps/sec regressed beyond `tolerance_pct`, or whose p99
+/// latency grew past the baseline's `p99_ms` by more than
+/// `tolerance_pct` (latency gating only applies to bins whose baseline
+/// entry records a `p99_ms` — the service bins).
 fn check_regressions(
     current: &[BinResult],
     baseline_path: &PathBuf,
@@ -765,15 +832,25 @@ fn check_regressions(
         else {
             continue; // a new bin has no baseline yet
         };
-        let Some(base_sps) = base.get("steps_per_sec").and_then(Value::as_f64) else {
-            continue;
-        };
-        let floor = base_sps * (1.0 - tolerance_pct / 100.0);
-        if r.steps_per_sec < floor {
-            failures.push(format!(
-                "{}: {:.0} steps/s < {:.0} (baseline {:.0} - {tolerance_pct}%)",
-                r.name, r.steps_per_sec, floor, base_sps
-            ));
+        if let Some(base_sps) = base.get("steps_per_sec").and_then(Value::as_f64) {
+            let floor = base_sps * (1.0 - tolerance_pct / 100.0);
+            if r.steps_per_sec < floor {
+                failures.push(format!(
+                    "{}: {:.0} steps/s < {:.0} (baseline {:.0} - {tolerance_pct}%)",
+                    r.name, r.steps_per_sec, floor, base_sps
+                ));
+            }
+        }
+        if let (Some(base_p99), Some(cur_p99)) =
+            (base.get("p99_ms").and_then(Value::as_f64), r.p99_ms)
+        {
+            let ceiling = base_p99 * (1.0 + tolerance_pct / 100.0);
+            if cur_p99 > ceiling {
+                failures.push(format!(
+                    "{}: p99 {:.2}ms > {:.2}ms (baseline {:.2}ms + {tolerance_pct}%)",
+                    r.name, cur_p99, ceiling, base_p99
+                ));
+            }
         }
     }
     Ok(failures)

@@ -9,11 +9,20 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!       [--max-inflight N] [--max-queued N] [--max-queued-bytes N]
+//!       [--pipeline-limit N] [--idle-timeout-ms N] [--progress-ms N]
 //!       [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]
 //!       [--journal FILE] [--trace-dir DIR]
 //!       [--state-dir DIR] [--no-recover] [--no-sync]
 //!       [--max-frame-bytes N]
 //! ```
+//!
+//! Connections are multiplexed on one reactor thread (`poll(2)` or
+//! epoll; see `SERVICE.md` § Connection layer). `--pipeline-limit`
+//! caps submits in flight per connection (excess sheds with the
+//! retryable `pipeline_full` reason), `--idle-timeout-ms` reaps
+//! connections with no traffic and no running work (0 disables), and
+//! `--progress-ms` streams periodic `progress` frames for running
+//! jobs (0 disables).
 //!
 //! `--state-dir DIR` makes the server crash-safe: accepted submits are
 //! fsynced to `DIR/wal.jsonl` before they are acknowledged, the job
@@ -77,6 +86,20 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.cfg.quota.max_queued_bytes =
                     parse_u64("--max-queued-bytes", value("--max-queued-bytes")?)? as usize;
             }
+            "--pipeline-limit" => {
+                cli.cfg.pipeline_limit =
+                    parse_u64("--pipeline-limit", value("--pipeline-limit")?)?.max(1) as usize;
+            }
+            "--idle-timeout-ms" => {
+                cli.cfg.idle_timeout = Duration::from_millis(parse_u64(
+                    "--idle-timeout-ms",
+                    value("--idle-timeout-ms")?,
+                )?);
+            }
+            "--progress-ms" => {
+                cli.cfg.progress_interval =
+                    Duration::from_millis(parse_u64("--progress-ms", value("--progress-ms")?)?);
+            }
             "--deadline-ms" => {
                 cli.cfg.default_deadline =
                     Duration::from_millis(parse_u64("--deadline-ms", value("--deadline-ms")?)?);
@@ -108,6 +131,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
                      \u{20}            [--max-inflight N] [--max-queued N] [--max-queued-bytes N]\n\
+                     \u{20}            [--pipeline-limit N] [--idle-timeout-ms N] [--progress-ms N]\n\
                      \u{20}            [--deadline-ms N] [--drain-grace-ms N] [--cancel-grace-ms N]\n\
                      \u{20}            [--journal FILE] [--trace-dir DIR]\n\
                      \u{20}            [--state-dir DIR] [--no-recover] [--no-sync]\n\

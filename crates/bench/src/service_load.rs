@@ -51,6 +51,14 @@ pub struct LoadOptions {
     /// seeded here; clients switch to reconnect-and-retry submission
     /// keyed on idempotency keys. `None` connects directly.
     pub chaos_seed: Option<u64>,
+    /// Per-connection pipelining cap handed to the server. Keep
+    /// `jobs_per_client` at or under it unless the point is to
+    /// observe `pipeline_full` sheds (clients pipeline every submit
+    /// up front).
+    pub pipeline_limit: usize,
+    /// Progress-frame cadence handed to the server (`None` keeps the
+    /// server default; `Some(0)` disables streaming).
+    pub progress_ms: Option<u64>,
 }
 
 impl Default for LoadOptions {
@@ -70,6 +78,8 @@ impl Default for LoadOptions {
             deadline_ms: 10_000,
             wal: true,
             chaos_seed: None,
+            pipeline_limit: 64,
+            progress_ms: None,
         }
     }
 }
@@ -106,6 +116,9 @@ pub struct LoadReport {
     /// resets; 0 without chaos). A "chaos" soak that injected nothing
     /// proves nothing, so the caller should assert this is > 0.
     pub chaos_faults: u64,
+    /// Mid-run `progress` frames the clients observed (result
+    /// streaming; 0 when jobs finish inside one progress interval).
+    pub progress_frames: u64,
 }
 
 impl LoadReport {
@@ -125,6 +138,7 @@ struct ClientTally {
     failed: u64,
     unanswered: u64,
     reconnects: u64,
+    progress: u64,
 }
 
 /// Runs one client: pipelines `jobs` submits, reads until all are
@@ -202,6 +216,10 @@ fn run_client(
             Response::Error { tag, .. } => {
                 tally.failed += 1;
                 (tag.clone(), true)
+            }
+            Response::Progress { .. } => {
+                tally.progress += 1;
+                (None, false)
             }
             _ => (None, false),
         };
@@ -330,6 +348,10 @@ fn run_client_chaos(
                     // the next reconnect resends under the same key.
                     (tag, (!retryable).then_some(Verdict::Failed))
                 }
+                Response::Progress { .. } => {
+                    tally.progress += 1;
+                    (None, None)
+                }
                 _ => (None, None),
             };
             let Some(verdict) = verdict else { continue };
@@ -388,6 +410,11 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
         cancel_grace: Duration::from_secs(2),
         journal_path: None,
         wal_path: state_dir.as_ref().map(|d| d.join("wal.jsonl")),
+        pipeline_limit: opts.pipeline_limit,
+        progress_interval: opts.progress_ms.map_or(
+            ServiceConfig::default().progress_interval,
+            Duration::from_millis,
+        ),
         ..ServiceConfig::default()
     };
     let server = serve(listener, registry_factory(), cfg).map_err(|e| format!("serve: {e}"))?;
@@ -504,6 +531,7 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
         peak_rss_bytes: peak_rss_bytes(),
         reconnects: tallies.iter().map(|t| t.reconnects).sum(),
         chaos_faults,
+        progress_frames: tallies.iter().map(|t| t.progress).sum(),
     })
 }
 
@@ -577,6 +605,7 @@ mod tests {
             deadline_ms: 10_000,
             wal: true,
             chaos_seed: Some(42),
+            ..LoadOptions::default()
         };
         let report = run_load(&opts, &mut |_| {}).expect("chaos soak runs");
         assert_eq!(report.unanswered, 0, "no request may be lost: {report:?}");
@@ -617,6 +646,7 @@ mod tests {
                     "queue_full",
                     "tenant_queue_full",
                     "tenant_bytes",
+                    "pipeline_full",
                     "draining"
                 ]
                 .contains(&reason.as_str()),
@@ -626,6 +656,61 @@ mod tests {
         assert_eq!(
             report.ok + report.failed + report.shed_total(),
             report.requests
+        );
+    }
+
+    #[test]
+    fn pipelining_past_the_connection_cap_sheds_pipeline_full() {
+        // Each client pipelines 6 submits against a 2-deep connection
+        // cap: the excess must shed as retryable `pipeline_full`, and
+        // every request must still settle exactly once.
+        let opts = LoadOptions {
+            clients: 3,
+            tenants: 1,
+            jobs_per_client: 6,
+            spin_ms: 20,
+            workers: 1,
+            queue_cap: 64,
+            quota: TenantQuota::default(),
+            deadline_ms: 10_000,
+            pipeline_limit: 2,
+            ..LoadOptions::default()
+        };
+        let report = run_load(&opts, &mut |_| {}).expect("soak runs");
+        assert_eq!(report.unanswered, 0, "no request may go unanswered");
+        assert!(
+            report
+                .shed
+                .iter()
+                .any(|(reason, n)| reason == "pipeline_full" && *n > 0),
+            "over-pipelined submits must shed pipeline_full: {report:?}"
+        );
+        assert_eq!(
+            report.ok + report.failed + report.shed_total(),
+            report.requests
+        );
+    }
+
+    #[test]
+    fn long_jobs_stream_progress_frames() {
+        let opts = LoadOptions {
+            clients: 2,
+            tenants: 1,
+            jobs_per_client: 1,
+            spin_ms: 200,
+            workers: 2,
+            queue_cap: 8,
+            quota: TenantQuota::default(),
+            deadline_ms: 10_000,
+            wal: false,
+            progress_ms: Some(25),
+            ..LoadOptions::default()
+        };
+        let report = run_load(&opts, &mut |_| {}).expect("soak runs");
+        assert_eq!(report.ok, 2, "both long jobs complete: {report:?}");
+        assert!(
+            report.progress_frames > 0,
+            "a 200ms job on a 25ms cadence must stream progress: {report:?}"
         );
     }
 }

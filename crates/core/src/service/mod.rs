@@ -1,25 +1,33 @@
 //! Always-on multi-tenant simulation service.
 //!
 //! Turns the batch campaign runner into a long-lived server: many
-//! clients submit experiment jobs over a plain TCP + JSONL protocol,
-//! an admission controller applies per-tenant quotas and bounded
-//! queueing with typed load-shedding, a fair scheduler dispatches over
-//! worker threads (each job fully supervised — deadline watchdog,
-//! panic isolation, cancellation via the same [`CancelToken`]
-//! machinery the campaign runner uses), and SIGTERM/ctrl-c trigger a
-//! graceful bounded-time drain that journals every unfinished job.
+//! clients submit experiment jobs over a plain TCP + JSONL protocol
+//! multiplexed on one event-driven reactor thread, an admission
+//! controller applies per-tenant quotas and bounded queueing with
+//! typed load-shedding (plus a per-connection pipelining cap), a fair
+//! scheduler dispatches over worker threads (each job fully
+//! supervised — deadline watchdog, panic isolation, cancellation via
+//! the same [`CancelToken`] machinery the campaign runner uses) and
+//! streams `progress` frames back to submitters, and SIGTERM/ctrl-c
+//! trigger a graceful bounded-time drain that journals every
+//! unfinished job.
 //!
 //! The module splits into:
 //!
 //! - [`protocol`] — the wire format: request/response types and their
 //!   JSONL codec (no networking);
 //! - [`quota`] — admission control: [`TenantQuota`], the bounded
-//!   per-tenant queues, round-robin fairness (no networking, no
-//!   threads — fully unit-tested in isolation);
-//! - [`server`] — the TCP server: accept loop, connection handlers,
-//!   scheduler/watchdog/drain ([`serve`], [`Server`],
-//!   [`ServiceConfig`]);
-//! - [`signal`] — the SIGTERM/SIGINT → drain flag bridge;
+//!   per-tenant queues, round-robin fairness, the per-connection
+//!   [`quota::PipelineGate`] (no networking, no threads — fully
+//!   unit-tested in isolation);
+//! - [`reactor`] — the readiness layer: raw `poll(2)`/`epoll(7)` FFI
+//!   behind [`reactor::Poller`], plus the cross-thread
+//!   [`reactor::Waker`];
+//! - [`server`] — the TCP server: the reactor loop driving nonblocking
+//!   connection I/O, the admission thread, scheduler/watchdog/drain
+//!   ([`serve`], [`Server`], [`ServiceConfig`]);
+//! - [`signal`] — the SIGTERM/SIGINT → drain flag bridge (and reactor
+//!   wake-fd poke);
 //! - [`wal`] — the crash-safe write-ahead submission log behind the
 //!   no-loss/no-duplication durability contract ([`Wal`],
 //!   [`WalRecord`], replay + startup compaction);
@@ -36,12 +44,13 @@
 pub mod chaos;
 pub mod protocol;
 pub mod quota;
+pub mod reactor;
 pub mod server;
 pub mod signal;
 pub mod wal;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosReport};
 pub use protocol::{Request, Response, ShedReason, Submit, TenantStatus};
-pub use quota::{Admission, TenantQuota};
+pub use quota::{Admission, PipelineGate, TenantQuota};
 pub use server::{serve, JobFactory, Server, ServiceConfig, ServiceReport};
 pub use wal::{PendingRecovery, Wal, WalRecord, WalState};

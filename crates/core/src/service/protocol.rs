@@ -28,6 +28,9 @@ pub enum ShedReason {
     TenantQueueFull,
     /// The tenant is at its max queued-bytes quota.
     TenantBytes,
+    /// The submitting *connection* is at its pipelining cap (too many
+    /// in-flight submits on one socket); retry once some complete.
+    PipelineFull,
     /// The server is draining and accepts no new work.
     Draining,
 }
@@ -39,6 +42,7 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::TenantQueueFull => "tenant_queue_full",
             ShedReason::TenantBytes => "tenant_bytes",
+            ShedReason::PipelineFull => "pipeline_full",
             ShedReason::Draining => "draining",
         }
     }
@@ -219,7 +223,9 @@ pub fn error(message: &str, tag: &Option<String>) -> String {
 /// `error` with a machine-readable `code` and an explicit `retryable`
 /// flag, for faults a client program must branch on (`oversized_frame`
 /// is permanent; `wal_failed` is worth retrying — the job was admitted
-/// but its durability record could not be written).
+/// but its durability record could not be written; `idle_timeout`
+/// means the reactor reaped the connection for inactivity and a fresh
+/// connection will be served normally).
 pub fn error_coded(message: &str, code: &str, retryable: bool, tag: &Option<String>) -> String {
     let mut pairs = vec![
         ("ok", Value::Bool(false)),
@@ -227,6 +233,23 @@ pub fn error_coded(message: &str, code: &str, retryable: bool, tag: &Option<Stri
         ("code", Value::Str(code.to_string())),
         ("retryable", Value::Bool(retryable)),
         ("message", Value::Str(message.to_string())),
+    ];
+    push_tag(&mut pairs, tag);
+    Value::obj(pairs).to_json()
+}
+
+/// `progress`: a running job is still alive. Streamed periodically on
+/// the submitting connection between `accepted` and `done` (knob:
+/// `ServiceConfig::progress_interval`), so a client waiting on a long
+/// campaign can tell "still computing" from "dead server" without
+/// polling `status`. Never terminal — clients must keep reading.
+pub fn progress(job_id: u64, job: &str, elapsed_ms: u64, tag: &Option<String>) -> String {
+    let mut pairs = vec![
+        ("ok", Value::Bool(true)),
+        ("type", Value::Str("progress".into())),
+        ("job_id", Value::UInt(job_id)),
+        ("job", Value::Str(job.to_string())),
+        ("elapsed_ms", Value::UInt(elapsed_ms)),
     ];
     push_tag(&mut pairs, tag);
     Value::obj(pairs).to_json()
@@ -360,6 +383,18 @@ pub enum Response {
         /// Echoed client tag.
         tag: Option<String>,
     },
+    /// Periodic liveness report for a running job (non-terminal; the
+    /// terminal `done` for the same `job_id` follows).
+    Progress {
+        /// Server-assigned job id.
+        job_id: u64,
+        /// Job registry name.
+        job: String,
+        /// Time since dispatch, in milliseconds.
+        elapsed_ms: u64,
+        /// Echoed client tag.
+        tag: Option<String>,
+    },
     /// Liveness reply.
     Pong,
     /// Subscription acknowledged.
@@ -439,6 +474,19 @@ impl Response {
                     .to_string(),
                 code: v.get("code").and_then(Value::as_str).map(str::to_string),
                 retryable: v.get("retryable").and_then(Value::as_bool).unwrap_or(false),
+                tag,
+            }),
+            "progress" => Ok(Response::Progress {
+                job_id: v
+                    .get("job_id")
+                    .and_then(Value::as_u64)
+                    .ok_or("progress: missing job_id")?,
+                job: v
+                    .get("job")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                elapsed_ms: v.get("elapsed_ms").and_then(Value::as_u64).unwrap_or(0),
                 tag,
             }),
             "pong" => Ok(Response::Pong),
@@ -583,6 +631,30 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        let streamed = progress(5, "fig2", 1200, &tag);
+        match Response::parse(&streamed).unwrap() {
+            Response::Progress {
+                job_id,
+                job,
+                elapsed_ms,
+                tag,
+            } => {
+                assert_eq!(job_id, 5);
+                assert_eq!(job, "fig2");
+                assert_eq!(elapsed_ms, 1200);
+                assert_eq!(tag.as_deref(), Some("t9"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match Response::parse(&shed(ShedReason::PipelineFull, &None)).unwrap() {
+            Response::Shed {
+                reason, retryable, ..
+            } => {
+                assert_eq!(reason, "pipeline_full");
+                assert!(retryable, "pipeline sheds clear as jobs finish");
+            }
+            other => panic!("{other:?}"),
+        }
         assert_eq!(Response::parse(&pong()).unwrap(), Response::Pong);
         assert_eq!(
             Response::parse(&subscribed()).unwrap(),
@@ -599,6 +671,7 @@ mod tests {
         assert_eq!(ShedReason::QueueFull.as_str(), "queue_full");
         assert_eq!(ShedReason::TenantQueueFull.as_str(), "tenant_queue_full");
         assert_eq!(ShedReason::TenantBytes.as_str(), "tenant_bytes");
+        assert_eq!(ShedReason::PipelineFull.as_str(), "pipeline_full");
         assert_eq!(ShedReason::Draining.as_str(), "draining");
     }
 }

@@ -280,6 +280,73 @@ impl<T> Admission<T> {
     }
 }
 
+/// Per-connection pipelining cap: how many submits one socket may have
+/// in flight (accepted, not yet answered with their terminal `done`).
+///
+/// This is the connection-level sibling of the per-tenant quotas above:
+/// quotas stop one *tenant* from monopolizing the queue, the gate stops
+/// one *socket* from turning unbounded pipelining into unbounded
+/// server-side reply buffering. Excess submits shed with the retryable
+/// [`ShedReason::PipelineFull`].
+///
+/// Thread model: `try_acquire` is only called from the reactor thread
+/// (requests on one connection are processed in order), while `release`
+/// races in from the scheduler as jobs finish — so a relaxed
+/// check-then-increment cannot overshoot the limit. [`acquire`]
+/// (unconditional) exists for idempotent-duplicate waiters: answering
+/// an already-made promise must never shed.
+///
+/// [`acquire`]: PipelineGate::acquire
+#[derive(Debug)]
+pub struct PipelineGate {
+    limit: usize,
+    inflight: std::sync::atomic::AtomicUsize,
+}
+
+impl PipelineGate {
+    /// Creates a gate admitting at most `limit` in-flight submits
+    /// (clamped to at least 1 — a gate that sheds everything would
+    /// make the connection useless).
+    pub fn new(limit: usize) -> Self {
+        PipelineGate {
+            limit: limit.max(1),
+            inflight: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes a slot if one is free. Only the connection's owning
+    /// (reactor) thread may call this.
+    pub fn try_acquire(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        if self.inflight.load(Ordering::Relaxed) >= self.limit {
+            return false;
+        }
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes a slot unconditionally (may exceed the limit): used when
+    /// the reply is already owed, e.g. a duplicate submit attaching to
+    /// an in-flight idempotency key.
+    pub fn acquire(&self) {
+        self.inflight
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Returns a slot (saturating; called once per terminal reply).
+    pub fn release(&self) {
+        use std::sync::atomic::Ordering;
+        let _ = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// Current in-flight submits on this connection.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,5 +469,38 @@ mod tests {
         assert_eq!((queued, running, done, shed), (1, 0, 1, 1));
         assert_eq!(a.done_total(), 1);
         assert_eq!(a.shed_total(), 1);
+    }
+
+    #[test]
+    fn pipeline_gate_bounds_inflight_and_releases() {
+        let g = PipelineGate::new(2);
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire(), "limit reached");
+        assert_eq!(g.inflight(), 2);
+        g.release();
+        assert!(g.try_acquire(), "slot freed by a terminal reply");
+        assert!(!g.try_acquire());
+    }
+
+    #[test]
+    fn pipeline_gate_unconditional_acquire_overshoots_for_owed_replies() {
+        let g = PipelineGate::new(1);
+        assert!(g.try_acquire());
+        g.acquire(); // idempotent duplicate: the reply is already owed
+        assert_eq!(g.inflight(), 2);
+        assert!(!g.try_acquire());
+        g.release();
+        g.release();
+        assert_eq!(g.inflight(), 0);
+    }
+
+    #[test]
+    fn pipeline_gate_release_saturates_and_limit_clamps() {
+        let g = PipelineGate::new(0); // clamped to 1
+        g.release(); // stray release must not underflow
+        assert_eq!(g.inflight(), 0);
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire(), "clamped limit is 1, not 0");
     }
 }

@@ -1,30 +1,42 @@
-//! The always-on simulation server: accept loop, per-connection
-//! handlers, and the scheduler that drives admission, deadlines, and
-//! graceful drain.
+//! The always-on simulation server: a readiness reactor driving every
+//! connection, an admission thread owning durable accepts, and the
+//! scheduler that drives dispatch, deadlines, and graceful drain.
 //!
 //! Threading model (all plain `std::thread` + `std::net`, no external
 //! runtime):
 //!
-//! - **accept loop** (one thread): nonblocking accept polled every
-//!   ~50ms so it can also notice shutdown (the in-process
-//!   [`Server::shutdown`] flag, the `shutdown` protocol op, or a
-//!   SIGTERM/SIGINT via [`super::signal`]); spawns one handler thread
-//!   per connection and stops accepting the moment a drain starts;
-//! - **connection handlers** (one thread each): parse JSONL requests,
-//!   run admission under the shared lock, and reply immediately
-//!   (`accepted`/`shed`/`pong`/`status`/`error`). They never execute
-//!   jobs and never block on the scheduler, so a flood of bad requests
-//!   cannot stall dispatch. Reads carry a timeout so handlers notice
-//!   the server draining even on an idle connection;
+//! - **reactor** (one thread): a [`super::reactor::Poller`] over the
+//!   listener, a self-wake channel, and every client socket — all
+//!   nonblocking. It accepts connections, assembles JSONL frames from
+//!   bounded per-connection read buffers, answers cheap requests
+//!   (`status`/`ping`/`shutdown`/`subscribe`) inline, enforces the
+//!   per-connection pipelining cap (excess submits shed with a typed
+//!   retryable `pipeline_full`), reaps idle connections with a typed
+//!   `idle_timeout` error, and flushes every connection's outbox to
+//!   its socket. One thread serves hundreds of connections; a
+//!   connection storm costs file descriptors, not threads;
+//! - **admission** (one thread): receives submits from the reactor
+//!   over a channel and runs dedup + admission + the fsynced WAL
+//!   `accepted` append. Disk waits land here, never on the reactor,
+//!   and the single thread preserves global submit order;
 //! - **scheduler** (one thread): round-robin dispatch out of
 //!   [`Admission`], one worker thread per running job (bounded by
 //!   `workers`), completion collection, the per-job deadline watchdog,
-//!   and the drain sequence. It is the only writer of the journal, so
-//!   journal entries land in completion order without interleaving;
+//!   periodic `progress` frames for running jobs, and the drain
+//!   sequence. It is the only writer of the journal, so journal
+//!   entries land in completion order without interleaving;
 //! - **workers** (one thread per running job): install the job's
 //!   [`CancelToken`], obs scope and tenant label (so `scatter` shards
 //!   and warm-pool accounting inherit them), run the job under
 //!   `catch_unwind`, and report back over a channel.
+//!
+//! Replies never block the reactor either: every connection has an
+//! **outbox** (an unbounded queue of response lines) that any thread —
+//! the admission thread, the scheduler, a subscriber pump — appends to
+//! via [`send_line`]; the append marks the connection dirty and wakes
+//! the reactor, which copies lines into a bounded write buffer and
+//! writes as far as the socket allows. A connection whose outbox backs
+//! up past a cap stops being *read* (backpressure) until it drains.
 //!
 //! Every response a client can observe is typed; overload sheds, bad
 //! requests get `error` lines, deadlines become `timeout` outcomes and
@@ -36,11 +48,15 @@
 //! running jobs `drain_grace` to finish, then cancel their tokens and
 //! give them `cancel_grace` to unwind; whatever still hasn't polled is
 //! abandoned (journaled as cancelled) so shutdown completes in bounded
-//! time no matter what a job does.
+//! time no matter what a job does. The reactor then stops the
+//! admission thread (answering everything still queued to it), gives
+//! every connection a final flush window, and closes them all.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,8 +67,9 @@ use std::time::{Duration, Instant};
 use crate::runner::json::Value;
 use crate::runner::{CancelToken, Cancelled, Job, JobCtx, JobError, Journal};
 
-use super::protocol::{self, Request, Submit, TenantStatus};
-use super::quota::{Admission, TenantQuota};
+use super::protocol::{self, Request, ShedReason, Submit, TenantStatus};
+use super::quota::{Admission, PipelineGate, TenantQuota};
+use super::reactor::{self, Interest, Poller, ReadyEvent};
 use super::wal::{Wal, WalRecord, WalState};
 
 /// Builds a runnable [`Job`] from a submit request, or a client-visible
@@ -107,6 +124,28 @@ pub struct ServiceConfig {
     /// Telemetry records buffered per subscriber before it is declared
     /// lagged and disconnected.
     pub sub_buffer: usize,
+    /// Max in-flight submits per connection (accepted but not yet
+    /// answered with `done`). Excess pipelined submits are shed with a
+    /// typed retryable `pipeline_full` reason. Dedup replays of an
+    /// idempotency key the server already knows are always honoured,
+    /// even at the cap — the original acceptance promised the outcome.
+    pub pipeline_limit: usize,
+    /// Close connections with no traffic, no in-flight jobs and no
+    /// subscription after this long, with a typed retryable
+    /// `idle_timeout` error. Zero disables reaping.
+    pub idle_timeout: Duration,
+    /// How often a running job streams a `progress` frame back to its
+    /// submitting connection (between `accepted` and `done`). Zero
+    /// disables streaming.
+    pub progress_interval: Duration,
+    /// Accept-queue depth re-requested on the listener at startup.
+    /// `std::net::TcpListener::bind` hard-codes a backlog of 128,
+    /// which a herd of simultaneous connects (the 512-connection soak)
+    /// overflows — the kernel then drops handshakes and clients see
+    /// resets or SYN-retry stalls. `listen(2)` on an already-listening
+    /// socket updates the backlog in place; the kernel clamps it to
+    /// `net.core.somaxconn`. Zero keeps the bind-time backlog.
+    pub listen_backlog: u32,
 }
 
 impl Default for ServiceConfig {
@@ -125,6 +164,10 @@ impl Default for ServiceConfig {
             max_frame_bytes: 64 * 1024,
             idem_cap: 1024,
             sub_buffer: 256,
+            pipeline_limit: 64,
+            idle_timeout: Duration::from_secs(300),
+            progress_interval: Duration::from_millis(500),
+            listen_backlog: 1024,
         }
     }
 }
@@ -143,20 +186,127 @@ pub struct ServiceReport {
     pub recovered: u64,
 }
 
-/// A connection's write side, shared between its handler thread, the
-/// scheduler (terminal `done` responses) and subscriber pumps. Writes
-/// carry a timeout (set at accept), so a client that stops reading
-/// delays the server by a bounded amount, then loses the line.
-type ConnWriter = Arc<Mutex<TcpStream>>;
+/// Reactor wakeup shared by every outbox: appending a response line
+/// marks the connection's token dirty and pokes the poller, so replies
+/// reach the socket on the next reactor pass rather than the next
+/// timeout tick.
+struct WakeShared {
+    waker: reactor::Waker,
+    /// Tokens with freshly appended outbox lines (deduplicated).
+    dirty: Mutex<Vec<u64>>,
+}
 
-/// Writes one response line, best-effort: a dead or stuck client must
-/// never take the server down with it.
+impl WakeShared {
+    fn mark_dirty(&self, token: u64) {
+        let newly = {
+            let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            if dirty.contains(&token) {
+                false
+            } else {
+                dirty.push(token);
+                true
+            }
+        };
+        // One wake per dirtying, not per line: a token already marked
+        // implies a pending (or imminent) reactor pass.
+        if newly {
+            self.waker.wake();
+        }
+    }
+
+    fn take_dirty(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.dirty.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Queued-but-unwritten response lines for one connection.
+#[derive(Default)]
+struct OutQueue {
+    lines: VecDeque<String>,
+    bytes: usize,
+    closed: bool,
+}
+
+/// A connection's write side, shared between the reactor, the
+/// admission thread, the scheduler (`accepted`/`progress`/`done`
+/// responses) and subscriber pumps. Appends never block: lines land in
+/// an outbox the reactor flushes to the nonblocking socket as fast as
+/// the client reads. The pipeline gate rides here because its lifetime
+/// is exactly the connection's.
+struct Outbox {
+    /// The reactor token of the owning connection.
+    token: u64,
+    /// Per-connection pipelining cap (submits in flight).
+    gate: PipelineGate,
+    queue: Mutex<OutQueue>,
+    wake: Arc<WakeShared>,
+}
+
+impl Outbox {
+    fn push(&self, line: &str) {
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.closed {
+                return;
+            }
+            q.bytes += line.len() + 1;
+            q.lines.push_back(line.to_string());
+        }
+        self.wake.mark_dirty(self.token);
+    }
+
+    /// Pops queued lines until roughly `target_bytes` worth are taken.
+    fn take_lines(&self, target_bytes: usize) -> Vec<String> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        let mut taken = 0usize;
+        while taken < target_bytes {
+            match q.lines.pop_front() {
+                Some(line) => {
+                    taken += line.len() + 1;
+                    q.bytes = q.bytes.saturating_sub(line.len() + 1);
+                    out.push(line);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn backlog_lines(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lines
+            .len()
+    }
+
+    fn backlog_bytes(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    fn is_closed(&self) -> bool {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Marks the connection gone: future pushes are dropped and pumps
+    /// watching [`is_closed`](Self::is_closed) exit.
+    fn close(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        q.lines.clear();
+        q.bytes = 0;
+    }
+}
+
+/// See [`Outbox`].
+type ConnWriter = Arc<Outbox>;
+
+/// Queues one response line, best-effort: a dead or slow client must
+/// never take the server down with it (its lines are dropped once the
+/// connection closes).
 fn send_line(writer: &ConnWriter, line: &str) {
-    let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush());
+    writer.push(line);
 }
 
 /// An admitted-but-undispatched job. `writer` is `None` for jobs
@@ -185,6 +335,7 @@ struct Running {
     name: String,
     seed: u64,
     token: CancelToken,
+    started: Instant,
     deadline: Instant,
     limit_ms: u64,
     tag: Option<String>,
@@ -192,6 +343,8 @@ struct Running {
     writer: Option<ConnWriter>,
     cancel_cause: Option<CancelCause>,
     cancelled_at: Option<Instant>,
+    /// Last time a `progress` frame was streamed to the submitter.
+    last_progress: Instant,
 }
 
 /// What a worker thread reports back. The scheduler supplies the
@@ -263,13 +416,24 @@ impl IdemMap {
 /// line with its own tag.
 type Waiters = HashMap<u64, Vec<(ConnWriter, Option<String>)>>;
 
-/// State shared by the accept loop, connection handlers and scheduler.
+/// One submit forwarded from the reactor to the admission thread. The
+/// gate slot was already acquired by the reactor; every admission path
+/// either keeps it (an eventual `done` releases it) or releases it
+/// with its terminal reply.
+struct AdmitRequest {
+    submit: Submit,
+    bytes: usize,
+    writer: ConnWriter,
+}
+
+/// State shared by the reactor, admission thread and scheduler.
 struct Shared {
     admission: Mutex<Admission<Pending>>,
-    /// Drain trigger (in-process shutdown, `shutdown` op; the accept
-    /// loop additionally polls [`super::signal::requested`]).
+    /// Drain trigger (in-process shutdown, `shutdown` op; the reactor
+    /// additionally polls [`super::signal::requested`]).
     stop: AtomicBool,
-    /// Set once the drain has completed; idle handlers exit on it.
+    /// Set once the drain has completed; the reactor flushes and
+    /// closes every connection on it.
     done: AtomicBool,
     next_job_id: AtomicU64,
     cancelled: AtomicU64,
@@ -282,6 +446,7 @@ struct Shared {
     idem: Mutex<IdemMap>,
     waiters: Mutex<Waiters>,
     wal: Option<Wal>,
+    wake: Arc<WakeShared>,
     cfg: ServiceConfig,
     factory: JobFactory,
 }
@@ -326,7 +491,7 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
     scheduler: Option<std::thread::JoinHandle<ServiceReport>>,
 }
 
@@ -339,19 +504,22 @@ impl Server {
     /// Requests a graceful drain (same path as SIGTERM).
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.waker.wake();
     }
 
     /// Blocks until the drain completes and returns the final
     /// counters. Also called internally by the `serve` binary after a
     /// signal.
     pub fn wait(mut self) -> ServiceReport {
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        self.scheduler
+        let report = self
+            .scheduler
             .take()
             .map(|h| h.join().unwrap_or_default())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+        report
     }
 }
 
@@ -360,8 +528,8 @@ impl Server {
 ///
 /// When a WAL is configured, startup first replays it (unless
 /// `recover` is off), compacts it, and re-enqueues every non-terminal
-/// job under its original tenant and job id — all *before* the accept
-/// loop starts, so recovered work is ahead of new submits and job-id
+/// job under its original tenant and job id — all *before* the reactor
+/// starts, so recovered work is ahead of new submits and job-id
 /// allocation resumes above the high-water mark.
 pub fn serve(
     listener: TcpListener,
@@ -369,6 +537,7 @@ pub fn serve(
     cfg: ServiceConfig,
 ) -> std::io::Result<Server> {
     listener.set_nonblocking(true)?;
+    deepen_backlog(&listener, cfg.listen_backlog);
     let addr = listener.local_addr()?;
 
     // --- WAL replay + compaction (before any thread starts). ---
@@ -386,6 +555,9 @@ pub fn serve(
         idem.record_done(key, rec.job_id, rec.job, rec.outcome, cfg.idem_cap);
     }
 
+    let poller = Poller::new()?;
+    let (waker, wake_rx) = reactor::wake_pair()?;
+
     let shared = Arc::new(Shared {
         admission: Mutex::new(Admission::new(cfg.queue_cap, cfg.quota)),
         stop: AtomicBool::new(false),
@@ -396,6 +568,10 @@ pub fn serve(
         idem: Mutex::new(idem),
         waiters: Mutex::new(Waiters::new()),
         wal,
+        wake: Arc::new(WakeShared {
+            waker,
+            dirty: Mutex::new(Vec::new()),
+        }),
         cfg: cfg.clone(),
         factory,
     });
@@ -475,175 +651,506 @@ pub fn serve(
             .spawn(move || scheduler_loop(&shared, tx, rx, unbuildable))?
     };
 
-    let accept = {
+    // Submits hop from the reactor to this thread so the WAL fsync in
+    // `handle_submit` never stalls connection I/O. One thread, one
+    // channel: global FIFO admission order is preserved.
+    let (admit_tx, admit_rx) = channel::<AdmitRequest>();
+    let admit = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("vsnoop-svc-accept".into())
-            .spawn(move || accept_loop(&listener, &shared))?
+            .name("vsnoop-svc-admit".into())
+            .spawn(move || {
+                while let Ok(req) = admit_rx.recv() {
+                    handle_submit(req.submit, req.bytes, &req.writer, &shared);
+                }
+            })?
+    };
+
+    // A SIGTERM should interrupt a blocked poll immediately.
+    super::signal::set_wake_fd(shared.wake.waker.raw_fd());
+
+    let reactor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("vsnoop-svc-reactor".into())
+            .spawn(move || reactor_loop(listener, poller, wake_rx, &shared, admit_tx, admit))?
     };
 
     Ok(Server {
         addr,
         shared,
-        accept: Some(accept),
+        reactor: Some(reactor),
         scheduler: Some(scheduler),
     })
 }
 
-/// Accepts connections until a drain starts (in-process flag or OS
-/// signal), spawning one handler thread per connection.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// Re-requests a deeper accept queue on an already-listening socket
+/// (see [`ServiceConfig::listen_backlog`]). Best-effort: on failure the
+/// bind-time backlog stays in effect, which only costs handshake
+/// latency under connect storms.
+fn deepen_backlog(listener: &TcpListener, backlog: u32) {
+    use std::os::raw::c_int;
+    extern "C" {
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+    if backlog == 0 {
+        return;
+    }
+    let capped = backlog.min(c_int::MAX as u32) as c_int;
+    unsafe {
+        let _ = listen(listener.as_raw_fd(), capped);
+    }
+}
+
+// --- Reactor constants. ---
+
+/// Token of the accept listener in the poll set.
+const LISTENER_TOKEN: u64 = 0;
+/// Token of the self-wake channel's read end.
+const WAKE_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+/// Bytes read per `read(2)` round.
+const READ_CHUNK: usize = 16 * 1024;
+/// Max read rounds per readiness event per connection — level-
+/// triggered polling re-reports an fd that still has bytes, so capping
+/// rounds bounds per-connection latency without losing data.
+const READ_ROUNDS: usize = 8;
+/// Target fill of the per-connection write buffer per flush.
+const WBUF_TARGET: usize = 64 * 1024;
+/// Outbox backlog past which the connection stops being read
+/// (backpressure for clients that submit faster than they read).
+const OUTBOX_PAUSE_BYTES: usize = 1 << 20;
+/// How long the post-drain final flush may take before connections
+/// are closed with output still queued.
+const FINAL_FLUSH_GRACE: Duration = Duration::from_secs(5);
+/// Poll timeout: the reactor re-checks stop/done flags and idle
+/// timers at least this often.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    writer: ConnWriter,
+    /// Partial frame bytes awaiting a newline.
+    rbuf: Vec<u8>,
+    /// An over-cap frame is streaming past; drop bytes to its newline.
+    discarding: bool,
+    /// Write buffer: lines copied out of the outbox, partially written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    last_activity: Instant,
+    /// Telemetry tap id when this connection subscribed.
+    tap_id: Option<u64>,
+    interest: Interest,
+    /// Flush what's queued, then close (drain, idle reap).
+    closing: bool,
+    /// The client closed its write half; stop reading but keep
+    /// delivering responses for its in-flight jobs.
+    read_eof: bool,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len() && self.writer.backlog_lines() == 0
+    }
+}
+
+/// The reactor: accept, read + frame assembly, request handling for
+/// everything except submits (which hop to the admission thread),
+/// outbox flushing, idle reaping, and the post-drain connection sweep.
+fn reactor_loop(
+    listener: TcpListener,
+    mut poller: Poller,
+    mut wake_rx: UnixStream,
+    shared: &Arc<Shared>,
+    admit_tx: Sender<AdmitRequest>,
+    admit_join: std::thread::JoinHandle<()>,
+) {
+    let mut listener = Some(listener);
+    if let Some(l) = &listener {
+        let _ = poller.register(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ);
+    }
+    let _ = poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::READ);
+    if crate::obs::telemetry_active() {
+        crate::obs::telemetry::emit(
+            "service_reactor",
+            vec![("backend", Value::Str(poller.backend_name().to_string()))],
+        );
+    }
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut admit = Some((admit_tx, admit_join));
+    let mut done_at: Option<Instant> = None;
+    let mut events: Vec<ReadyEvent> = Vec::new();
+    let mut to_close: Vec<u64> = Vec::new();
+
     loop {
-        if shared.stop.load(Ordering::SeqCst) || super::signal::requested() {
+        if super::signal::requested() {
             // Propagate a signal-initiated drain to the scheduler.
             shared.stop.store(true, Ordering::SeqCst);
-            return;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // Bounded I/O: a stalled client costs at most the
-                // timeout per line, never a wedged thread.
-                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-                let shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
-                    .name("vsnoop-svc-conn".into())
-                    .spawn(move || handle_connection(stream, &shared));
+        if shared.stop.load(Ordering::SeqCst) {
+            if let Some(l) = listener.take() {
+                let _ = poller.deregister(l.as_raw_fd());
+                // Dropping closes the port; new connects are refused.
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(50)),
         }
-    }
-}
-
-/// One step of the bounded frame reader.
-enum Frame {
-    /// A complete line landed in the caller's buffer.
-    Line,
-    /// A line exceeded the frame cap; its bytes were discarded as they
-    /// streamed in (never buffered whole) and the terminating newline
-    /// has been consumed.
-    Oversized,
-    /// Read timeout with no complete line (partial bytes are kept).
-    Idle,
-    /// EOF or a hard socket error.
-    Closed,
-}
-
-/// Reads up to one `\n`-terminated frame into `line`, enforcing `max`
-/// bytes. Unlike `read_line`, an over-long frame costs O(max) memory,
-/// not O(frame): once the cap is crossed the rest of the line streams
-/// through a fixed-size buffer straight to the floor (`discarding`
-/// carries that state across idle timeouts).
-fn read_frame(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut Vec<u8>,
-    max: usize,
-    discarding: &mut bool,
-) -> Frame {
-    loop {
-        let (consumed, result) = {
-            let buf = match reader.fill_buf() {
-                Ok([]) => return Frame::Closed,
-                Ok(buf) => buf,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    return Frame::Idle;
+        if shared.done.load(Ordering::SeqCst) && done_at.is_none() {
+            // The scheduler's drain is complete. Stop the admission
+            // thread first — joining it guarantees every submit still
+            // queued on its channel got its reply (a `draining` shed
+            // or a dedup answer) into an outbox before we start the
+            // final flush.
+            if let Some((tx, join)) = admit.take() {
+                drop(tx);
+                let _ = join.join();
+            }
+            for conn in conns.values_mut() {
+                conn.closing = true;
+            }
+            done_at = Some(Instant::now());
+        }
+        if let Some(at) = done_at {
+            let expired = at.elapsed() >= FINAL_FLUSH_GRACE;
+            to_close.clear();
+            for (&token, conn) in conns.iter_mut() {
+                let open = flush_conn(conn, &mut poller, token);
+                if !open || expired || conn.flushed() {
+                    to_close.push(token);
                 }
-                Err(_) => return Frame::Closed,
-            };
-            match buf.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    let overflow = *discarding || line.len() + pos > max;
-                    if overflow {
-                        *discarding = false;
-                        line.clear();
-                        (pos + 1, Some(Frame::Oversized))
-                    } else {
-                        line.extend_from_slice(&buf[..pos]);
-                        (pos + 1, Some(Frame::Line))
-                    }
+            }
+            for token in to_close.drain(..) {
+                if let Some(conn) = conns.remove(&token) {
+                    close_conn(conn, &mut poller);
                 }
-                None => {
-                    if !*discarding {
-                        if line.len() + buf.len() > max {
-                            *discarding = true;
-                            line.clear();
-                        } else {
-                            line.extend_from_slice(buf);
+            }
+            if conns.is_empty() {
+                break;
+            }
+        }
+
+        if poller.wait(&mut events, TICK).is_err() {
+            // A broken poller would spin; back off and retry (the next
+            // wait rebuilds the fd set from scratch on the poll
+            // backend and kernel state survives on epoll).
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+
+        for ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => {
+                    accept_ready(&listener, &mut poller, &mut conns, &mut next_token, shared);
+                }
+                WAKE_TOKEN => reactor::drain_wakes(&mut wake_rx),
+                token => {
+                    let mut keep = true;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.readable && !conn.closing && !conn.read_eof {
+                            keep = read_ready(conn, shared, admit.as_ref().map(|(tx, _)| tx));
+                        }
+                        if keep {
+                            keep = flush_conn(conn, &mut poller, token);
+                        }
+                        if keep && ev.hangup && !ev.readable {
+                            keep = false;
                         }
                     }
-                    (buf.len(), None)
+                    if !keep {
+                        if let Some(conn) = conns.remove(&token) {
+                            close_conn(conn, &mut poller);
+                        }
+                    }
                 }
             }
-        };
-        reader.consume(consumed);
-        if let Some(frame) = result {
-            return frame;
         }
-    }
-}
 
-/// Serves one connection: reads JSONL requests until EOF (or until the
-/// drain completes on an idle connection) and answers each one.
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let writer: ConnWriter = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    let mut discarding = false;
-    let mut tap_id: Option<u64> = None;
-    loop {
-        match read_frame(
-            &mut reader,
-            &mut line,
-            shared.cfg.max_frame_bytes,
-            &mut discarding,
-        ) {
-            Frame::Line => {
-                let text = String::from_utf8_lossy(&line);
-                let trimmed = text.trim();
-                if !trimmed.is_empty() {
-                    handle_request(trimmed, &writer, shared, &mut tap_id);
+        // Flush every connection another thread appended replies to.
+        for token in shared.wake.take_dirty() {
+            if let Some(conn) = conns.get_mut(&token) {
+                if !flush_conn(conn, &mut poller, token) {
+                    if let Some(conn) = conns.remove(&token) {
+                        close_conn(conn, &mut poller);
+                    }
                 }
-                line.clear();
             }
-            Frame::Oversized => {
+        }
+
+        // Idle reaping + deferred closes (half-closed peers whose jobs
+        // finished, reaped or draining connections now fully flushed).
+        let now = Instant::now();
+        let idle = shared.cfg.idle_timeout;
+        to_close.clear();
+        for (&token, conn) in conns.iter_mut() {
+            let parked = conn.tap_id.is_none() && conn.writer.gate.inflight() == 0;
+            if !conn.closing && conn.read_eof && parked && conn.flushed() {
+                to_close.push(token);
+                continue;
+            }
+            if !conn.closing
+                && !conn.read_eof
+                && parked
+                && idle > Duration::ZERO
+                && now.duration_since(conn.last_activity) >= idle
+            {
                 send_line(
-                    &writer,
+                    &conn.writer,
                     &protocol::error_coded(
-                        &format!("request line exceeds {} bytes", shared.cfg.max_frame_bytes),
-                        "oversized_frame",
-                        false,
+                        &format!("connection idle for {}ms; closing", idle.as_millis()),
+                        "idle_timeout",
+                        true,
                         &None,
                     ),
                 );
+                conn.closing = true;
             }
-            Frame::Idle => {
-                // Idle poll; any partial line read before the timeout
-                // stays in `line` and completes on a later read. Once
-                // the drain has fully completed there is nothing left
-                // this connection can be told; close it.
-                if shared.done.load(Ordering::SeqCst) {
+            if conn.closing {
+                let open = flush_conn(conn, &mut poller, token);
+                if !open || conn.flushed() {
+                    to_close.push(token);
+                }
+            }
+        }
+        for token in to_close.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                close_conn(conn, &mut poller);
+            }
+        }
+    }
+    super::signal::clear_wake_fd(shared.wake.waker.raw_fd());
+}
+
+/// Accepts every connection the listener has ready.
+fn accept_ready(
+    listener: &Option<TcpListener>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    shared: &Arc<Shared>,
+) {
+    let Some(listener) = listener else { return };
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(stream.as_raw_fd(), token, Interest::READ)
+                    .is_err()
+                {
+                    continue;
+                }
+                let writer = Arc::new(Outbox {
+                    token,
+                    gate: PipelineGate::new(shared.cfg.pipeline_limit),
+                    queue: Mutex::new(OutQueue::default()),
+                    wake: Arc::clone(&shared.wake),
+                });
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        writer,
+                        rbuf: Vec::new(),
+                        discarding: false,
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        last_activity: Instant::now(),
+                        tap_id: None,
+                        interest: Interest::READ,
+                        closing: false,
+                        read_eof: false,
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        }
+    }
+}
+
+/// One frame-assembly output.
+enum FrameOut {
+    /// A complete request line (without its newline).
+    Line(String),
+    /// A line exceeded the frame cap; its bytes were discarded as they
+    /// streamed in (never buffered whole).
+    Oversized,
+}
+
+/// Feeds one freshly read chunk through the incremental JSONL frame
+/// assembler. Unlike a `read_line`, an over-long frame costs O(max)
+/// memory, not O(frame): once the cap is crossed the rest of the line
+/// is dropped as it streams in (`discarding` carries that state across
+/// chunks, exactly as the reads deliver them — torn frames reassemble
+/// byte-for-byte).
+fn assemble_frames(
+    rbuf: &mut Vec<u8>,
+    discarding: &mut bool,
+    chunk: &[u8],
+    max: usize,
+    out: &mut Vec<FrameOut>,
+) {
+    let mut rest = chunk;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let overflow = *discarding || rbuf.len() + pos > max;
+        if overflow {
+            *discarding = false;
+            rbuf.clear();
+            out.push(FrameOut::Oversized);
+        } else {
+            rbuf.extend_from_slice(&rest[..pos]);
+            out.push(FrameOut::Line(String::from_utf8_lossy(rbuf).into_owned()));
+            rbuf.clear();
+        }
+        rest = &rest[pos + 1..];
+    }
+    if !*discarding {
+        if rbuf.len() + rest.len() > max {
+            *discarding = true;
+            rbuf.clear();
+        } else {
+            rbuf.extend_from_slice(rest);
+        }
+    }
+}
+
+/// Reads as much as fairness allows from a readable connection and
+/// handles every complete frame. Returns `false` when the connection
+/// should be closed (hard error); EOF instead parks the connection so
+/// in-flight responses still reach a half-closed peer.
+fn read_ready(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    admit_tx: Option<&Sender<AdmitRequest>>,
+) -> bool {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut frames: Vec<FrameOut> = Vec::new();
+    for _ in 0..READ_ROUNDS {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                frames.clear();
+                assemble_frames(
+                    &mut conn.rbuf,
+                    &mut conn.discarding,
+                    &chunk[..n],
+                    shared.cfg.max_frame_bytes,
+                    &mut frames,
+                );
+                for frame in frames.drain(..) {
+                    match frame {
+                        FrameOut::Line(text) => {
+                            let trimmed = text.trim();
+                            if !trimmed.is_empty() {
+                                handle_request(
+                                    trimmed,
+                                    &conn.writer,
+                                    shared,
+                                    &mut conn.tap_id,
+                                    admit_tx,
+                                );
+                            }
+                        }
+                        FrameOut::Oversized => {
+                            send_line(
+                                &conn.writer,
+                                &protocol::error_coded(
+                                    &format!(
+                                        "request line exceeds {} bytes",
+                                        shared.cfg.max_frame_bytes
+                                    ),
+                                    "oversized_frame",
+                                    false,
+                                    &None,
+                                ),
+                            );
+                        }
+                    }
+                }
+                if n < chunk.len() {
+                    // Short read: the socket buffer is likely drained;
+                    // a level-triggered poll re-reports any remainder.
                     break;
                 }
             }
-            Frame::Closed => break,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
     }
-    if let Some(id) = tap_id {
+    true
+}
+
+/// Copies outbox lines into the write buffer and writes as far as the
+/// socket allows, then re-arms poll interest to match what's left.
+/// Returns `false` on a hard write error.
+fn flush_conn(conn: &mut Conn, poller: &mut Poller, token: u64) -> bool {
+    loop {
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            let lines = conn.writer.take_lines(WBUF_TARGET);
+            if lines.is_empty() {
+                break;
+            }
+            for line in &lines {
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+        }
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    let want = Interest {
+        readable: !conn.closing
+            && !conn.read_eof
+            && conn.writer.backlog_bytes() < OUTBOX_PAUSE_BYTES,
+        writable: conn.wpos < conn.wbuf.len() || conn.writer.backlog_lines() > 0,
+    };
+    if want != conn.interest {
+        conn.interest = want;
+        let _ = poller.modify(conn.stream.as_raw_fd(), token, want);
+    }
+    true
+}
+
+/// Tears one connection down: poll deregistration (before the fd
+/// closes), outbox closure (pumps exit, future replies are dropped)
+/// and telemetry-tap removal.
+fn close_conn(conn: Conn, poller: &mut Poller) {
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    conn.writer.close();
+    if let Some(id) = conn.tap_id {
         crate::obs::telemetry::remove_tap(id);
     }
 }
 
-/// Dispatches one parsed request line.
-fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id: &mut Option<u64>) {
+/// Dispatches one parsed request line (on the reactor thread; only
+/// submits leave it, hopping to the admission thread with a pipeline
+/// slot already held).
+fn handle_request(
+    line: &str,
+    writer: &ConnWriter,
+    shared: &Arc<Shared>,
+    tap_id: &mut Option<u64>,
+    admit_tx: Option<&Sender<AdmitRequest>>,
+) {
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(message) => {
@@ -657,7 +1164,63 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
         }
     };
     match request {
-        Request::Submit(submit) => handle_submit(submit, line.len(), writer, shared),
+        Request::Submit(submit) => {
+            let gate = &writer.gate;
+            let mut granted = gate.try_acquire();
+            if !granted {
+                // An idempotency key the server already knows is owed
+                // its original outcome even at the cap: dedup replies
+                // cost no new work, and shedding them would break the
+                // "accepted once, answered once" promise.
+                let owed = submit.idem_key.as_deref().is_some_and(|key| {
+                    shared
+                        .idem
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .entries
+                        .contains_key(key)
+                });
+                if owed {
+                    gate.acquire();
+                    granted = true;
+                }
+            }
+            if !granted {
+                if crate::obs::telemetry_active() {
+                    crate::obs::telemetry::emit(
+                        "service_shed",
+                        vec![
+                            ("tenant", Value::Str(submit.tenant.clone())),
+                            ("job", Value::Str(submit.job.clone())),
+                            (
+                                "reason",
+                                Value::Str(ShedReason::PipelineFull.as_str().into()),
+                            ),
+                        ],
+                    );
+                }
+                send_line(
+                    writer,
+                    &protocol::shed(ShedReason::PipelineFull, &submit.tag),
+                );
+                return;
+            }
+            let bytes = line.len();
+            let forwarded = admit_tx.is_some_and(|tx| {
+                tx.send(AdmitRequest {
+                    submit: submit.clone(),
+                    bytes,
+                    writer: Arc::clone(writer),
+                })
+                .is_ok()
+            });
+            if !forwarded {
+                // The admission thread is gone: the drain has already
+                // completed. Same answer a draining queue would give.
+                gate.release();
+                send_line(writer, &protocol::shed(ShedReason::Draining, &submit.tag));
+            }
+        }
         Request::Status => send_line(writer, &shared.status_line()),
         Request::Ping => send_line(writer, &protocol::pong()),
         Request::Shutdown => {
@@ -670,14 +1233,16 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
                 return;
             }
             send_line(writer, &protocol::subscribed());
-            // Tap → *bounded* channel → pump thread → socket. The tap
+            // Tap → *bounded* channel → pump thread → outbox. The tap
             // never blocks (telemetry producers hold the tap lock while
             // emitting, so a stalled subscriber must cost them nothing):
             // when the buffer is full the tap just raises the lagged
-            // flag. The pump notices, emits `subscriber_lagged`, and
-            // disconnects the subscription — the tap closure itself
-            // cannot call `remove_tap`, which takes the lock `emit` is
-            // already holding when it invokes taps.
+            // flag. The pump notices — likewise when the subscriber's
+            // outbox backs up past the same bound, the outbox being
+            // unbounded — emits `subscriber_lagged`, and disconnects
+            // the subscription. The tap closure itself cannot call
+            // `remove_tap`, which takes the lock `emit` is already
+            // holding when it invokes taps.
             let (tx, rx) = sync_channel::<String>(shared.cfg.sub_buffer);
             let lagged = Arc::new(AtomicBool::new(false));
             let lag_flag = Arc::clone(&lagged);
@@ -691,10 +1256,11 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
             });
             *tap_id = Some(id);
             let pump_writer = Arc::clone(writer);
+            let sub_cap = shared.cfg.sub_buffer;
             let _ = std::thread::Builder::new()
                 .name("vsnoop-svc-sub".into())
                 .spawn(move || loop {
-                    if lagged.load(Ordering::Relaxed) {
+                    if lagged.load(Ordering::Relaxed) || pump_writer.backlog_lines() > sub_cap {
                         crate::obs::telemetry::remove_tap(id);
                         if crate::obs::telemetry_active() {
                             crate::obs::telemetry::emit(
@@ -713,19 +1279,12 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
                         );
                         return;
                     }
+                    if pump_writer.is_closed() {
+                        crate::obs::telemetry::remove_tap(id);
+                        return;
+                    }
                     match rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(record) => {
-                            let mut stream = pump_writer.lock().unwrap_or_else(|e| e.into_inner());
-                            let ok = stream
-                                .write_all(record.as_bytes())
-                                .and_then(|()| stream.write_all(b"\n"))
-                                .and_then(|()| stream.flush())
-                                .is_ok();
-                            if !ok {
-                                crate::obs::telemetry::remove_tap(id);
-                                return;
-                            }
-                        }
+                        Ok(record) => send_line(&pump_writer, &record),
                         Err(RecvTimeoutError::Timeout) => {}
                         // Tap removed elsewhere (connection closed).
                         Err(RecvTimeoutError::Disconnected) => return,
@@ -735,8 +1294,9 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
     }
 }
 
-/// Admission for one submit: dedup on the idempotency key, build the
-/// job, offer it, make the acceptance durable, answer.
+/// Admission for one submit (on the admission thread): dedup on the
+/// idempotency key, build the job, offer it, make the acceptance
+/// durable, answer.
 ///
 /// Durability ordering: the WAL `accepted` record is written *and
 /// fsynced* before the `accepted` line goes out — a client that has
@@ -744,6 +1304,12 @@ fn handle_request(line: &str, writer: &ConnWriter, shared: &Arc<Shared>, tap_id:
 /// write fails the client gets a retryable `wal_failed` error instead
 /// (the job still runs, and a keyed retry dedups against it, so the
 /// failure degrades durability without breaking no-duplication).
+///
+/// Pipeline-gate contract: the caller (reactor) acquired one slot for
+/// this submit. Paths that answer terminally here (dedup `done`
+/// replay, factory error, shed) release it; paths that promise a
+/// later `done` (queued, in-flight waiter, even `wal_failed` — the
+/// job runs) keep it, and [`finish_job`] releases it with the `done`.
 fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc<Shared>) {
     // Idempotency dedup first: a duplicate must be answered from the
     // original run even when the server is draining or the queue is
@@ -761,6 +1327,7 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
                 emit_idem_hit(shared, job_id, &submit, "done");
                 send_line(writer, &protocol::accepted(job_id, &submit.tag));
                 send_line(writer, &line);
+                writer.gate.release();
                 return;
             }
             Some(IdemState::InFlight { job_id }) => {
@@ -787,6 +1354,7 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
         Ok(job) => job,
         Err(message) => {
             send_line(writer, &protocol::error(&message, &submit.tag));
+            writer.gate.release();
             return;
         }
     };
@@ -810,6 +1378,7 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
                 emit_idem_hit(shared, existing, &submit, "race");
                 send_line(writer, &protocol::accepted(existing, &submit.tag));
                 send_line(writer, &line);
+                writer.gate.release();
                 return;
             }
             Some(IdemState::InFlight { job_id }) => {
@@ -902,6 +1471,7 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
                 );
             }
             send_line(writer, &protocol::shed(reason, &submit.tag));
+            writer.gate.release();
         }
     }
 }
@@ -922,7 +1492,8 @@ fn emit_idem_hit(shared: &Arc<Shared>, job_id: u64, submit: &Submit, phase: &str
     }
 }
 
-/// The scheduler: dispatch, deadlines, completions, drain.
+/// The scheduler: dispatch, deadlines, completions, progress frames,
+/// drain.
 fn scheduler_loop(
     shared: &Arc<Shared>,
     tx: Sender<(u64, WorkerOutcome)>,
@@ -1077,9 +1648,12 @@ fn scheduler_loop(
             Err(RecvTimeoutError::Disconnected) => unreachable!("scheduler holds a sender"),
         }
 
-        // 4. Deadline watchdog: cancel overdue tokens; abandon jobs
-        //    that ignored the cancel past `cancel_grace`.
+        // 4. Deadline watchdog + progress streaming: cancel overdue
+        //    tokens, abandon jobs that ignored the cancel past
+        //    `cancel_grace`, and stream a `progress` frame to each
+        //    running job's submitter on the configured cadence.
         let now = Instant::now();
+        let progress_every = shared.cfg.progress_interval;
         let mut abandoned: Vec<u64> = Vec::new();
         for (id, run) in running.iter_mut() {
             if run.cancel_cause.is_none() && now >= run.deadline {
@@ -1090,6 +1664,22 @@ fn scheduler_loop(
             if let Some(at) = run.cancelled_at {
                 if now.duration_since(at) >= shared.cfg.cancel_grace {
                     abandoned.push(*id);
+                }
+            }
+            if progress_every > Duration::ZERO
+                && now.duration_since(run.last_progress) >= progress_every
+            {
+                run.last_progress = now;
+                if let Some(w) = &run.writer {
+                    send_line(
+                        w,
+                        &protocol::progress(
+                            *id,
+                            &run.name,
+                            now.duration_since(run.started).as_millis() as u64,
+                            &run.tag,
+                        ),
+                    );
                 }
             }
         }
@@ -1159,6 +1749,8 @@ fn scheduler_loop(
         );
     }
     shared.done.store(true, Ordering::SeqCst);
+    // The reactor may be parked in a poll: start its final flush now.
+    shared.wake.waker.wake();
     report
 }
 
@@ -1192,6 +1784,7 @@ fn dispatch(
     } = pending;
     let token = CancelToken::new();
     let limit_ms = deadline.as_millis() as u64;
+    let now = Instant::now();
     running.insert(
         job_id,
         Running {
@@ -1199,13 +1792,15 @@ fn dispatch(
             name: job.spec.name.clone(),
             seed: job.spec.seed,
             token: token.clone(),
-            deadline: Instant::now() + deadline,
+            started: now,
+            deadline: now + deadline,
             limit_ms,
             tag,
             idem_key,
             writer,
             cancel_cause: None,
             cancelled_at: None,
+            last_progress: now,
         },
     );
     if crate::obs::telemetry_active() {
@@ -1306,7 +1901,8 @@ fn abandon_error(run: &Running) -> JobError {
 
 /// Terminal bookkeeping shared by every completion path: telemetry,
 /// WAL `done` record, journal entry, idempotency-map completion,
-/// `done` responses to the submitting connection and every waiter.
+/// `done` responses to the submitting connection and every waiter —
+/// each send also releasing that connection's pipeline-gate slot.
 ///
 /// Ordering is the durability contract's other half: the outcome is
 /// made durable (WAL fsync, journal) *before* any client sees `done`,
@@ -1375,8 +1971,92 @@ fn finish_job(
     };
     if let Some(w) = writer {
         send_line(w, &protocol::done(job_id, name, &outcome, tag));
+        w.gate.release();
     }
     for (w, waiter_tag) in waiting {
         send_line(&w, &protocol::done(job_id, name, &outcome, &waiter_tag));
+        w.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(chunks: &[&[u8]], max: usize) -> (Vec<String>, usize, Vec<u8>, bool) {
+        let mut rbuf = Vec::new();
+        let mut discarding = false;
+        let mut out = Vec::new();
+        for chunk in chunks {
+            assemble_frames(&mut rbuf, &mut discarding, chunk, max, &mut out);
+        }
+        let mut lines = Vec::new();
+        let mut oversized = 0usize;
+        for frame in out {
+            match frame {
+                FrameOut::Line(l) => lines.push(l),
+                FrameOut::Oversized => oversized += 1,
+            }
+        }
+        (lines, oversized, rbuf, discarding)
+    }
+
+    #[test]
+    fn assembles_lines_torn_across_chunks() {
+        let (lines, oversized, rbuf, discarding) = collect(
+            &[b"{\"op\":\"pi", b"ng\"}\n{\"op\"", b":\"status\"}\npar"],
+            1024,
+        );
+        assert_eq!(lines, vec!["{\"op\":\"ping\"}", "{\"op\":\"status\"}"]);
+        assert_eq!(oversized, 0);
+        assert_eq!(rbuf, b"par");
+        assert!(!discarding);
+    }
+
+    #[test]
+    fn one_chunk_many_frames_and_empty_lines_pass_through() {
+        let (lines, oversized, rbuf, _) = collect(&[b"a\nb\n\nc\n"], 1024);
+        assert_eq!(lines, vec!["a", "b", "", "c"]);
+        assert_eq!(oversized, 0);
+        assert!(rbuf.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_discarded_not_buffered() {
+        // 10-byte cap; a 20-byte line torn across chunks must cost one
+        // Oversized, keep nothing buffered, and resync on the newline.
+        let (lines, oversized, rbuf, discarding) =
+            collect(&[b"0123456789AB", b"CDEFGHIJ\nok\n"], 10);
+        assert_eq!(lines, vec!["ok"]);
+        assert_eq!(oversized, 1);
+        assert!(rbuf.is_empty());
+        assert!(!discarding);
+    }
+
+    #[test]
+    fn frame_exactly_at_cap_is_allowed_and_one_over_is_not() {
+        let at = vec![b'x'; 10];
+        let mut with_newline = at.clone();
+        with_newline.push(b'\n');
+        let (lines, oversized, _, _) = collect(&[&with_newline], 10);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].len(), 10);
+        assert_eq!(oversized, 0);
+
+        let over = vec![b'y'; 11];
+        let mut with_newline = over.clone();
+        with_newline.push(b'\n');
+        let (lines, oversized, _, _) = collect(&[&with_newline], 10);
+        assert!(lines.is_empty());
+        assert_eq!(oversized, 1);
+    }
+
+    #[test]
+    fn discard_state_spans_many_chunks() {
+        let big = vec![b'z'; 64];
+        let (lines, oversized, _, discarding) = collect(&[&big, &big, &big, b"\ndone\n"], 16);
+        assert_eq!(lines, vec!["done"]);
+        assert_eq!(oversized, 1);
+        assert!(!discarding);
     }
 }

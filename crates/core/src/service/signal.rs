@@ -2,16 +2,23 @@
 //!
 //! The workspace builds offline with no signal-handling crate, so this
 //! installs a raw `signal(2)` handler via the libc that `std` already
-//! links. The handler does the only thing that is async-signal-safe:
-//! it stores into a process-global `AtomicBool`. The server's accept
-//! loop polls that flag (it already wakes every ~50ms for nonblocking
-//! accept) and runs the full drain sequence from normal thread
-//! context.
+//! links. The handler does only things that are async-signal-safe: it
+//! stores into a process-global `AtomicBool`, and — when a reactor has
+//! registered its wake fd via [`set_wake_fd`] — writes one byte to it
+//! (`write(2)` is on the async-signal-safe list), so a reactor blocked
+//! in `poll`/`epoll_wait` notices the drain immediately instead of on
+//! its next timeout tick. The reactor polls [`requested`] on every
+//! pass either way, so the wake fd is a latency optimization, not a
+//! correctness requirement.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
-/// Set by the handler; polled by the accept loop.
+/// Set by the handler; polled by the reactor loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The reactor's waker fd (−1 when none is registered). Written by the
+/// signal handler to turn a signal into an immediate poll wakeup.
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
 /// Signal numbers per POSIX (stable on every platform we build for).
 #[cfg(unix)]
@@ -23,12 +30,37 @@ const SIGTERM: i32 = 15;
 extern "C" {
     /// `signal(2)` from the platform libc (linked by `std`).
     fn signal(signum: i32, handler: usize) -> usize;
+    /// `write(2)` — async-signal-safe, used to poke the reactor.
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
 }
 
-/// The installed handler: flag-store only (async-signal-safe).
+/// The installed handler: flag store + best-effort reactor wakeup
+/// (both async-signal-safe).
 #[cfg(unix)]
 extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
+    let fd = WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = 1u8;
+        unsafe {
+            let _ = write(fd, &byte, 1);
+        }
+    }
+}
+
+/// Registers the reactor's waker write-fd so a signal wakes a blocked
+/// poll immediately. Last registration wins (one serving reactor per
+/// process in practice; extra reactors still notice via polling).
+pub fn set_wake_fd(fd: i32) {
+    WAKE_FD.store(fd, Ordering::SeqCst);
+}
+
+/// Deregisters `fd` if it is still the registered waker (compare-and-
+/// swap, so a newer reactor's registration is never clobbered). Called
+/// when a reactor exits — its fd is about to close, and a reused fd
+/// number must not receive stray signal bytes.
+pub fn clear_wake_fd(fd: i32) {
+    let _ = WAKE_FD.compare_exchange(fd, -1, Ordering::SeqCst, Ordering::SeqCst);
 }
 
 /// Installs the SIGTERM/SIGINT handlers. Idempotent; call once from
@@ -73,5 +105,14 @@ mod tests {
         assert!(requested());
         reset();
         assert!(!requested());
+    }
+
+    #[test]
+    fn clear_wake_fd_only_clears_its_own_registration() {
+        set_wake_fd(1000);
+        clear_wake_fd(999); // stale reactor: not the registered fd
+        assert_eq!(WAKE_FD.load(Ordering::SeqCst), 1000);
+        clear_wake_fd(1000);
+        assert_eq!(WAKE_FD.load(Ordering::SeqCst), -1);
     }
 }

@@ -712,18 +712,24 @@ impl Simulator {
 
     /// Pins the parallel engine's worker count for this simulator,
     /// overriding the `VSNOOP_ENGINE_WORKERS` environment knob. `1`
-    /// forces the serial path; higher counts take effect only for runs
-    /// the batched engine can execute bit-identically (see its
-    /// eligibility gate) — everything else stays serial regardless.
-    pub fn set_engine_workers(&mut self, workers: usize) {
-        self.engine_workers = Some(workers.max(1));
+    /// forces the serial path; `None` auto-picks the host's available
+    /// parallelism (same resolution as `VSNOOP_ENGINE_WORKERS=auto`);
+    /// higher counts take effect only for runs the batched engine can
+    /// execute bit-identically (see its eligibility gate) — everything
+    /// else stays serial regardless.
+    pub fn set_engine_workers(&mut self, workers: impl Into<Option<usize>>) {
+        self.engine_workers = Some(match workers.into() {
+            Some(w) => w.max(1),
+            None => crate::knob::auto_workers(),
+        });
     }
 
     /// Worker count in force: instance override, else the
-    /// `VSNOOP_ENGINE_WORKERS` knob, else 1 (serial).
+    /// `VSNOOP_ENGINE_WORKERS` knob (a count, or `auto` for the host's
+    /// available parallelism), else 1 (serial).
     fn resolved_engine_workers(&self) -> usize {
         self.engine_workers
-            .or_else(|| crate::knob::env_positive_usize("VSNOOP_ENGINE_WORKERS"))
+            .or_else(|| crate::knob::env_worker_count("VSNOOP_ENGINE_WORKERS"))
             .unwrap_or(1)
     }
 
@@ -1818,6 +1824,17 @@ mod tests {
             },
         );
         (sim, wl)
+    }
+
+    #[test]
+    fn engine_workers_none_auto_picks_available_parallelism() {
+        let (mut sim, _) = small_sim(FilterPolicy::TokenBroadcast);
+        sim.set_engine_workers(None);
+        assert_eq!(sim.resolved_engine_workers(), crate::knob::auto_workers());
+        sim.set_engine_workers(4);
+        assert_eq!(sim.resolved_engine_workers(), 4);
+        sim.set_engine_workers(0); // clamped to the serial floor
+        assert_eq!(sim.resolved_engine_workers(), 1);
     }
 
     #[test]

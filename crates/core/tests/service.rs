@@ -870,3 +870,338 @@ fn lagged_subscriber_is_disconnected_with_typed_error() {
     server.shutdown();
     server.wait();
 }
+
+/// Tentpole: one connection pipelines a batch of submits without
+/// waiting for answers. The reactor assembles the frames in arrival
+/// order, the admission thread preserves that order, and a single
+/// worker executes them FIFO — so both the `accepted` acks and the
+/// `done` results come back in submit order on the one socket.
+#[test]
+fn pipelined_submits_on_one_connection_answer_in_order() {
+    let cfg = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::default()), cfg);
+    let mut conn = Conn::open(&server);
+
+    let tags: Vec<String> = (0..6).map(|i| format!("p{i}")).collect();
+    for tag in &tags {
+        conn.submit("acme", "quick", None, tag);
+    }
+
+    let mut accepted = Vec::new();
+    let mut done = Vec::new();
+    while done.len() < tags.len() {
+        match conn.recv() {
+            Response::Accepted { tag, .. } => accepted.push(tag.unwrap_or_default()),
+            Response::Done { outcome, tag, .. } => {
+                assert!(outcome.is_ok());
+                done.push(tag.unwrap_or_default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(accepted, tags, "acks follow submit order");
+    assert_eq!(done, tags, "one worker answers FIFO");
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.done, 6);
+}
+
+/// Tentpole: submits pipelined past the per-connection cap are shed
+/// with the typed retryable `pipeline_full` reason, while the ones
+/// under the cap still run to completion.
+#[test]
+fn pipelining_past_the_cap_sheds_typed_pipeline_full() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        pipeline_limit: 2,
+        drain_grace: Duration::from_millis(150),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    // Fill both pipeline slots: a running blocker plus one queued job.
+    conn.submit("acme", "poll", None, "blocker");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "the blocker job to start");
+    conn.submit("acme", "quick", None, "queued");
+    match conn.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+
+    // The third in-flight submit overflows the connection's pipeline.
+    conn.submit("acme", "quick", None, "over");
+    match conn.recv() {
+        Response::Shed {
+            reason,
+            retryable,
+            tag,
+            ..
+        } => {
+            assert_eq!(reason, "pipeline_full");
+            assert!(retryable, "a full pipeline invites a retry after reading");
+            assert_eq!(tag.as_deref(), Some("over"));
+        }
+        other => panic!("expected shed, got {other:?}"),
+    }
+
+    // Both admitted jobs still reach terminal answers on the drain.
+    server.shutdown();
+    let mut terminal = 0;
+    while terminal < 2 {
+        match conn.recv() {
+            Response::Done { .. } => terminal += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let report = server.wait();
+    assert_eq!(report.done, 2);
+}
+
+/// Tentpole: a running job streams `progress` frames to its submitting
+/// connection between `accepted` and `done` when a cadence is
+/// configured.
+#[test]
+fn long_running_job_streams_progress_frames_mid_flight() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        progress_interval: Duration::from_millis(25),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+    let mut conn = Conn::open(&server);
+
+    // A poll job with a 300 ms deadline: runs long enough for several
+    // progress ticks, then times out to a terminal `done`.
+    conn.submit("acme", "poll", Some(300), "t");
+    let mut progress = 0u32;
+    let mut saw_accept = false;
+    loop {
+        match conn.recv() {
+            Response::Accepted { .. } => saw_accept = true,
+            Response::Progress {
+                job, elapsed_ms, ..
+            } => {
+                assert!(saw_accept, "progress must follow the accepted ack");
+                assert_eq!(job, "poll");
+                assert!(elapsed_ms > 0, "elapsed time is measured");
+                progress += 1;
+            }
+            Response::Done { outcome, .. } => {
+                let (kind, _) = outcome.expect_err("the poll job times out");
+                assert_eq!(kind, "timeout");
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        progress >= 1,
+        "a 300ms job at a 25ms cadence must stream progress"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Tentpole: a connection with no traffic and no in-flight work is
+/// reaped after the idle timeout with a typed retryable `idle_timeout`
+/// error, while a connection whose job is still running is kept alive
+/// no matter how long it stays quiet.
+#[test]
+fn idle_connections_are_reaped_but_busy_ones_survive() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(150),
+        drain_grace: Duration::from_millis(150),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+
+    // Busy connection: its poll job keeps it exempt from reaping.
+    let mut busy = Conn::open(&server);
+    busy.submit("acme", "poll", None, "blocker");
+    match busy.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "the blocker job to start");
+
+    // Idle connection: reaped with the typed error, then closed.
+    let mut idle = Conn::open(&server);
+    match idle.recv() {
+        Response::Error {
+            code,
+            retryable,
+            message,
+            ..
+        } => {
+            assert_eq!(code.as_deref(), Some("idle_timeout"), "{message}");
+            assert!(retryable, "reconnecting after an idle reap is fine");
+        }
+        other => panic!("expected idle_timeout error, got {other:?}"),
+    }
+    let mut rest = String::new();
+    assert_eq!(
+        idle.reader.read_line(&mut rest).expect("read to EOF"),
+        0,
+        "the reaped connection is closed after the error: {rest:?}"
+    );
+
+    // The busy connection sat just as quiet but still answers.
+    busy.send(r#"{"op":"ping"}"#);
+    assert_eq!(busy.recv(), Response::Pong);
+
+    server.shutdown();
+    match busy.recv() {
+        Response::Done { outcome, .. } => {
+            let (kind, _) = outcome.expect_err("drained job is cancelled");
+            assert_eq!(kind, "cancelled");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.wait();
+}
+
+/// Tentpole: a drain with hundreds of parked connections — open,
+/// idle, nothing in flight — walks the reactor's connection table
+/// instead of joining per-connection threads: every parked socket is
+/// closed promptly, the one running job still reaches its terminal
+/// answer, and the whole shutdown is far faster than any per-
+/// connection timeout.
+#[test]
+fn drain_closes_hundreds_of_parked_connections_promptly() {
+    let started = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig {
+        workers: 1,
+        drain_grace: Duration::from_millis(200),
+        cancel_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let server = start(test_factory(Arc::clone(&started)), cfg);
+
+    let mut active = Conn::open(&server);
+    active.submit("acme", "poll", None, "blocker");
+    match active.recv() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    wait_for(&started, "the blocker job to start");
+
+    // A ping/pong roundtrip proves each connection made it out of the
+    // accept backlog and into the reactor's table before we drain —
+    // connections still queued on the listener when it closes get a
+    // kernel RST, which is not what this test is about.
+    let parked: Vec<Conn> = (0..300)
+        .map(|_| {
+            let mut conn = Conn::open(&server);
+            conn.send(r#"{"op":"ping"}"#);
+            assert_eq!(conn.recv(), Response::Pong);
+            conn
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    server.shutdown();
+    match active.recv() {
+        Response::Done { outcome, .. } => {
+            let (kind, _) = outcome.expect_err("drained job is cancelled");
+            assert_eq!(kind, "cancelled");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Every parked connection sees a clean close, not a hang or reset.
+    for (i, mut conn) in parked.into_iter().enumerate() {
+        let mut line = String::new();
+        assert_eq!(
+            conn.reader.read_line(&mut line).expect("read to EOF"),
+            0,
+            "parked connection {i} got unexpected data: {line:?}"
+        );
+    }
+    let report = server.wait();
+    let elapsed = t0.elapsed();
+    assert_eq!(report.done, 1);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "drain of 300 parked connections took {elapsed:?}"
+    );
+}
+
+/// Tentpole: the reactor's incremental frame assembly — a request
+/// torn into tiny writes with pauses in between (worst-case
+/// nonblocking reads) still parses as exactly one frame, and several
+/// frames landing in one read still each get an answer.
+#[test]
+fn torn_and_coalesced_frames_assemble_correctly() {
+    let server = start(test_factory(Arc::default()), ServiceConfig::default());
+    let mut conn = Conn::open(&server);
+
+    // One submit dribbled out 5 bytes at a time across ~20 writes.
+    let line = Value::obj(vec![
+        ("op", Value::Str("submit".into())),
+        ("tenant", Value::Str("acme".into())),
+        ("job", Value::Str("quick".into())),
+        ("tag", Value::Str("torn".into())),
+    ])
+    .to_json()
+        + "\n";
+    for chunk in line.as_bytes().chunks(5) {
+        conn.writer.write_all(chunk).expect("write chunk");
+        conn.writer.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    match conn.recv() {
+        Response::Accepted { tag, .. } => assert_eq!(tag.as_deref(), Some("torn")),
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    match conn.recv_terminal() {
+        Response::Done { outcome, tag, .. } => {
+            assert!(outcome.is_ok());
+            assert_eq!(tag.as_deref(), Some("torn"));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // Two pings and a submit coalesced into a single write: three
+    // frames, three answers.
+    let batch = "{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n".to_string()
+        + &Value::obj(vec![
+            ("op", Value::Str("submit".into())),
+            ("tenant", Value::Str("acme".into())),
+            ("job", Value::Str("quick".into())),
+            ("tag", Value::Str("batched".into())),
+        ])
+        .to_json()
+        + "\n";
+    conn.writer
+        .write_all(batch.as_bytes())
+        .expect("write batch");
+    conn.writer.flush().expect("flush");
+    assert_eq!(conn.recv(), Response::Pong);
+    assert_eq!(conn.recv(), Response::Pong);
+    match conn.recv_terminal() {
+        Response::Done { outcome, tag, .. } => {
+            assert!(outcome.is_ok());
+            assert_eq!(tag.as_deref(), Some("batched"));
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.done, 2);
+}

@@ -201,6 +201,26 @@ CHAOS_LOG=target/campaign/verify-chaos.log
   --chaos --chaos-seed 42 > "$CHAOS_LOG" 2>&1
 grep -q '^chaos: faults=' "$CHAOS_LOG"
 
+echo "==> service smoke (512-connection reactor soak)"
+# The connection layer's scaling contract: one reactor thread holding
+# 512 concurrent connections, every request answered (loadtest exits 1
+# on any unanswered request), with progress streaming on. Then the
+# same herd against starved queues (--overload: typed sheds, no
+# hangs), and a 64-connection chaos run (reactor reads torn frames
+# from a hostile proxy). Logs pile into one file kept as a CI
+# artifact on failure.
+CONNS_LOG=target/campaign/verify-conns.log
+: > "$CONNS_LOG"
+./target/release/loadtest --clients 512 --tenants 8 --jobs 2 --spin-ms 0 \
+  --workers 4 --queue-cap 2048 --max-inflight 8 --max-queued 512 \
+  --deadline-ms 60000 --progress-ms 100 >> "$CONNS_LOG" 2>&1
+grep -q 'unanswered=0' "$CONNS_LOG"
+./target/release/loadtest --clients 512 --tenants 8 --jobs 2 --spin-ms 1 \
+  --overload >> "$CONNS_LOG" 2>&1
+./target/release/loadtest --clients 64 --tenants 8 --jobs 2 --spin-ms 1 \
+  --chaos --chaos-seed 7 >> "$CONNS_LOG" 2>&1
+grep -q '^chaos: faults=' "$CONNS_LOG"
+
 echo "==> durability smoke (kill -9 mid-flight, recover, reconcile)"
 # The full crash-safety contract (SERVICE.md "Durability & recovery"):
 # kill -9 a durable server with jobs in flight, restart it on the same
