@@ -150,6 +150,13 @@ fn main() -> ExitCode {
         "latency p50={:.2}ms p99={:.2}ms max={:.2}ms  throughput={:.0} req/s  elapsed={:.2}s",
         report.p50_ms, report.p99_ms, report.max_ms, report.requests_per_sec, report.elapsed_s
     );
+    // Server-measured percentiles from the `metrics` wire op, printed
+    // next to the client-measured line above (the server resolves to
+    // log2 bucket edges, so its p99 may read up to 2x the client's).
+    println!(
+        "server  p50={:.2}ms p99={:.2}ms (from metrics op)",
+        report.server_p50_ms, report.server_p99_ms
+    );
     println!("peak RSS: {} MiB", report.peak_rss_bytes / (1024 * 1024));
 
     if report.unanswered > 0 {

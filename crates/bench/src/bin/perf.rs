@@ -41,6 +41,13 @@
 //!   short `PERF_ROUNDS` smoke amortizes that fixed cost over too few
 //!   rounds and reads systematically low against the committed
 //!   full-length baseline.
+//! * `storm_metrics` — `storm_par8` with the engine-phase metrics gate
+//!   (`VSNOOP_METRICS`) forced on, so the per-phase histograms
+//!   (update-procs / update-caches / update-net, shard imbalance) are
+//!   recorded while the batched engine runs. Like `storm_traced` it has
+//!   no committed baseline entry, so `--check` never gates on it —
+//!   compare it against `storm_par8` in the same run to bound the
+//!   instrumentation cost.
 //! * `pinned` — fault-free vsnoop-base with pinned vCPUs: the filtered
 //!   fast path (small destination sets).
 //! * `broadcast` — fault-free TokenBroadcast: every transaction snoops
@@ -179,8 +186,8 @@ fn parse_cli() -> Result<Cli, String> {
                      \u{20}           [--warmup N] [--reps N] [--only NAME]... [--list] \
                      [--trace-dir DIR]\n\
                      bins: storm, storm_unchecked, storm_traced, storm_par1, storm_par2, \
-                     storm_par4, storm_par8, pinned, broadcast, campaign, campaign_serial, \
-                     service, service_conns"
+                     storm_par4, storm_par8, storm_metrics, pinned, broadcast, campaign, \
+                     campaign_serial, service, service_conns"
                         .into(),
                 );
             }
@@ -300,6 +307,10 @@ struct BinSpec {
     /// Worker count for the batched parallel engine
     /// ([`Simulator::set_engine_workers`]); 1 pins the serial path.
     workers: usize,
+    /// Force the engine-phase metrics gate on for this bin
+    /// ([`vsnoop::obs::metrics::set_enabled`]), so the per-phase
+    /// histograms record while the batched engine runs.
+    metrics: bool,
     drive: Drive,
 }
 
@@ -314,6 +325,7 @@ fn bins() -> Vec<BinSpec> {
             checker: true,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -326,6 +338,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -338,6 +351,7 @@ fn bins() -> Vec<BinSpec> {
             checker: true,
             traced: true,
             workers: 1,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -350,6 +364,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -362,6 +377,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 2,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -374,6 +390,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 4,
+            metrics: false,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -386,6 +403,20 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 8,
+            metrics: false,
+            drive: Drive::Migration {
+                period_cycles: storm_period,
+                seed: 0x51A9,
+            },
+        },
+        BinSpec {
+            name: "storm_metrics",
+            policy: FilterPolicy::VsnoopBase,
+            faults: false,
+            checker: false,
+            traced: false,
+            workers: 8,
+            metrics: true,
             drive: Drive::Migration {
                 period_cycles: storm_period,
                 seed: 0x51A9,
@@ -398,6 +429,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -407,6 +439,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Plain,
         },
         BinSpec {
@@ -416,6 +449,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Campaign { reuse: true },
         },
         BinSpec {
@@ -425,6 +459,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Campaign { reuse: false },
         },
         BinSpec {
@@ -434,6 +469,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Service { conns: false },
         },
         BinSpec {
@@ -443,6 +479,7 @@ fn bins() -> Vec<BinSpec> {
             checker: false,
             traced: false,
             workers: 1,
+            metrics: false,
             drive: Drive::Service { conns: true },
         },
     ]
@@ -648,7 +685,9 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     // at the same window length — pin it (`PERF_PAR_ROUNDS`, default
     // 20 000), the same convention as the campaign pair, so a short
     // `PERF_ROUNDS` smoke still gates them at full scale.
-    let cli_rounds = if spec.name.starts_with("storm_par") {
+    // `storm_metrics` shares the pinned window so it compares against
+    // `storm_par8` at equal scale.
+    let cli_rounds = if spec.name.starts_with("storm_par") || spec.name == "storm_metrics" {
         env_u64("PERF_PAR_ROUNDS", 20_000)
     } else {
         cli_rounds
@@ -666,6 +705,23 @@ fn run_bin(spec: &BinSpec, cli_rounds: u64, warmup: u64, reps: u32, seed: u64) -
     }
     let _trace = TraceGuard(if spec.traced && !vsnoop::obs::enabled() {
         vsnoop::obs::set_trace_dir(Some(PathBuf::from("target/perf-trace")));
+        true
+    } else {
+        false
+    });
+    // `storm_metrics`: force the engine-phase metrics gate on for this
+    // bin only, restoring the disabled (zero-cost) state afterwards so
+    // the other bins keep measuring the ungated hot path.
+    struct MetricsGuard(bool);
+    impl Drop for MetricsGuard {
+        fn drop(&mut self) {
+            if self.0 {
+                vsnoop::obs::metrics::set_enabled(false);
+            }
+        }
+    }
+    let _metrics = MetricsGuard(if spec.metrics && !vsnoop::obs::metrics::enabled() {
+        vsnoop::obs::metrics::set_enabled(true);
         true
     } else {
         false
@@ -902,6 +958,7 @@ fn main() -> ExitCode {
             let checker = spec.checker;
             let traced = spec.traced;
             let workers = spec.workers;
+            let metrics = spec.metrics;
             let drive = spec.drive;
             let (rounds, warmup, reps) = (cli.rounds, cli.warmup, cli.reps);
             let sink = Arc::clone(&results);
@@ -913,6 +970,7 @@ fn main() -> ExitCode {
                     checker,
                     traced,
                     workers,
+                    metrics,
                     drive,
                 };
                 let r = run_bin(&spec, rounds, warmup, reps, seed);

@@ -19,6 +19,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
+use vsnoop::obs::metrics::percentile;
 use vsnoop::runner::json::Value;
 use vsnoop::service::{serve, ChaosConfig, ChaosProxy, Response, ServiceConfig, TenantQuota};
 
@@ -119,6 +120,15 @@ pub struct LoadReport {
     /// Mid-run `progress` frames the clients observed (result
     /// streaming; 0 when jobs finish inside one progress interval).
     pub progress_frames: u64,
+    /// Server-measured end-to-end p50 from the `metrics` wire op,
+    /// milliseconds (0.0 when the scrape failed). The server's
+    /// histograms are process-global, so in a process running several
+    /// soaks they accumulate across runs — informational, not gated.
+    pub server_p50_ms: f64,
+    /// Server-measured end-to-end p99 (bucket upper edge capped at the
+    /// exact max, so it can read up to one power of two above the
+    /// client-measured p99).
+    pub server_p99_ms: f64,
 }
 
 impl LoadReport {
@@ -378,13 +388,29 @@ fn run_client_chaos(
     tally
 }
 
-/// Percentile by nearest-rank on a sorted slice.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+/// Queries the server's own `metrics` wire op — always directly
+/// against the server socket, never through a chaos proxy — and
+/// returns the server-measured end-to-end `(p50_ms, p99_ms)`.
+/// `(0.0, 0.0)` when anything fails: the scrape is informational and
+/// must never fail a soak.
+fn scrape_server_percentiles(addr: std::net::SocketAddr) -> (f64, f64) {
+    let scrape = || -> Option<(f64, f64)> {
+        let stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut writer = stream.try_clone().ok()?;
+        writer.write_all(b"{\"op\":\"metrics\"}\n").ok()?;
+        writer.flush().ok()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let v = Value::parse(line.trim()).ok()?;
+        let h = v
+            .get("metrics")?
+            .get("histograms")?
+            .get("service_request_us")?;
+        Some((h.get("p50_ms")?.as_f64()?, h.get("p99_ms")?.as_f64()?))
+    };
+    scrape().unwrap_or((0.0, 0.0))
 }
 
 /// Runs the full soak: server up, clients hammer it, graceful drain,
@@ -481,6 +507,9 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
             .collect()
     });
     let elapsed_s = t0.elapsed().as_secs_f64();
+    // Scrape the server's own latency histograms before the drain
+    // tears the reactor down.
+    let (server_p50_ms, server_p99_ms) = scrape_server_percentiles(addr);
     progress("clients done; draining server");
     server.shutdown();
     let _ = server.wait();
@@ -532,6 +561,8 @@ pub fn run_load(opts: &LoadOptions, progress: &mut dyn FnMut(&str)) -> Result<Lo
         reconnects: tallies.iter().map(|t| t.reconnects).sum(),
         chaos_faults,
         progress_frames: tallies.iter().map(|t| t.progress).sum(),
+        server_p50_ms,
+        server_p99_ms,
     })
 }
 
@@ -586,6 +617,13 @@ mod tests {
         assert_eq!(report.ok, 12, "all jobs complete: {report:?}");
         assert_eq!(report.unanswered, 0);
         assert!(report.p99_ms > 0.0);
+        // The server's own histograms answered the `metrics` op (the
+        // exact values accumulate process-globally across soaks, so
+        // only their shape is asserted here).
+        assert!(
+            report.server_p50_ms > 0.0 && report.server_p99_ms >= report.server_p50_ms,
+            "server-side percentiles present and ordered: {report:?}"
+        );
     }
 
     #[test]

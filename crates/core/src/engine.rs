@@ -38,8 +38,11 @@
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 use super::*;
+
+use crate::obs::metrics;
 
 /// Number of block-address shards. Eight keeps the eligibility bar low
 /// (every cache with >= 8 sets qualifies — the smallest test geometry has
@@ -273,6 +276,12 @@ pub(super) fn run_batched<W: SystemWorkload>(
         let mut migration_no = 0u64;
         let mut plan = new_plan(maps, friends);
 
+        // Engine-phase metrics are explicitly gated (VSNOOP_METRICS /
+        // `metrics::set_enabled`): with the gate off this path takes no
+        // clock readings at all, preserving the zero-cost contract.
+        let metrics_on = metrics::enabled();
+        let mut batch_start = metrics_on.then(Instant::now);
+
         for _ in 0..rounds {
             crate::runner::poll_current();
             *cycle += cfg.cycles_per_access;
@@ -282,6 +291,7 @@ pub(super) fn run_batched<W: SystemWorkload>(
                 if *cycle >= *due {
                     // The swap's map updates (and their sync traffic)
                     // happen-before this round's accesses: flush first.
+                    note_procs_phase(&mut batch_start);
                     flush_batch(
                         std::mem::replace(&mut plan, new_plan(maps, friends)),
                         &plan_txs,
@@ -290,7 +300,9 @@ pub(super) fn run_batched<W: SystemWorkload>(
                         net.traffic().byte_links(),
                         &mut replayed_bytes,
                         &cfg,
+                        metrics_on,
                     );
+                    batch_start = metrics_on.then(Instant::now);
                     *due += *period;
                     let (a, b) = pick(migration_no);
                     migration_no += 1;
@@ -338,6 +350,7 @@ pub(super) fn run_batched<W: SystemWorkload>(
                 });
             }
             if plan.round_cycles.len() >= BATCH_ROUNDS {
+                note_procs_phase(&mut batch_start);
                 flush_batch(
                     std::mem::replace(&mut plan, new_plan(maps, friends)),
                     &plan_txs,
@@ -346,9 +359,12 @@ pub(super) fn run_batched<W: SystemWorkload>(
                     net.traffic().byte_links(),
                     &mut replayed_bytes,
                     &cfg,
+                    metrics_on,
                 );
+                batch_start = metrics_on.then(Instant::now);
             }
         }
+        note_procs_phase(&mut batch_start);
         flush_batch(
             plan,
             &plan_txs,
@@ -357,6 +373,7 @@ pub(super) fn run_batched<W: SystemWorkload>(
             net.traffic().byte_links(),
             &mut replayed_bytes,
             &cfg,
+            metrics_on,
         );
 
         for tx in &plan_txs {
@@ -404,10 +421,25 @@ fn new_plan(maps: &VcpuMapFile, friends: &[Option<VmId>]) -> BatchPlan {
     }
 }
 
+/// Closes an update-procs timing window (if one is open) into its
+/// histogram. The window is `Some` only while engine-phase metrics are
+/// enabled, so the disabled path never reads the clock.
+fn note_procs_phase(batch_start: &mut Option<Instant>) {
+    if let Some(t0) = batch_start.take() {
+        metrics::ENGINE_UPDATE_PROCS_US.record(t0.elapsed().as_micros() as u64);
+    }
+}
+
 /// Dispatches one batch to every worker, then replays the collected
 /// attempt logs (stage 3, update-net): the stall for every attempt is
 /// recomputed against the running global byte-links counter in exact
 /// serial `(round, core, attempt)` order.
+///
+/// With `metrics_on`, the update-caches wall time (dispatch → last
+/// worker reply), the shard imbalance (last reply − first reply) and
+/// the update-net replay time land in their histograms; off, no clock
+/// is read.
+#[allow(clippy::too_many_arguments)]
 fn flush_batch(
     plan: BatchPlan,
     plan_txs: &[Sender<WorkerMsg>],
@@ -416,23 +448,37 @@ fn flush_batch(
     net_bytes: u64,
     replayed_bytes: &mut u64,
     cfg: &SystemConfig,
+    metrics_on: bool,
 ) {
     if plan.round_cycles.is_empty() {
         return;
     }
+    let dispatch_start = metrics_on.then(Instant::now);
     let plan = Arc::new(plan);
     for tx in plan_txs {
         tx.send(WorkerMsg::Batch(Arc::clone(&plan)))
             .expect("engine worker hung up");
     }
     let mut logs: Vec<AttemptLog> = Vec::new();
+    let mut first_reply: Option<Instant> = None;
+    let mut last_reply: Option<Instant> = None;
     for _ in 0..plan_txs.len() {
         match out_rx.recv() {
             Ok(WorkerReply::Batch(mut l)) => logs.append(&mut l),
             Ok(WorkerReply::Final(_)) => unreachable!("final reply mid-run"),
             Err(_) => panic!("engine worker exited early"),
         }
+        if metrics_on {
+            let now = Instant::now();
+            first_reply.get_or_insert(now);
+            last_reply = Some(now);
+        }
     }
+    if let (Some(t0), Some(first), Some(last)) = (dispatch_start, first_reply, last_reply) {
+        metrics::ENGINE_UPDATE_CACHES_US.record(last.duration_since(t0).as_micros() as u64);
+        metrics::ENGINE_SHARD_IMBALANCE_US.record(last.duration_since(first).as_micros() as u64);
+    }
+    let replay_start = metrics_on.then(Instant::now);
     // One transaction per (round, core), attempts in ladder order: the
     // key is unique and reconstructs the serial charge order.
     logs.sort_unstable_by_key(|l| (l.round, l.core, l.attempt));
@@ -447,6 +493,9 @@ fn flush_batch(
         running += l.post_bytes;
     }
     *replayed_bytes = running - net_bytes;
+    if let Some(t0) = replay_start {
+        metrics::ENGINE_UPDATE_NET_US.record(t0.elapsed().as_micros() as u64);
+    }
 }
 
 /// [`Simulator::utilization`] with explicit inputs (the replay walks a

@@ -45,6 +45,30 @@ pub fn parse_positive(name: &str, raw: &str) -> Option<usize> {
     }
 }
 
+/// [`env_positive_usize`] for `u64`-valued knobs (millisecond periods
+/// like `VSNOOP_HEARTBEAT_MS`): same warn-once fall-back-to-default
+/// semantics, without the platform-width cap.
+pub fn env_positive_u64(name: &str) -> Option<u64> {
+    parse_positive_u64(name, &std::env::var(name).ok()?)
+}
+
+/// The parsing half of [`env_positive_u64`], split out so unit tests
+/// can exercise malformed values without mutating the process
+/// environment.
+pub fn parse_positive_u64(name: &str, raw: &str) -> Option<u64> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        Ok(_) => {
+            warn_malformed(name, raw, "must be a positive integer (>= 1)");
+            None
+        }
+        Err(_) => {
+            warn_malformed(name, raw, "is not an unsigned integer");
+            None
+        }
+    }
+}
+
 /// The worker count "auto" resolves to: the host's available
 /// parallelism, floored at 1 when it cannot be determined (restricted
 /// sandboxes).
@@ -107,6 +131,16 @@ mod tests {
         assert_eq!(parse_positive("VSNOOP_TEST_BAD", "-3"), None);
         assert_eq!(parse_positive("VSNOOP_TEST_BAD", "4.5"), None);
         assert_eq!(parse_positive("VSNOOP_TEST_BAD", ""), None);
+    }
+
+    #[test]
+    fn u64_variant_mirrors_usize_semantics() {
+        assert_eq!(parse_positive_u64("VSNOOP_TEST_OK64", "1000"), Some(1000));
+        assert_eq!(parse_positive_u64("VSNOOP_TEST_OK64", " 250 "), Some(250));
+        assert_eq!(parse_positive_u64("VSNOOP_TEST_BAD64", "0"), None);
+        assert_eq!(parse_positive_u64("VSNOOP_TEST_BAD64", "abc"), None);
+        assert_eq!(parse_positive_u64("VSNOOP_TEST_BAD64", "-1"), None);
+        assert_eq!(env_positive_u64("VSNOOP_TEST_DEFINITELY_UNSET"), None);
     }
 
     #[test]

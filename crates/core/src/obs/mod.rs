@@ -40,6 +40,7 @@
 pub mod epoch;
 pub mod flight;
 pub mod heartbeat;
+pub mod metrics;
 pub mod tail;
 pub mod telemetry;
 
@@ -51,7 +52,8 @@ pub use tail::Tailer;
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Fast gate for every hot-path hook: one relaxed atomic load, branch
 /// predictable because it never changes mid-run in practice.
@@ -119,7 +121,9 @@ pub fn trace_dir() -> Option<PathBuf> {
 /// variable (a directory path; empty or unset leaves tracing off).
 /// Called by every bench binary at startup; harmless to call twice.
 pub fn init_from_env() {
+    mono_ms(); // anchor the monotonic clock at startup
     if enabled() {
+        metrics::init_from_env();
         return;
     }
     if let Ok(dir) = std::env::var("VSNOOP_TRACE") {
@@ -128,6 +132,17 @@ pub fn init_from_env() {
             set_trace_dir(Some(PathBuf::from(dir)));
         }
     }
+    metrics::init_from_env();
+}
+
+/// Milliseconds elapsed since this clock's first use (one [`Instant`]
+/// anchored process-wide) — the monotonic companion to telemetry's
+/// wall-clock `ts_ms`, immune to clock steps. Every bench binary
+/// touches it at startup via [`init_from_env`], so in practice it
+/// counts from process start.
+pub fn mono_ms() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_millis() as u64
 }
 
 /// Runs `f` with this thread's scope label set to `label` (restoring

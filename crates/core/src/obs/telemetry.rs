@@ -7,8 +7,9 @@
 //! (rounds/s, RSS, warm-pool counters), shard-panic events from
 //! [`scatter`](crate::runner::scatter), and flight-dump notices. Each
 //! line carries a monotonically increasing `seq`, a wall-clock
-//! `ts_ms`, the emitting thread's scope label, and the event's own
-//! fields.
+//! `ts_ms`, a monotonic `mono_ms` (milliseconds since process start,
+//! immune to clock steps), the emitting thread's scope label, and the
+//! event's own fields.
 //!
 //! Everything goes to the side file, **never stdout**, so report
 //! output stays byte-identical with telemetry on. When tracing is off,
@@ -98,7 +99,8 @@ pub fn telemetry_path() -> Option<PathBuf> {
 /// Appends one telemetry record. A no-op (one predictable branch, no
 /// allocation) when tracing is disabled.
 ///
-/// The record is `{"seq":…,"ts_ms":…,"scope":…,"event":…, <fields>}`;
+/// The record is
+/// `{"seq":…,"ts_ms":…,"mono_ms":…,"scope":…,"event":…, <fields>}`;
 /// writes are best-effort — telemetry must never fail a run, so I/O
 /// errors silently drop the record.
 pub fn emit(event: &str, fields: Vec<(&'static str, Value)>) {
@@ -106,12 +108,17 @@ pub fn emit(event: &str, fields: Vec<(&'static str, Value)>) {
     if !super::enabled() && !tapped {
         return;
     }
-    let mut pairs: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 4);
+    let mut pairs: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 5);
     pairs.push((
         "seq".to_string(),
         Value::UInt(SEQ.fetch_add(1, Ordering::Relaxed)),
     ));
     pairs.push(("ts_ms".to_string(), Value::UInt(now_ms())));
+    // The monotonic companion: `ts_ms` is wall-clock and can step
+    // backwards under clock adjustments; `mono_ms` never does.
+    // Consumers that predate the field ignore unknown keys, so old
+    // journals and tails keep parsing.
+    pairs.push(("mono_ms".to_string(), Value::UInt(super::mono_ms())));
     pairs.push(("scope".to_string(), Value::Str(super::scope_label())));
     pairs.push(("event".to_string(), Value::Str(event.to_string())));
     for (k, v) in fields {

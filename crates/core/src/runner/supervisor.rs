@@ -191,14 +191,11 @@ fn elapsed_ms(t: Instant) -> u64 {
     u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
-/// Telemetry heartbeat period: `VSNOOP_HEARTBEAT_MS`, default 1000.
+/// Telemetry heartbeat period: `VSNOOP_HEARTBEAT_MS`, default 1000
+/// (shared warn-once knob parsing: malformed values warn on stderr and
+/// keep the default).
 fn heartbeat_interval() -> Duration {
-    let ms = std::env::var("VSNOOP_HEARTBEAT_MS")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .filter(|&ms| ms > 0)
-        .unwrap_or(1000);
-    Duration::from_millis(ms)
+    Duration::from_millis(crate::knob::env_positive_u64("VSNOOP_HEARTBEAT_MS").unwrap_or(1000))
 }
 
 /// Campaign progress counters shared with the heartbeat thread. The
@@ -441,7 +438,10 @@ pub fn run_campaign(
         Some(crate::obs::Heartbeat::spawn(
             "campaign",
             heartbeat_interval(),
-            move || state.emit(&mut last, &mut rounds),
+            move || {
+                state.emit(&mut last, &mut rounds);
+                crate::obs::metrics::write_prom_if_traced();
+            },
         ))
     } else {
         None

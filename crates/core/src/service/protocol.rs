@@ -67,6 +67,9 @@ pub enum Request {
     Submit(Submit),
     /// Ask for server/tenant status counters.
     Status,
+    /// Ask for the server-side metrics snapshot (latency histograms,
+    /// stage timings, counters; see `OBSERVABILITY.md` "Metrics").
+    Metrics,
     /// Stream live telemetry records on this connection.
     Subscribe,
     /// Liveness probe.
@@ -139,6 +142,7 @@ impl Request {
                 }))
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "subscribe" => Ok(Request::Subscribe),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -339,6 +343,19 @@ pub fn status(
     .to_json()
 }
 
+/// `metrics`: the server-side metrics snapshot. `snapshot` is the JSON
+/// object produced by [`crate::obs::metrics::snapshot_value`] —
+/// counters, gauges, per-stage latency histograms (p50/p90/p99/max in
+/// ms) globally and per tenant.
+pub fn metrics(snapshot: Value) -> String {
+    Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        ("type", Value::Str("metrics".into())),
+        ("metrics", snapshot),
+    ])
+    .to_json()
+}
+
 /// A parsed server response, as seen by clients (the `client` and
 /// `loadtest` binaries, and the integration tests).
 #[derive(Clone, Debug, PartialEq)]
@@ -403,6 +420,9 @@ pub enum Response {
     ShuttingDown,
     /// Status counters (kept as raw JSON for display).
     Status(Value),
+    /// Metrics snapshot (kept as raw JSON; the `metrics` key holds the
+    /// snapshot object).
+    Metrics(Value),
 }
 
 impl Response {
@@ -493,6 +513,7 @@ impl Response {
             "subscribed" => Ok(Response::Subscribed),
             "shutting_down" => Ok(Response::ShuttingDown),
             "status" => Ok(Response::Status(v)),
+            "metrics" => Ok(Response::Metrics(v)),
             other => Err(format!("unknown response type {other:?}")),
         }
     }
@@ -664,6 +685,19 @@ mod tests {
             Response::parse(&status(1, 2, 3, 4, false, &[])).unwrap(),
             Response::Status(_)
         ));
+    }
+
+    #[test]
+    fn metrics_round_trips() {
+        assert_eq!(Request::parse(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        let line = metrics(Value::obj(vec![("uptime_ms", Value::UInt(5))]));
+        match Response::parse(&line).unwrap() {
+            Response::Metrics(v) => {
+                let snap = v.get("metrics").expect("snapshot embedded");
+                assert_eq!(snap.get("uptime_ms").and_then(Value::as_u64), Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

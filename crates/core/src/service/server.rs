@@ -64,6 +64,7 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender,
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::obs::metrics;
 use crate::runner::json::Value;
 use crate::runner::{CancelToken, Cancelled, Job, JobCtx, JobError, Journal};
 
@@ -320,6 +321,12 @@ struct Pending {
     tag: Option<String>,
     idem_key: Option<String>,
     writer: Option<ConnWriter>,
+    /// When the reactor parsed the originating submit (`None` for jobs
+    /// re-enqueued from the WAL — their submit predates this process).
+    received: Option<Instant>,
+    /// When the job entered the admission queue; the scheduler's
+    /// dispatch turns the difference into the queue-wait metric.
+    queued: Instant,
 }
 
 /// Why a running job's token was cancelled.
@@ -341,6 +348,8 @@ struct Running {
     tag: Option<String>,
     idem_key: Option<String>,
     writer: Option<ConnWriter>,
+    /// See [`Pending::received`].
+    received: Option<Instant>,
     cancel_cause: Option<CancelCause>,
     cancelled_at: Option<Instant>,
     /// Last time a `progress` frame was streamed to the submitter.
@@ -424,6 +433,9 @@ struct AdmitRequest {
     submit: Submit,
     bytes: usize,
     writer: ConnWriter,
+    /// When the reactor parsed the request — admission wait and the
+    /// end-to-end server-side latency both start here.
+    received: Instant,
 }
 
 /// State shared by the reactor, admission thread and scheduler.
@@ -606,6 +618,8 @@ pub fn serve(
                     tag: None,
                     idem_key: p.idem_key.clone(),
                     writer: None,
+                    received: None,
+                    queued: Instant::now(),
                 };
                 {
                     let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
@@ -661,7 +675,7 @@ pub fn serve(
             .name("vsnoop-svc-admit".into())
             .spawn(move || {
                 while let Ok(req) = admit_rx.recv() {
-                    handle_submit(req.submit, req.bytes, &req.writer, &shared);
+                    handle_submit(req.submit, req.bytes, &req.writer, &shared, req.received);
                 }
             })?
     };
@@ -831,6 +845,7 @@ fn reactor_loop(
             }
         }
 
+        let poll_start = Instant::now();
         if poller.wait(&mut events, TICK).is_err() {
             // A broken poller would spin; back off and retry (the next
             // wait rebuilds the fd set from scratch on the poll
@@ -838,7 +853,10 @@ fn reactor_loop(
             std::thread::sleep(Duration::from_millis(5));
             continue;
         }
+        metrics::REACTOR_POLL_WAIT_US.record(poll_start.elapsed().as_micros() as u64);
+        metrics::REACTOR_EVENTS_PER_WAKE.record(events.len() as u64);
 
+        let dispatch_start = Instant::now();
         for ev in &events {
             match ev.token {
                 LISTENER_TOKEN => {
@@ -867,7 +885,10 @@ fn reactor_loop(
             }
         }
 
+        metrics::REACTOR_DISPATCH_US.record(dispatch_start.elapsed().as_micros() as u64);
+
         // Flush every connection another thread appended replies to.
+        let flush_start = Instant::now();
         for token in shared.wake.take_dirty() {
             if let Some(conn) = conns.get_mut(&token) {
                 if !flush_conn(conn, &mut poller, token) {
@@ -877,6 +898,7 @@ fn reactor_loop(
                 }
             }
         }
+        metrics::REACTOR_FLUSH_US.record(flush_start.elapsed().as_micros() as u64);
 
         // Idle reaping + deferred closes (half-closed peers whose jobs
         // finished, reaped or draining connections now fully flushed).
@@ -918,7 +940,9 @@ fn reactor_loop(
                 close_conn(conn, &mut poller);
             }
         }
+        metrics::REACTOR_CONNECTIONS.set(conns.len() as u64);
     }
+    metrics::REACTOR_CONNECTIONS.set(0);
     super::signal::clear_wake_fd(shared.wake.waker.raw_fd());
 }
 
@@ -1165,6 +1189,8 @@ fn handle_request(
     };
     match request {
         Request::Submit(submit) => {
+            let received = Instant::now();
+            metrics::SERVICE_REQUESTS.inc();
             let gate = &writer.gate;
             let mut granted = gate.try_acquire();
             if !granted {
@@ -1186,6 +1212,7 @@ fn handle_request(
                 }
             }
             if !granted {
+                metrics::SERVICE_SHED.inc();
                 if crate::obs::telemetry_active() {
                     crate::obs::telemetry::emit(
                         "service_shed",
@@ -1211,17 +1238,20 @@ fn handle_request(
                     submit: submit.clone(),
                     bytes,
                     writer: Arc::clone(writer),
+                    received,
                 })
                 .is_ok()
             });
             if !forwarded {
                 // The admission thread is gone: the drain has already
                 // completed. Same answer a draining queue would give.
+                metrics::SERVICE_SHED.inc();
                 gate.release();
                 send_line(writer, &protocol::shed(ShedReason::Draining, &submit.tag));
             }
         }
         Request::Status => send_line(writer, &shared.status_line()),
+        Request::Metrics => send_line(writer, &protocol::metrics(metrics::snapshot_value())),
         Request::Ping => send_line(writer, &protocol::pong()),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
@@ -1310,7 +1340,16 @@ fn handle_request(
 /// replay, factory error, shed) release it; paths that promise a
 /// later `done` (queued, in-flight waiter, even `wal_failed` — the
 /// job runs) keep it, and [`finish_job`] releases it with the `done`.
-fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc<Shared>) {
+fn handle_submit(
+    submit: Submit,
+    bytes: usize,
+    writer: &ConnWriter,
+    shared: &Arc<Shared>,
+    received: Instant,
+) {
+    // How long the submit sat on the reactor→admission channel (plus
+    // any WAL stall ahead of it).
+    metrics::SERVICE_ADMISSION_WAIT_US.record(received.elapsed().as_micros() as u64);
     // Idempotency dedup first: a duplicate must be answered from the
     // original run even when the server is draining or the queue is
     // full — the original acceptance already promised the work.
@@ -1407,6 +1446,8 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
         tag: submit.tag.clone(),
         idem_key: submit.idem_key.clone(),
         writer: Some(Arc::clone(writer)),
+        received: Some(received),
+        queued: Instant::now(),
     };
     let offered = {
         let mut adm = shared.admission.lock().unwrap_or_else(|e| e.into_inner());
@@ -1424,7 +1465,10 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
                     idem_key: submit.idem_key.clone(),
                     bytes: bytes as u64,
                 };
-                if let Err(e) = w.append(&record) {
+                let fsync_start = Instant::now();
+                let appended = w.append(&record);
+                metrics::SERVICE_WAL_FSYNC_US.record(fsync_start.elapsed().as_micros() as u64);
+                if let Err(e) = appended {
                     eprintln!("service: wal append failed for job {job_id}: {e}");
                     send_line(
                         writer,
@@ -1460,6 +1504,7 @@ fn handle_submit(submit: Submit, bytes: usize, writer: &ConnWriter, shared: &Arc
                     idem.entries.remove(key);
                 }
             }
+            metrics::SERVICE_SHED.inc();
             if crate::obs::telemetry_active() {
                 crate::obs::telemetry::emit(
                     "service_shed",
@@ -1533,6 +1578,9 @@ fn scheduler_loop(
     let _heartbeat = {
         let shared = Arc::clone(shared);
         crate::obs::Heartbeat::spawn("service", heartbeat_interval(), move || {
+            // The Prometheus dump only needs a trace directory, not a
+            // telemetry consumer.
+            metrics::write_prom_if_traced();
             if !crate::obs::telemetry_active() {
                 return;
             }
@@ -1561,6 +1609,7 @@ fn scheduler_loop(
                     ("warm_evictions", Value::UInt(warm_evictions)),
                 ],
             );
+            crate::obs::telemetry::emit("service_metrics", metrics::heartbeat_fields());
         })
     };
 
@@ -1580,6 +1629,9 @@ fn scheduler_loop(
                 adm.evict_queued()
             };
             for (tenant, pending) in evicted {
+                if let Some(rcv) = pending.received {
+                    metrics::record_request(&tenant, rcv.elapsed().as_micros() as u64);
+                }
                 let outcome = Err(JobError::Cancelled {
                     reason: "drain: evicted from queue".into(),
                 });
@@ -1622,6 +1674,7 @@ fn scheduler_loop(
                 // gone; drop the message.
                 if let Some(run) = running.remove(&job_id) {
                     let outcome = interpret(outcome, &run);
+                    record_terminal_latency(&run);
                     if matches!(
                         outcome,
                         Err(JobError::TimedOut { .. } | JobError::Cancelled { .. })
@@ -1685,6 +1738,7 @@ fn scheduler_loop(
         }
         for id in abandoned {
             let run = running.remove(&id).expect("abandoned id vanished");
+            record_terminal_latency(&run);
             let outcome = Err(abandon_error(&run));
             shared.cancelled.fetch_add(1, Ordering::Relaxed);
             finish_job(
@@ -1755,14 +1809,9 @@ fn scheduler_loop(
 }
 
 /// Telemetry heartbeat period: `VSNOOP_HEARTBEAT_MS`, default 1000
-/// (same knob the campaign supervisor honours).
+/// (same knob, same warn-once parser as the campaign supervisor).
 fn heartbeat_interval() -> Duration {
-    let ms = std::env::var("VSNOOP_HEARTBEAT_MS")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .filter(|&ms| ms > 0)
-        .unwrap_or(1000);
-    Duration::from_millis(ms)
+    Duration::from_millis(crate::knob::env_positive_u64("VSNOOP_HEARTBEAT_MS").unwrap_or(1000))
 }
 
 /// Spawns the worker thread for one dispatched job and records it in
@@ -1781,7 +1830,10 @@ fn dispatch(
         tag,
         idem_key,
         writer,
+        received,
+        queued,
     } = pending;
+    metrics::record_queue_wait(&tenant, queued.elapsed().as_micros() as u64);
     let token = CancelToken::new();
     let limit_ms = deadline.as_millis() as u64;
     let now = Instant::now();
@@ -1798,6 +1850,7 @@ fn dispatch(
             tag,
             idem_key,
             writer,
+            received,
             cancel_cause: None,
             cancelled_at: None,
             last_progress: now,
@@ -1869,6 +1922,17 @@ fn dispatch(
     }
 }
 
+/// Records the run-time and end-to-end latency histograms for a job
+/// leaving the running map (any terminal path). Jobs recovered from
+/// the WAL have no `received` instant and skip the end-to-end record.
+fn record_terminal_latency(run: &Running) {
+    let now = Instant::now();
+    metrics::SERVICE_RUN_US.record(now.duration_since(run.started).as_micros() as u64);
+    if let Some(rcv) = run.received {
+        metrics::record_request(&run.tenant, now.duration_since(rcv).as_micros() as u64);
+    }
+}
+
 /// Maps a worker's raw outcome to the client-visible error, using the
 /// scheduler's knowledge of *why* a cancellation unwind happened.
 fn interpret(outcome: WorkerOutcome, run: &Running) -> Result<String, JobError> {
@@ -1921,6 +1985,7 @@ fn finish_job(
     writer: &Option<ConnWriter>,
     outcome: Result<String, JobError>,
 ) {
+    metrics::SERVICE_DONE.inc();
     if crate::obs::telemetry_active() {
         let status = match &outcome {
             Ok(_) => "ok".to_string(),

@@ -322,6 +322,83 @@ fn shard_panic_emits_partial_progress_telemetry() {
     );
 }
 
+/// Satellite: every telemetry record carries a `mono_ms` field from
+/// the process-monotonic clock next to the wall-clock `ts_ms` —
+/// tailers correlate records across clock steps with it, so it must
+/// be present and nondecreasing in emit order.
+#[test]
+fn telemetry_records_carry_nondecreasing_mono_ms() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch("mono");
+    let _t = Traced::new(&dir);
+
+    vsnoop::obs::telemetry::emit("mono_probe", vec![("i", Value::UInt(0))]);
+    std::thread::sleep(Duration::from_millis(5));
+    vsnoop::obs::telemetry::emit("mono_probe", vec![("i", Value::UInt(1))]);
+
+    let lines = telemetry_lines(&dir);
+    let probes = events_named(&lines, "mono_probe");
+    assert_eq!(probes.len(), 2);
+    let mut prev = 0u64;
+    for p in probes {
+        assert!(
+            p.get("ts_ms").and_then(Value::as_u64).is_some(),
+            "the wall clock stays for log correlation: {p:?}"
+        );
+        let mono = p
+            .get("mono_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("mono_ms in {p:?}"));
+        assert!(mono >= prev, "mono_ms went backwards: {mono} < {prev}");
+        prev = mono;
+    }
+}
+
+/// Satellite: the engine-phase metrics gate is zero-cost when off. A
+/// parallel-eligible batched run with the gate disabled (the default)
+/// must not touch the engine-phase histograms at all; the same run
+/// with the gate on records every phase. Held under [`OBS_LOCK`]
+/// because the gate — like the trace flag — is process-global.
+#[test]
+fn engine_phase_metrics_record_only_when_the_gate_is_on() {
+    use vsnoop::obs::metrics;
+
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(!vsnoop::obs::enabled(), "tests start with tracing off");
+    assert!(!metrics::enabled(), "tests start with the metrics gate off");
+
+    let run = || {
+        let cfg = SystemConfig::small_test();
+        let mut sim = Simulator::new(cfg, FilterPolicy::VsnoopBase, ContentPolicy::Broadcast);
+        sim.set_engine_workers(2);
+        let mut wl = workload(&cfg, 0x0B5E);
+        sim.run(&mut wl, 400);
+        assert!(sim.stats().l2_misses > 0, "the run must do real work");
+    };
+    let counts = || {
+        (
+            metrics::ENGINE_UPDATE_PROCS_US.snapshot().count,
+            metrics::ENGINE_UPDATE_CACHES_US.snapshot().count,
+            metrics::ENGINE_UPDATE_NET_US.snapshot().count,
+            metrics::ENGINE_SHARD_IMBALANCE_US.snapshot().count,
+        )
+    };
+
+    let before = counts();
+    run();
+    assert_eq!(counts(), before, "a disabled gate must record nothing");
+
+    metrics::set_enabled(true);
+    let before = counts();
+    run();
+    let after = counts();
+    metrics::set_enabled(false);
+    assert!(
+        after.0 > before.0 && after.1 > before.1 && after.2 > before.2 && after.3 > before.3,
+        "an enabled gate must record every phase: {before:?} -> {after:?}"
+    );
+}
+
 /// Runs a simulator with epoch recording and checks that the sum of the
 /// per-epoch deltas reproduces the final aggregate for **every**
 /// counter field — the conservation property that catches a counter

@@ -1141,6 +1141,89 @@ fn drain_closes_hundreds_of_parked_connections_promptly() {
     );
 }
 
+/// Satellite: the `metrics` wire op returns the server-side metrics
+/// snapshot, and its counts reconcile with what this connection
+/// actually did. Metrics are process-global (other tests in this
+/// binary record into them concurrently), so the per-tenant family —
+/// keyed by a tenant name unique to this test — is checked exactly,
+/// while the global counters are only checked as lower bounds.
+#[test]
+fn metrics_op_reports_counts_that_reconcile_with_submits() {
+    let server = start(test_factory(Arc::default()), ServiceConfig::default());
+    let mut conn = Conn::open(&server);
+
+    let tenant = format!("metrics-reconcile-{}", std::process::id());
+    const JOBS: u64 = 5;
+    for i in 0..JOBS {
+        conn.submit(&tenant, "quick", None, &format!("m{i}"));
+        match conn.recv_terminal() {
+            Response::Done { outcome, .. } => assert!(outcome.is_ok()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    conn.send(r#"{"op":"metrics"}"#);
+    let snapshot = match conn.recv() {
+        // The frame keeps the envelope; the snapshot sits under its
+        // `metrics` key (same convention as `status`).
+        Response::Metrics(v) => v.get("metrics").expect("snapshot embedded").clone(),
+        other => panic!("expected metrics, got {other:?}"),
+    };
+
+    // Global counters: at least this test's traffic happened.
+    let counter = |name: &str| {
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("counter {name} in {snapshot:?}"))
+    };
+    assert!(counter("requests") >= JOBS, "{snapshot:?}");
+    assert!(counter("done") >= JOBS, "{snapshot:?}");
+
+    // The per-tenant request-latency family reconciles exactly: one
+    // recorded end-to-end latency per terminal submit.
+    let tenant_hist = snapshot
+        .get("tenants")
+        .and_then(|t| t.get(&tenant))
+        .and_then(|t| t.get("request"))
+        .unwrap_or_else(|| panic!("tenant {tenant} in {snapshot:?}"));
+    assert_eq!(
+        tenant_hist.get("count").and_then(Value::as_u64),
+        Some(JOBS),
+        "{tenant_hist:?}"
+    );
+    let pct = |name: &str| {
+        tenant_hist
+            .get(name)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("{name} in {tenant_hist:?}"))
+    };
+    assert!(
+        pct("p50_ms") <= pct("p99_ms") && pct("p99_ms") <= pct("max_ms"),
+        "{tenant_hist:?}"
+    );
+
+    // The global stage histograms saw the same lifecycle stages.
+    for stage in [
+        "service_request_us",
+        "service_run_us",
+        "service_queue_wait_us",
+    ] {
+        let count = snapshot
+            .get("histograms")
+            .and_then(|h| h.get(stage))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("histogram {stage} in {snapshot:?}"));
+        assert!(count >= JOBS, "{stage}: {count} < {JOBS}");
+    }
+
+    server.shutdown();
+    let report = server.wait();
+    assert_eq!(report.done, JOBS);
+}
+
 /// Tentpole: the reactor's incremental frame assembly — a request
 /// torn into tiny writes with pauses in between (worst-case
 /// nonblocking reads) still parses as exactly one frame, and several

@@ -149,7 +149,11 @@ echo "==> service smoke (two tenants, SIGTERM drain, served == direct)"
 SVC_DIR=target/campaign/verify-service
 rm -rf "$SVC_DIR"
 mkdir -p "$SVC_DIR"
-VSNOOP_SCALE=quick ./target/release/serve --addr 127.0.0.1:0 \
+# Traced with a fast heartbeat: the server must rewrite
+# <trace>/metrics.prom and emit service_metrics records on that
+# cadence (OBSERVABILITY.md "Metrics"); checked after the drain.
+VSNOOP_SCALE=quick VSNOOP_TRACE="$SVC_DIR/trace" VSNOOP_HEARTBEAT_MS=100 \
+  ./target/release/serve --addr 127.0.0.1:0 \
   --journal "$SVC_DIR/journal.jsonl" \
   --drain-grace-ms 300 --cancel-grace-ms 2000 \
   > "$SVC_DIR/serve.out" 2> "$SVC_DIR/serve.err" &
@@ -164,6 +168,17 @@ SVC_ADDR=$(awk '/^listening on /{print $3; exit}' "$SVC_DIR/serve.out")
   --submit fig2 --out "$SVC_DIR/acme" --strict > /dev/null
 ./target/release/client --addr "$SVC_ADDR" --tenant globex \
   --submit table2 --out "$SVC_DIR/globex" --strict > /dev/null
+# Scrape the metrics wire op off the live server: one JSONL request,
+# one snapshot back, counts covering the two tenants' submits.
+SVC_HOST=${SVC_ADDR%:*}
+SVC_PORT=${SVC_ADDR##*:}
+exec 3<>"/dev/tcp/$SVC_HOST/$SVC_PORT"
+printf '{"op":"metrics"}\n' >&3
+IFS= read -r -t 10 METRICS_LINE <&3
+exec 3<&- 3>&-
+echo "$METRICS_LINE" | grep -q '"type":"metrics"'
+echo "$METRICS_LINE" | grep -q '"service_request_us"'
+echo "$METRICS_LINE" | grep -q '"tenants"'
 # Third tenant: a long spin the drain will have to cancel mid-flight.
 ./target/release/client --addr "$SVC_ADDR" --tenant initech \
   --submit spin --spin-ms 60000 > "$SVC_DIR/spin.out" &
@@ -176,6 +191,10 @@ grep -q '^drained: ' "$SVC_DIR/serve.out"
 grep -q 'cancelled' "$SVC_DIR/spin.out"
 grep -q '"job":"spin"' "$SVC_DIR/journal.jsonl"
 grep -q 'cancelled' "$SVC_DIR/journal.jsonl"
+# The heartbeat left the Prometheus dump and telemetry summaries behind.
+test -s "$SVC_DIR/trace/metrics.prom"
+grep -q '^vsnoop_service_request_us_bucket' "$SVC_DIR/trace/metrics.prom"
+grep -q '"event":"service_metrics"' "$SVC_DIR/trace/telemetry.jsonl"
 # Byte-identity: served outputs vs the same campaign run directly.
 DIRECT_DIR=target/campaign/verify-service-direct
 rm -rf "$DIRECT_DIR"
@@ -215,6 +234,22 @@ CONNS_LOG=target/campaign/verify-conns.log
   --workers 4 --queue-cap 2048 --max-inflight 8 --max-queued 512 \
   --deadline-ms 60000 --progress-ms 100 >> "$CONNS_LOG" 2>&1
 grep -q 'unanswered=0' "$CONNS_LOG"
+# Server-measured p99 (metrics wire op) must reconcile with the
+# client-measured p99: the server resolves quantiles to log2 bucket
+# edges, so allow 2x plus scheduling slop, but never silence — both
+# lines must be present and the server's must be nonzero.
+awk '
+  $1 == "latency" && client == "" { client = $3; sub(/^p99=/, "", client); sub(/ms$/, "", client) }
+  $1 == "server"  && server == "" { server = $3; sub(/^p99=/, "", server); sub(/ms$/, "", server) }
+  END {
+    if (client == "" || server == "") { print "missing p99 lines"; exit 1 }
+    if (server + 0 <= 0) { print "server p99 is zero: metrics scrape failed"; exit 1 }
+    if (server + 0 > client * 2 + 25) {
+      printf "server p99 %sms inconsistent with client p99 %sms\n", server, client
+      exit 1
+    }
+  }
+' "$CONNS_LOG"
 ./target/release/loadtest --clients 512 --tenants 8 --jobs 2 --spin-ms 1 \
   --overload >> "$CONNS_LOG" 2>&1
 ./target/release/loadtest --clients 64 --tenants 8 --jobs 2 --spin-ms 1 \
